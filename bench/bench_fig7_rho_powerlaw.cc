@@ -1,0 +1,38 @@
+// Reproduces Figure 7: the approximation ratio bound rho as a function of
+// average degree on power-law (ACL configuration model) graphs. Paper shape:
+// rho < 1.8 across densities, falling toward 1 as the graph densifies.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "direction/approx_ratio.h"
+#include "graph/generators.h"
+
+namespace gputc {
+namespace bench {
+namespace {
+
+void Main() {
+  PrintHeader("Figure 7",
+              "rho (Theorem 4.2) vs average out-degree on ACL power-law "
+              "graphs (density swept via the exponent gamma, tail intact)");
+  TablePrinter table({"gamma", "d_avg", "rho bound", "LB case"});
+  for (double gamma : {2.6, 2.4, 2.2, 2.0, 1.9, 1.8, 1.7, 1.6, 1.5}) {
+    const Graph g = GeneratePowerLawConfiguration(8000, gamma, 1, 800,
+                                                  /*seed=*/42);
+    const ApproxRatioBound b = ComputeApproxRatioBound(g);
+    table.AddRow({Fmt(gamma, 1), Fmt(b.d_avg, 2), Fmt(b.rho, 3),
+                  std::string(1, b.lb_case)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape (paper Figure 7): rho < 1.8 once d_avg "
+               "clears ~2 and decreasing toward 1 as density grows; the "
+               "bound degenerates on near-forest graphs (d_avg < ~1.5), "
+               "where the Theorem 4.2 lower bound collapses.\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gputc
+
+int main() { gputc::bench::Main(); }

@@ -1,0 +1,45 @@
+// Reproduces Figure 9: the fit of memory intensity m = F_m(d) against
+// p_c(d) * F_c(d), which determines lambda (the paper measures 9.682 on a
+// Titan Xp; ours reflects the simulated device).
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "order/calibration.h"
+
+namespace gputc {
+namespace bench {
+namespace {
+
+void Main() {
+  PrintHeader("Figure 9",
+              "Linear fit m ~ p_c * c over the calibration sweep; lambda "
+              "determination (Section 5.3)");
+  const DeviceSpec spec = DeviceSpec::TitanXpLike();
+  const CalibrationResult r = CalibrateResourceModel(spec);
+  TablePrinter table({"list length", "x = p_c * F_c", "y = F_m",
+                      "fit residual"});
+  for (const CalibrationSample& s : r.samples) {
+    if (s.list_length > spec.warp_size) break;  // Pre-saturation regime.
+    const double x = s.p_c * s.compute_intensity;
+    const double predicted = r.fit.slope * x + r.fit.intercept;
+    table.AddRow({FmtCount(s.list_length), Fmt(x, 3),
+                  Fmt(s.memory_intensity, 3),
+                  Fmt(s.memory_intensity - predicted, 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nfit: m = " << Fmt(r.fit.slope, 3) << " * x + "
+            << Fmt(r.fit.intercept, 3) << "  (r^2 = " << Fmt(r.fit.r_squared, 3)
+            << ")\n"
+            << "lambda (parity-point calibration used by A-order): "
+            << Fmt(r.lambda, 3) << "\n"
+            << "paper: lambda = 9.682 on the physical Titan Xp; the value is "
+               "device-specific, only its role (memory/compute conversion) "
+               "carries over.\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gputc
+
+int main() { gputc::bench::Main(); }

@@ -1,0 +1,52 @@
+// Reproduces Table 2: kernel running time of Hu's algorithm on four datasets
+// under different vertex Reorder strategies and edge Direction strategies.
+// Paper shape: D-order is by far the worst; A-order beats Original;
+// A-direction beats ID-based and edges out D-direction.
+
+#include <iostream>
+
+#include "bench_util.h"
+
+namespace gputc {
+namespace bench {
+namespace {
+
+void Main() {
+  PrintHeader("Table 2",
+              "Hu's kernel under {D-order, A-order, Original} x "
+              "{D-direction, ID-based, A-direction} (kernel ms)");
+  const DeviceSpec spec = DeviceSpec::TitanXpLike();
+
+  TablePrinter table({"dataset", "D-order/D-dir", "A-order/D-dir",
+                      "Origin/D-dir", "Origin/ID", "Origin/A-dir"});
+  for (const std::string& name : Table2Datasets()) {
+    const Graph g = LoadDataset(name);
+    struct Config {
+      OrderingStrategy ord;
+      DirectionStrategy dir;
+    };
+    const Config configs[] = {
+        {OrderingStrategy::kDegree, DirectionStrategy::kDegreeBased},
+        {OrderingStrategy::kAOrder, DirectionStrategy::kDegreeBased},
+        {OrderingStrategy::kOriginal, DirectionStrategy::kDegreeBased},
+        {OrderingStrategy::kOriginal, DirectionStrategy::kIdBased},
+        {OrderingStrategy::kOriginal, DirectionStrategy::kADirection},
+    };
+    std::vector<std::string> row = {name};
+    for (const Config& c : configs) {
+      const RunResult r = Run(g, TcAlgorithm::kHu, c.dir, c.ord, spec);
+      row.push_back(Fmt(r.kernel_ms(), 3));
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape (paper Table 2): column 1 (D-order) is the "
+               "worst; column 2 (A-order) beats column 3 (Original); column "
+               "5 (A-direction) beats columns 3 and 4.\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gputc
+
+int main() { gputc::bench::Main(); }

@@ -1,0 +1,47 @@
+// Reproduces Table 3: the Theorem 4.2 approximation-ratio bound rho on
+// real-graph stand-ins. Paper shape: rho stays well under 1.8 for graphs of
+// moderate density; also reported here is the *realized* ratio
+// C(P_alg) / LB, which is tighter still.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "direction/approx_ratio.h"
+#include "direction/cost_model.h"
+#include "direction/direction.h"
+
+namespace gputc {
+namespace bench {
+namespace {
+
+void Main() {
+  PrintHeader("Table 3",
+              "Approximation-ratio bound rho (Theorem 4.2) on real-graph "
+              "stand-ins");
+  TablePrinter table({"dataset", "d_avg", "rho bound", "C_alg/LB",
+                      "LB case", "|V_c|", "|V_n|"});
+  for (const char* name :
+       {"email-Euall", "gowalla", "cit-patents", "com-lj", "kron-logn21"}) {
+    const Graph g = LoadDataset(name);
+    const ApproxRatioBound b = ComputeApproxRatioBound(g);
+    const double alg_cost =
+        DirectionCost(Orient(g, DirectionStrategy::kADirection));
+    table.AddRow({name, Fmt(b.d_avg, 2), Fmt(b.rho, 3),
+                  b.lower_bound_opt > 0.0
+                      ? Fmt(alg_cost / b.lower_bound_opt, 3)
+                      : "inf",
+                  std::string(1, b.lb_case), FmtCount(b.num_core),
+                  FmtCount(b.num_non_core)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape (paper Table 3): rho in ~[1.1, 1.7] for "
+               "d_avg >= 2; the bound degenerates on near-forest graphs "
+               "(cit-patents stand-in, d_avg ~ 1.1) where the Theorem 4.2 "
+               "lower bound collapses — see EXPERIMENTS.md.\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gputc
+
+int main() { gputc::bench::Main(); }

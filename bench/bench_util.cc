@@ -1,0 +1,50 @@
+#include "bench_util.h"
+
+#include <iostream>
+
+namespace gputc {
+namespace bench {
+
+std::vector<std::string> Table5Datasets() {
+  return {"soc-LJ",      "cit-patents", "com-lj",      "com-orkut",
+          "email-Enron", "email-Euall", "gowalla",     "wiki-topcats",
+          "kron-logn18", "kron-logn21"};
+}
+
+std::vector<std::string> Table2Datasets() {
+  return {"gowalla", "cit-patents", "road_central", "kron-logn21"};
+}
+
+std::vector<std::string> FigureDatasets() {
+  return {"email-Euall", "gowalla",     "cit-patents", "com-lj",
+          "soc-pokec",   "wiki-topcats", "kron-logn18", "kron-logn21"};
+}
+
+void PrintHeader(const std::string& experiment, const std::string& what) {
+  const DeviceSpec spec = DeviceSpec::TitanXpLike();
+  std::cout << "==== " << experiment << " ====\n"
+            << what << "\n"
+            << "Device model: " << spec.num_sms << " SMs, "
+            << spec.threads_per_block() << " threads/block, warp "
+            << spec.warp_size << "; kernel times are simulated-model ms "
+            << "(see DESIGN.md).\n"
+            << "Datasets are seeded synthetic stand-ins for the paper's "
+            << "graphs (same degree families, laptop scale); compare shapes "
+            << "and ratios, not absolute numbers.\n\n";
+}
+
+RunResult Run(const Graph& g, TcAlgorithm algorithm, DirectionStrategy dir,
+              OrderingStrategy ord, const DeviceSpec& spec) {
+  PreprocessOptions options;
+  options.direction = dir;
+  options.ordering = ord;
+  return RunTriangleCount(g, algorithm, spec, options);
+}
+
+std::string SpeedupPercent(double base, double improved) {
+  if (base <= 0.0) return "n/a";
+  return Percent((base - improved) / base);
+}
+
+}  // namespace bench
+}  // namespace gputc

@@ -1,0 +1,40 @@
+#ifndef GPUTC_BENCH_BENCH_UTIL_H_
+#define GPUTC_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "graph/datasets.h"
+#include "sim/device.h"
+#include "util/table.h"
+
+namespace gputc {
+namespace bench {
+
+/// The ten datasets of the paper's Tables 5 and 6 (stand-ins; see
+/// graph/datasets.h).
+std::vector<std::string> Table5Datasets();
+
+/// The four motivation datasets of Table 2 / Figure 11.
+std::vector<std::string> Table2Datasets();
+
+/// Medium subset used by the bar-chart figures (12, 13, 14, 15, 16).
+std::vector<std::string> FigureDatasets();
+
+/// Prints the standard bench banner: what experiment this is, which device,
+/// and the substitution disclaimer.
+void PrintHeader(const std::string& experiment, const std::string& what);
+
+/// Runs one preprocessing+count configuration.
+RunResult Run(const Graph& g, TcAlgorithm algorithm, DirectionStrategy dir,
+              OrderingStrategy ord, const DeviceSpec& spec);
+
+/// Formats a speedup of `base` over `improved` as the paper does
+/// ("+17.4%" means improved is 17.4% faster than base).
+std::string SpeedupPercent(double base, double improved);
+
+}  // namespace bench
+}  // namespace gputc
+
+#endif  // GPUTC_BENCH_BENCH_UTIL_H_

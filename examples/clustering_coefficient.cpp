@@ -1,0 +1,45 @@
+// Clustering coefficient (Watts & Strogatz), one of the triangle-counting
+// applications the paper's introduction motivates. Uses the apps library to
+// contrast a small-world graph against a power-law graph of the same size.
+//
+//   ./clustering_coefficient [--nodes 4000]
+
+#include <iostream>
+
+#include "apps/clustering.h"
+#include "core/pipeline.h"
+#include "graph/generators.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace gputc;
+
+void Report(TablePrinter* table, const std::string& name, const Graph& g) {
+  table->AddRow({name, FmtCount(CountTriangles(g)),
+                 Fmt(GlobalClusteringCoefficient(g), 4),
+                 Fmt(AverageClusteringCoefficient(g), 4)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const VertexId n = static_cast<VertexId>(flags.GetInt("nodes", 4000));
+
+  // Small-world graphs have high clustering; power-law configuration graphs
+  // of the same size do not — the classic Watts-Strogatz contrast. More
+  // rewiring (larger beta) destroys the local structure.
+  TablePrinter table({"graph", "triangles", "global cc", "avg local cc"});
+  Report(&table, "watts-strogatz k=6 beta=0.05",
+         GenerateWattsStrogatz(n, 6, 0.05, /*seed=*/1));
+  Report(&table, "watts-strogatz k=6 beta=0.50",
+         GenerateWattsStrogatz(n, 6, 0.5, /*seed=*/1));
+  Report(&table, "power-law gamma=2.1",
+         GeneratePowerLawConfiguration(n, 2.1, 3, n / 10, /*seed=*/1));
+  table.Print(std::cout);
+  std::cout << "\nExpected: clustering decreases as beta grows, and the "
+               "power-law graph clusters far less than the small world.\n";
+  return 0;
+}

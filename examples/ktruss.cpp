@@ -1,0 +1,45 @@
+// k-truss decomposition (Wang & Cheng), the third application the paper's
+// introduction motivates, via the apps library: trussness of every edge and
+// the truss-size profile of a social-network stand-in.
+//
+//   ./ktruss [--dataset email-Eucore] [--extract-k 0]
+
+#include <iostream>
+
+#include "apps/ktruss.h"
+#include "graph/datasets.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace gputc;
+  FlagParser flags(argc, argv);
+  const std::string dataset = flags.GetString("dataset", "email-Eucore");
+  if (!HasDataset(dataset)) {
+    std::cerr << "unknown dataset '" << dataset << "'\n";
+    return 1;
+  }
+  const Graph g = LoadDataset(dataset);
+  std::cout << "dataset " << dataset << ": " << g.num_vertices()
+            << " vertices, " << g.num_edges() << " edges\n";
+
+  const TrussDecompositionResult decomposition = DecomposeTruss(g);
+  const auto profile = TrussProfile(decomposition);
+
+  TablePrinter table({"k", "edges with trussness k", "edges in k-truss"});
+  int64_t cumulative = static_cast<int64_t>(decomposition.trussness.size());
+  for (const auto& [k, count] : profile) {
+    table.AddRow({FmtCount(k), FmtCount(count), FmtCount(cumulative)});
+    cumulative -= count;
+  }
+  table.Print(std::cout);
+  std::cout << "maximum trussness: " << decomposition.max_trussness << "\n";
+
+  const int64_t extract_k = flags.GetInt("extract-k", 0);
+  if (extract_k >= 2) {
+    const Graph truss = KTrussSubgraph(g, static_cast<int>(extract_k));
+    std::cout << extract_k << "-truss subgraph: " << truss.num_edges()
+              << " edges\n";
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+#ifndef GPUTC_APPS_CLUSTERING_H_
+#define GPUTC_APPS_CLUSTERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gputc {
+
+// Clustering-coefficient analysis (Watts & Strogatz) — one of the three
+// triangle-counting applications motivating the paper. Built on the same
+// oriented-wedge counting substrate as the kernels.
+
+/// Number of triangles incident to each vertex. Every triangle contributes
+/// one to each of its three corners. O(m^(3/2)).
+std::vector<int64_t> PerVertexTriangleCounts(const Graph& g);
+
+/// Local clustering coefficient of every vertex:
+/// 2 * triangles(v) / (d(v) * (d(v) - 1)); 0 for degree < 2.
+std::vector<double> LocalClusteringCoefficients(const Graph& g);
+
+/// Global clustering coefficient (transitivity): 3 * triangles / wedges,
+/// where wedges = sum over v of C(d(v), 2). 0 for wedge-free graphs.
+double GlobalClusteringCoefficient(const Graph& g);
+
+/// Average of the local coefficients over vertices with degree >= 2
+/// (the Watts-Strogatz network average; 0 if no such vertex).
+double AverageClusteringCoefficient(const Graph& g);
+
+}  // namespace gputc
+
+#endif  // GPUTC_APPS_CLUSTERING_H_

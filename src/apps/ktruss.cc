@@ -1,0 +1,116 @@
+#include "apps/ktruss.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "tc/intersect.h"
+#include "util/logging.h"
+
+namespace gputc {
+
+TrussDecompositionResult DecomposeTruss(const Graph& g) {
+  TrussDecompositionResult result;
+  result.edges = g.ToEdgeList();
+  const auto& list = result.edges.edges();
+  const size_t m = list.size();
+  result.trussness.assign(m, 2);
+  if (m == 0) return result;
+
+  // Position of normalized edge (u, v) in the sorted edge list.
+  auto edge_index = [&list](VertexId u, VertexId v) -> int64_t {
+    if (u > v) std::swap(u, v);
+    const Edge key{u, v};
+    const auto it = std::lower_bound(list.begin(), list.end(), key);
+    return it != list.end() && *it == key
+               ? it - list.begin()
+               : -1;
+  };
+
+  // Initial support: triangles through each edge.
+  std::vector<int> support(m, 0);
+  int max_support = 0;
+  for (size_t e = 0; e < m; ++e) {
+    support[e] = static_cast<int>(SortedIntersectionSize(
+        g.neighbors(list[e].u), g.neighbors(list[e].v)));
+    max_support = std::max(max_support, support[e]);
+  }
+
+  // Peel edges in nondecreasing support order; when an edge leaves, the two
+  // companion edges of each of its remaining triangles lose one support.
+  std::vector<std::vector<size_t>> buckets(
+      static_cast<size_t>(max_support) + 1);
+  for (size_t e = 0; e < m; ++e) {
+    buckets[static_cast<size_t>(support[e])].push_back(e);
+  }
+  std::vector<bool> removed(m, false);
+  size_t processed = 0;
+  for (int level = 0; level <= max_support && processed < m; ++level) {
+    std::deque<size_t> queue(buckets[static_cast<size_t>(level)].begin(),
+                             buckets[static_cast<size_t>(level)].end());
+    while (!queue.empty()) {
+      const size_t e = queue.front();
+      queue.pop_front();
+      if (removed[e] || support[e] > level) continue;
+      removed[e] = true;
+      ++processed;
+      result.trussness[e] = level + 2;
+      result.max_trussness = std::max(result.max_trussness, level + 2);
+      const VertexId u = list[e].u;
+      const VertexId v = list[e].v;
+      const auto nu = g.neighbors(u);
+      const auto nv = g.neighbors(v);
+      size_t i = 0, j = 0;
+      while (i < nu.size() && j < nv.size()) {
+        if (nu[i] < nv[j]) {
+          ++i;
+        } else if (nu[i] > nv[j]) {
+          ++j;
+        } else {
+          const VertexId w = nu[i];
+          const int64_t e1 = edge_index(u, w);
+          const int64_t e2 = edge_index(v, w);
+          GPUTC_CHECK_GE(e1, 0);
+          GPUTC_CHECK_GE(e2, 0);
+          if (!removed[static_cast<size_t>(e1)] &&
+              !removed[static_cast<size_t>(e2)]) {
+            for (int64_t other : {e1, e2}) {
+              int& s = support[static_cast<size_t>(other)];
+              if (s > 0) --s;
+              if (s <= level) {
+                queue.push_back(static_cast<size_t>(other));
+              } else {
+                // Re-bucket at the new support so the edge is found when
+                // peeling reaches that level (stale higher-bucket entries
+                // are skipped by the support/removed guards).
+                buckets[static_cast<size_t>(s)].push_back(
+                    static_cast<size_t>(other));
+              }
+            }
+          }
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Graph KTrussSubgraph(const Graph& g, int k) {
+  const TrussDecompositionResult decomposition = DecomposeTruss(g);
+  EdgeList kept(g.num_vertices());
+  const auto& list = decomposition.edges.edges();
+  for (size_t e = 0; e < list.size(); ++e) {
+    if (decomposition.trussness[e] >= k) kept.Add(list[e].u, list[e].v);
+  }
+  kept.set_num_vertices(g.num_vertices());
+  return Graph::FromEdgeList(std::move(kept));
+}
+
+std::map<int, int64_t> TrussProfile(const TrussDecompositionResult& result) {
+  std::map<int, int64_t> profile;
+  for (int k : result.trussness) ++profile[k];
+  return profile;
+}
+
+}  // namespace gputc

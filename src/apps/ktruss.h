@@ -1,0 +1,41 @@
+#ifndef GPUTC_APPS_KTRUSS_H_
+#define GPUTC_APPS_KTRUSS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "graph/graph.h"
+
+namespace gputc {
+
+// k-truss decomposition (Wang & Cheng) — a triangle-counting application
+// from the paper's introduction. The k-truss of G is the maximal subgraph in
+// which every edge participates in at least k-2 triangles.
+
+/// Result of a full truss decomposition.
+struct TrussDecompositionResult {
+  /// The normalized edge list the trussness values index into.
+  EdgeList edges;
+  /// trussness[e]: the largest k such that edge e belongs to the k-truss.
+  /// Always >= 2 (every edge is in the 2-truss).
+  std::vector<int> trussness;
+  /// Largest k with a non-empty k-truss.
+  int max_trussness = 2;
+};
+
+/// Computes the trussness of every edge by support peeling.
+/// O(m^(3/2) + m log m).
+TrussDecompositionResult DecomposeTruss(const Graph& g);
+
+/// The subgraph formed by edges with trussness >= k (same vertex ids,
+/// non-truss edges removed).
+Graph KTrussSubgraph(const Graph& g, int k);
+
+/// Histogram: for each k, how many edges have trussness exactly k.
+std::map<int, int64_t> TrussProfile(const TrussDecompositionResult& result);
+
+}  // namespace gputc
+
+#endif  // GPUTC_APPS_KTRUSS_H_

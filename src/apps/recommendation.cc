@@ -1,0 +1,74 @@
+#include "apps/recommendation.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "tc/intersect.h"
+
+namespace gputc {
+
+int64_t CommonNeighborScore(const Graph& g, VertexId u, VertexId v) {
+  if (u >= g.num_vertices() || v >= g.num_vertices() || u == v) return 0;
+  return SortedIntersectionSize(g.neighbors(u), g.neighbors(v));
+}
+
+std::vector<Recommendation> RecommendLinks(
+    const Graph& g, const RecommendationOptions& options) {
+  std::vector<Recommendation> candidates;
+
+  // Scan wedge centers, highest degree first: hubs connect the candidate
+  // pairs with the largest common neighborhoods.
+  std::vector<VertexId> centers(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) centers[v] = v;
+  std::sort(centers.begin(), centers.end(), [&g](VertexId a, VertexId b) {
+    return g.degree(a) != g.degree(b) ? g.degree(a) > g.degree(b) : a < b;
+  });
+  const size_t center_limit =
+      options.max_centers > 0
+          ? std::min<size_t>(centers.size(),
+                             static_cast<size_t>(options.max_centers))
+          : centers.size();
+
+  for (size_t c = 0; c < center_limit; ++c) {
+    const auto nbrs = g.neighbors(centers[c]);
+    int64_t pairs = 0;
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (pairs >= options.max_pairs_per_center) break;
+      for (size_t j = i + 1; j < nbrs.size(); ++j) {
+        if (pairs >= options.max_pairs_per_center) break;
+        VertexId u = nbrs[i];
+        VertexId v = nbrs[j];
+        if (g.HasEdge(u, v)) continue;
+        ++pairs;
+        if (u > v) std::swap(u, v);
+        candidates.push_back(
+            Recommendation{u, v, CommonNeighborScore(g, u, v)});
+      }
+    }
+  }
+
+  // Deduplicate pairs seen through several centers, then rank.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Recommendation& a, const Recommendation& b) {
+              return std::tie(a.u, a.v) < std::tie(b.u, b.v);
+            });
+  candidates.erase(std::unique(candidates.begin(), candidates.end(),
+                               [](const Recommendation& a,
+                                  const Recommendation& b) {
+                                 return a.u == b.u && a.v == b.v;
+                               }),
+                   candidates.end());
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Recommendation& a, const Recommendation& b) {
+              return a.score != b.score
+                         ? a.score > b.score
+                         : std::tie(a.u, a.v) < std::tie(b.u, b.v);
+            });
+  if (options.top_k >= 0 &&
+      candidates.size() > static_cast<size_t>(options.top_k)) {
+    candidates.resize(static_cast<size_t>(options.top_k));
+  }
+  return candidates;
+}
+
+}  // namespace gputc

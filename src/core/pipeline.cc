@@ -1,0 +1,52 @@
+#include "core/pipeline.h"
+
+#include "order/calibration.h"
+#include "tc/fox.h"
+#include "util/timer.h"
+
+namespace gputc {
+
+RunResult RunTriangleCount(const Graph& g, TcAlgorithm algorithm,
+                           const DeviceSpec& spec,
+                           const PreprocessOptions& options) {
+  RunResult result;
+  if (algorithm == TcAlgorithm::kFox &&
+      options.ordering == OrderingStrategy::kAOrder) {
+    // Fox reorders edges, not vertices: orient and keep vertex ids, then
+    // hand the kernel an A-ordered arc sequence.
+    PreprocessOptions vertex_options = options;
+    vertex_options.ordering = OrderingStrategy::kOriginal;
+    result.preprocess = Preprocess(g, spec, vertex_options);
+
+    const ResourceModel model =
+        options.calibrate ? CalibratedResourceModel(spec)
+                          : ResourceModel::Default();
+    Timer edge_timer;
+    const FoxCounter fox_for_order;
+    const std::vector<int64_t> edge_order =
+        fox_for_order.AOrderedEdgeOrder(result.preprocess.graph, model, spec);
+    result.preprocess.ordering_ms = edge_timer.ElapsedMillis();
+    result.preprocess.total_ms =
+        result.preprocess.direction_ms + result.preprocess.ordering_ms;
+
+    const TcResult tc = fox_for_order.CountWithEdgeOrder(
+        result.preprocess.graph, spec, edge_order);
+    result.triangles = tc.triangles;
+    result.kernel = tc.kernel;
+    return result;
+  }
+
+  result.preprocess = Preprocess(g, spec, options);
+  const TcResult tc =
+      MakeCounter(algorithm)->Count(result.preprocess.graph, spec);
+  result.triangles = tc.triangles;
+  result.kernel = tc.kernel;
+  return result;
+}
+
+int64_t CountTriangles(const Graph& g) {
+  return RunTriangleCount(g, TcAlgorithm::kHu, DeviceSpec::TitanXpLike())
+      .triangles;
+}
+
+}  // namespace gputc

@@ -1,0 +1,42 @@
+#ifndef GPUTC_CORE_PIPELINE_H_
+#define GPUTC_CORE_PIPELINE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/preprocess.h"
+#include "graph/graph.h"
+#include "sim/device.h"
+#include "tc/counter.h"
+#include "tc/registry.h"
+
+namespace gputc {
+
+/// End-to-end result: preprocessing diagnostics plus the simulated kernel
+/// run — the two components every figure in the evaluation splits apart.
+struct RunResult {
+  int64_t triangles = 0;
+  KernelStats kernel;
+  PreprocessResult preprocess;
+
+  /// Paper's "kernel time": the modelled GPU time in milliseconds.
+  double kernel_ms() const { return kernel.millis; }
+  /// Paper's "total time": kernel plus host preprocessing.
+  double total_ms() const { return kernel.millis + preprocess.total_ms; }
+};
+
+/// Preprocesses `g` per `options` and counts triangles with `algorithm` on
+/// the device `spec`. For Fox (edge reorder unit), an ordering of kAOrder is
+/// applied to *edges* (ComputeEdgeAOrder) instead of relabeling vertices,
+/// matching Section 6.4.
+RunResult RunTriangleCount(const Graph& g, TcAlgorithm algorithm,
+                           const DeviceSpec& spec,
+                           const PreprocessOptions& options = {});
+
+/// Convenience facade: preprocess with the paper's defaults (A-direction +
+/// A-order) and count with Hu's algorithm; returns just the triangle count.
+int64_t CountTriangles(const Graph& g);
+
+}  // namespace gputc
+
+#endif  // GPUTC_CORE_PIPELINE_H_

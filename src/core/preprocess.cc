@@ -1,0 +1,69 @@
+#include "core/preprocess.h"
+
+#include <numeric>
+
+#include "direction/cost_model.h"
+#include "order/calibration.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace gputc {
+
+PreprocessResult Preprocess(const Graph& g, const DeviceSpec& spec,
+                            const PreprocessOptions& options) {
+  PreprocessResult result;
+
+  const ResourceModel model = options.calibrate
+                                  ? CalibratedResourceModel(spec)
+                                  : ResourceModel::Default();
+  result.lambda = model.lambda();
+
+  Timer direction_timer;
+  const std::vector<VertexId> rank =
+      DirectionRank(g, options.direction, options.seed);
+  DirectedGraph directed = DirectedGraph::FromRank(g, rank);
+  result.direction_ms = direction_timer.ElapsedMillis();
+  result.direction_cost = DirectionCost(directed);
+
+  Timer ordering_timer;
+  AOrderOptions aorder = options.aorder;
+  if (aorder.bucket_size <= 0) aorder.bucket_size = spec.threads_per_block();
+  result.vertex_perm = ComputeOrdering(g, directed, options.ordering, model,
+                                       aorder, options.seed);
+  result.graph = ApplyPermutation(directed, result.vertex_perm);
+  result.ordering_ms = ordering_timer.ElapsedMillis();
+  result.total_ms = result.direction_ms + result.ordering_ms;
+
+  result.ordering_cost = OrderingImbalanceCost(
+      directed.OutDegrees(), result.vertex_perm, aorder.bucket_size, model);
+  return result;
+}
+
+std::vector<int64_t> ComputeEdgeAOrder(const DirectedGraph& g,
+                                       const ResourceModel& model,
+                                       int bucket_size) {
+  // Each arc (u, v)'s resource profile is driven by the length of the list
+  // it searches, d~(u) — the direct analogue of a vertex's out-degree in
+  // vertex A-order (Section 6.4: "Memory intensive and computing intensive
+  // operations are defined analogous to Hu's implementation").
+  std::vector<EdgeCount> search_lengths;
+  search_lengths.reserve(static_cast<size_t>(g.num_edges()));
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const EdgeCount du = g.out_degree(u);
+    for (EdgeCount i = 0; i < du; ++i) search_lengths.push_back(du);
+  }
+  GPUTC_CHECK_LE(search_lengths.size(),
+                 static_cast<size_t>(std::numeric_limits<VertexId>::max()))
+      << "edge A-order limited to 2^32 arcs";
+  AOrderOptions options;
+  options.bucket_size = bucket_size;
+  const AOrderResult aorder = AOrder(search_lengths, model, options);
+  // aorder.perm maps arc index -> position; invert to a processing order.
+  std::vector<int64_t> order(search_lengths.size());
+  for (size_t arc = 0; arc < search_lengths.size(); ++arc) {
+    order[aorder.perm[arc]] = static_cast<int64_t>(arc);
+  }
+  return order;
+}
+
+}  // namespace gputc

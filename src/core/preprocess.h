@@ -1,0 +1,61 @@
+#ifndef GPUTC_CORE_PREPROCESS_H_
+#define GPUTC_CORE_PREPROCESS_H_
+
+#include <cstdint>
+
+#include "direction/direction.h"
+#include "graph/directed_graph.h"
+#include "graph/graph.h"
+#include "graph/permutation.h"
+#include "order/aorder.h"
+#include "order/ordering.h"
+#include "order/resource_model.h"
+#include "sim/device.h"
+
+namespace gputc {
+
+/// Configuration of the paper's preprocessing pipeline: orient the graph
+/// (Section 4), then reorder vertices (Section 5). Either step can be set to
+/// its baseline to isolate the other, exactly as the evaluation does.
+struct PreprocessOptions {
+  DirectionStrategy direction = DirectionStrategy::kADirection;
+  OrderingStrategy ordering = OrderingStrategy::kAOrder;
+  AOrderOptions aorder;
+  /// When true, lambda and BW(d) are calibrated against `spec` (Section 5.3)
+  /// instead of using the paper's published lambda. Calibration is cheap and
+  /// device-specific, so benches enable it.
+  bool calibrate = true;
+  uint64_t seed = 1;
+};
+
+/// Output of preprocessing: the graph the unmodified counting kernels
+/// consume, plus timing and model diagnostics.
+struct PreprocessResult {
+  /// Oriented and relabeled graph; feed this to any SimTriangleCounter.
+  DirectedGraph graph;
+  /// old id -> new id mapping applied to the vertices.
+  Permutation vertex_perm;
+
+  double direction_ms = 0.0;  // Host time of the directing step.
+  double ordering_ms = 0.0;   // Host time of the ordering step.
+  double total_ms = 0.0;      // Sum, i.e. the paper's "preprocessing time".
+
+  double direction_cost = 0.0;  // Eq. 1 of the produced orientation.
+  double ordering_cost = 0.0;   // Eq. 3 of the produced ordering.
+  double lambda = 0.0;          // Lambda used by the resource model.
+};
+
+/// Runs the preprocessing pipeline on `g` for the device `spec`.
+PreprocessResult Preprocess(const Graph& g, const DeviceSpec& spec,
+                            const PreprocessOptions& options = {});
+
+/// Edge-unit A-order for Fox's algorithm (Section 6.4, Figure 15): balances
+/// per-arc search-list lengths across blocks. Returns the processing order
+/// of arc indices (CSR order in `g`).
+std::vector<int64_t> ComputeEdgeAOrder(const DirectedGraph& g,
+                                       const ResourceModel& model,
+                                       int bucket_size);
+
+}  // namespace gputc
+
+#endif  // GPUTC_CORE_PREPROCESS_H_

@@ -1,0 +1,33 @@
+#ifndef GPUTC_DIRECTION_APPROX_RATIO_H_
+#define GPUTC_DIRECTION_APPROX_RATIO_H_
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace gputc {
+
+/// The quantities of Theorem 4.2: a data-dependent bound on A-direction's
+/// approximation ratio rho = C(P_alg) / C(P_opt) <= 1 + UB / LB.
+struct ApproxRatioBound {
+  /// Lower bound on the optimal cost C(P_opt) (Eq. 14/15 or the fallback).
+  double lower_bound_opt = 0.0;
+  /// Upper bound on C(P_alg) - C(P_opt) (Eq. 17).
+  double upper_bound_gap = 0.0;
+  /// 1 + UB / LB; the paper reports this is < 1.8 on power-law graphs
+  /// (Figure 7) and on its real datasets (Table 3).
+  double rho = 0.0;
+  /// Which LB case of Theorem 4.2 applied: 'a', 'b' or 'c'.
+  char lb_case = 'c';
+  /// Paper notation inputs, for reporting.
+  double d_avg = 0.0;      // d~_avg = |E| / |V|.
+  int64_t num_core = 0;     // |V_c|: d(v) >= d_avg.
+  int64_t num_non_core = 0; // |V_n|.
+  EdgeCount peel_degree = 0;  // d_peel reached by the UB construction.
+};
+
+/// Evaluates Theorem 4.2 on `g`. Runs in O(|V| + max_degree).
+ApproxRatioBound ComputeApproxRatioBound(const Graph& g);
+
+}  // namespace gputc
+
+#endif  // GPUTC_DIRECTION_APPROX_RATIO_H_

@@ -1,0 +1,79 @@
+#include "direction/brute_force.h"
+
+#include <limits>
+
+#include "direction/cost_model.h"
+#include "util/logging.h"
+
+namespace gputc {
+
+BruteForceDirectionResult BruteForceOptimalDirection(const Graph& g) {
+  const EdgeList edges = g.ToEdgeList();
+  const int m = static_cast<int>(edges.num_edges());
+  GPUTC_CHECK_LE(m, 24) << "brute force limited to 24 edges";
+  const VertexId n = g.num_vertices();
+
+  // Precompute triangles as triples of (edge index, canonical direction bit):
+  // for triangle {a<b<c} with edges e1=(a,b), e2=(b,c), e3=(a,c), the two
+  // directed 3-cycles are a->b->c->a and the reverse.
+  struct Triangle {
+    int e_ab, e_bc, e_ac;
+  };
+  std::vector<Triangle> triangles;
+  auto edge_index = [&edges](VertexId u, VertexId v) {
+    if (u > v) std::swap(u, v);
+    const Edge key{u, v};
+    const auto& list = edges.edges();
+    for (int i = 0; i < static_cast<int>(list.size()); ++i) {
+      if (list[i] == key) return i;
+    }
+    return -1;
+  };
+  for (VertexId a = 0; a < n; ++a) {
+    for (VertexId b : g.neighbors(a)) {
+      if (b <= a) continue;
+      for (VertexId c : g.neighbors(b)) {
+        if (c <= b) continue;
+        if (!g.HasEdge(a, c)) continue;
+        triangles.push_back(
+            Triangle{edge_index(a, b), edge_index(b, c), edge_index(a, c)});
+      }
+    }
+  }
+
+  BruteForceDirectionResult result;
+  result.optimal_cost = std::numeric_limits<double>::infinity();
+  std::vector<EdgeCount> out_deg(n);
+  // Bit i == 0 means edge i is oriented u -> v (u < v); 1 means v -> u.
+  for (uint32_t mask = 0; mask < (uint32_t{1} << m); ++mask) {
+    ++result.orientations_examined;
+    // a->b->c->a is the cycle (ab fwd, bc fwd, ac REV); the other cycle is
+    // the complement of those three bits.
+    bool valid = true;
+    for (const Triangle& t : triangles) {
+      const int ab = (mask >> t.e_ab) & 1;
+      const int bc = (mask >> t.e_bc) & 1;
+      const int ac = (mask >> t.e_ac) & 1;
+      if ((ab == 0 && bc == 0 && ac == 1) ||
+          (ab == 1 && bc == 1 && ac == 0)) {
+        valid = false;
+        break;
+      }
+    }
+    if (!valid) continue;
+    ++result.orientations_valid;
+    std::fill(out_deg.begin(), out_deg.end(), 0);
+    for (int i = 0; i < m; ++i) {
+      const Edge& e = edges.edges()[static_cast<size_t>(i)];
+      ++out_deg[((mask >> i) & 1) == 0 ? e.u : e.v];
+    }
+    const double cost = DirectionCostFromOutDegrees(out_deg, g.num_edges());
+    if (cost < result.optimal_cost) {
+      result.optimal_cost = cost;
+      result.optimal_out_degrees = out_deg;
+    }
+  }
+  return result;
+}
+
+}  // namespace gputc

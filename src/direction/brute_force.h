@@ -1,0 +1,30 @@
+#ifndef GPUTC_DIRECTION_BRUTE_FORCE_H_
+#define GPUTC_DIRECTION_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace gputc {
+
+/// Result of the exhaustive orientation search.
+struct BruteForceDirectionResult {
+  /// Minimum Eq. 1 cost over all valid orientations.
+  double optimal_cost = 0.0;
+  /// Out-degrees achieving the optimum (one witness).
+  std::vector<EdgeCount> optimal_out_degrees;
+  /// Number of orientations examined (2^|E|) and how many were valid.
+  int64_t orientations_examined = 0;
+  int64_t orientations_valid = 0;
+};
+
+/// Exhaustively minimizes the Equation 1 cost over all 2^|E| orientations,
+/// honoring the paper's ILP constraint that no directed 3-cycle may appear
+/// (Section 4.1). Exponential — intended for graphs with |E| <= ~20 in tests
+/// that certify A-direction's approximation quality. Aborts above 24 edges.
+BruteForceDirectionResult BruteForceOptimalDirection(const Graph& g);
+
+}  // namespace gputc
+
+#endif  // GPUTC_DIRECTION_BRUTE_FORCE_H_

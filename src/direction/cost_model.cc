@@ -1,0 +1,42 @@
+#include "direction/cost_model.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace gputc {
+
+double DirectionCost(const DirectedGraph& g) {
+  return DirectionCostFromOutDegrees(g.OutDegrees(), g.num_edges());
+}
+
+double DirectionCostAboveThreshold(const Graph& undirected,
+                                   const DirectedGraph& g,
+                                   double threshold_factor) {
+  GPUTC_CHECK_EQ(undirected.num_vertices(), g.num_vertices());
+  GPUTC_CHECK_EQ(undirected.num_edges(), g.num_edges());
+  if (g.num_vertices() == 0) return 0.0;
+  const double avg = g.AverageOutDegree();
+  const double cutoff = threshold_factor * avg;
+  double cost = 0.0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (static_cast<double>(undirected.degree(v)) > cutoff) {
+      cost += std::abs(static_cast<double>(g.out_degree(v)) - avg);
+    }
+  }
+  return cost;
+}
+
+double DirectionCostFromOutDegrees(const std::vector<EdgeCount>& out_degrees,
+                                   EdgeCount num_edges) {
+  if (out_degrees.empty()) return 0.0;
+  const double avg = static_cast<double>(num_edges) /
+                     static_cast<double>(out_degrees.size());
+  double cost = 0.0;
+  for (EdgeCount d : out_degrees) {
+    cost += std::abs(static_cast<double>(d) - avg);
+  }
+  return cost;
+}
+
+}  // namespace gputc

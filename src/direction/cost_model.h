@@ -1,0 +1,32 @@
+#ifndef GPUTC_DIRECTION_COST_MODEL_H_
+#define GPUTC_DIRECTION_COST_MODEL_H_
+
+#include <vector>
+
+#include "graph/directed_graph.h"
+#include "graph/graph.h"
+
+namespace gputc {
+
+/// The paper's Equation 1: C(P) = sum_u |d~(u) - d~_avg|, the workload
+/// imbalance cost of an orientation under the intra-block BSP model.
+/// d~_avg = |E| / |V| is orientation-invariant.
+double DirectionCost(const DirectedGraph& g);
+
+/// Equation 1 restricted to vertices whose *undirected* degree exceeds
+/// `threshold_factor * d~_avg` — Figure 11's "degree threshold k" view, which
+/// isolates the hub vertices that dominate superstep maxima. The filter uses
+/// undirected degree so the same vertex set is compared across orientation
+/// strategies. `undirected` must be the graph `g` was oriented from.
+double DirectionCostAboveThreshold(const Graph& undirected,
+                                   const DirectedGraph& g,
+                                   double threshold_factor);
+
+/// Cost directly from an out-degree vector (used by the brute-force search
+/// and tests). `num_edges` fixes d~_avg = num_edges / degrees.size().
+double DirectionCostFromOutDegrees(const std::vector<EdgeCount>& out_degrees,
+                                   EdgeCount num_edges);
+
+}  // namespace gputc
+
+#endif  // GPUTC_DIRECTION_COST_MODEL_H_

@@ -1,0 +1,52 @@
+#ifndef GPUTC_DIRECTION_DIRECTION_H_
+#define GPUTC_DIRECTION_DIRECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/directed_graph.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace gputc {
+
+/// Edge-directing strategies (Sections 1 and 4 of the paper).
+enum class DirectionStrategy {
+  /// Small id -> large id (the common baseline).
+  kIdBased,
+  /// Small degree -> large degree, ties by id ("D-direction").
+  kDegreeBased,
+  /// The paper's analytic-model-guided peeling algorithm ("A-direction",
+  /// Algorithm 1).
+  kADirection,
+  /// Random total order (ablation baseline).
+  kRandom,
+};
+
+/// Human-readable name ("ID-based", "D-direction", "A-direction", "random").
+std::string ToString(DirectionStrategy strategy);
+
+/// All strategies, for parameterized tests and benches.
+std::vector<DirectionStrategy> AllDirectionStrategies();
+
+/// Computes the vertex rank that realizes `strategy` on `g`: edge (u, v) is
+/// oriented u -> v iff rank[u] < rank[v] (ties impossible; ranks are a
+/// permutation). Rank-induced orientations are acyclic, so the correctness
+/// constraint of Section 4.1 (no directed 3-cycle) holds by construction.
+/// `seed` only affects kRandom.
+std::vector<VertexId> DirectionRank(const Graph& g, DirectionStrategy strategy,
+                                    uint64_t seed = 1);
+
+/// Convenience: orients `g` with `strategy`.
+DirectedGraph Orient(const Graph& g, DirectionStrategy strategy,
+                     uint64_t seed = 1);
+
+/// True if `g` contains no directed 3-cycle (the paper's correctness
+/// requirement). O(sum of out-degree^2); used by tests.
+bool HasNoDirectedTriangleCycle(const Graph& undirected,
+                                const DirectedGraph& directed);
+
+}  // namespace gputc
+
+#endif  // GPUTC_DIRECTION_DIRECTION_H_

@@ -1,0 +1,45 @@
+#include "graph/edge_list.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace gputc {
+
+void EdgeList::Add(VertexId u, VertexId v) {
+  edges_.push_back(Edge{u, v});
+  const VertexId hi = std::max(u, v);
+  if (hi >= num_vertices_) num_vertices_ = hi + 1;
+}
+
+void EdgeList::Normalize() {
+  size_t out = 0;
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    Edge e = edges_[i];
+    if (e.u == e.v) continue;  // Drop self loops.
+    if (e.u > e.v) std::swap(e.u, e.v);
+    edges_[out++] = e;
+  }
+  edges_.resize(out);
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+}
+
+bool EdgeList::IsNormalized() const {
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    const Edge& e = edges_[i];
+    if (e.u >= e.v) return false;
+    if (i > 0 && !(edges_[i - 1] < e)) return false;
+  }
+  return true;
+}
+
+void EdgeList::set_num_vertices(VertexId n) {
+  for (const Edge& e : edges_) {
+    GPUTC_CHECK_LT(std::max(e.u, e.v), n)
+        << "edge endpoint exceeds requested vertex count";
+  }
+  num_vertices_ = n;
+}
+
+}  // namespace gputc

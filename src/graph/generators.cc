@@ -1,0 +1,259 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace gputc {
+namespace {
+
+uint64_t EdgeKey(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Graph GenerateErdosRenyi(VertexId num_vertices, EdgeCount num_edges,
+                         uint64_t seed) {
+  GPUTC_CHECK_GE(num_vertices, 2u);
+  const EdgeCount max_edges = static_cast<EdgeCount>(num_vertices) *
+                              (static_cast<EdgeCount>(num_vertices) - 1) / 2;
+  GPUTC_CHECK_LE(num_edges, max_edges);
+  Rng rng(seed);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<size_t>(num_edges) * 2);
+  EdgeList list(num_vertices);
+  while (static_cast<EdgeCount>(seen.size()) < num_edges) {
+    const VertexId u = rng.NextU32(num_vertices);
+    const VertexId v = rng.NextU32(num_vertices);
+    if (u == v) continue;
+    if (seen.insert(EdgeKey(u, v)).second) list.Add(u, v);
+  }
+  list.set_num_vertices(num_vertices);
+  return Graph::FromEdgeList(std::move(list));
+}
+
+Graph GenerateBarabasiAlbert(VertexId num_vertices, int edges_per_vertex,
+                             uint64_t seed) {
+  GPUTC_CHECK_GE(edges_per_vertex, 1);
+  GPUTC_CHECK_GT(num_vertices, static_cast<VertexId>(edges_per_vertex));
+  Rng rng(seed);
+  EdgeList list(num_vertices);
+  // `targets` holds one entry per edge endpoint; sampling uniformly from it
+  // realizes preferential attachment.
+  std::vector<VertexId> targets;
+  const VertexId m = static_cast<VertexId>(edges_per_vertex);
+  // Seed clique over the first m+1 vertices.
+  for (VertexId u = 0; u <= m; ++u) {
+    for (VertexId v = u + 1; v <= m; ++v) {
+      list.Add(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  std::vector<VertexId> chosen;
+  for (VertexId v = m + 1; v < num_vertices; ++v) {
+    chosen.clear();
+    while (chosen.size() < m) {
+      const VertexId t =
+          targets[rng.NextBounded(static_cast<uint64_t>(targets.size()))];
+      if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+        chosen.push_back(t);
+      }
+    }
+    for (VertexId t : chosen) {
+      list.Add(v, t);
+      targets.push_back(v);
+      targets.push_back(t);
+    }
+  }
+  list.set_num_vertices(num_vertices);
+  return Graph::FromEdgeList(std::move(list));
+}
+
+Graph GenerateWattsStrogatz(VertexId num_vertices, int k, double beta,
+                            uint64_t seed) {
+  GPUTC_CHECK_GE(k, 2);
+  GPUTC_CHECK_EQ(k % 2, 0);
+  GPUTC_CHECK_GT(num_vertices, static_cast<VertexId>(k));
+  Rng rng(seed);
+  std::unordered_set<uint64_t> seen;
+  EdgeList list(num_vertices);
+  auto add_unique = [&](VertexId u, VertexId v) {
+    if (u == v) return false;
+    if (!seen.insert(EdgeKey(u, v)).second) return false;
+    list.Add(u, v);
+    return true;
+  };
+  for (VertexId u = 0; u < num_vertices; ++u) {
+    for (int j = 1; j <= k / 2; ++j) {
+      const VertexId v =
+          static_cast<VertexId>((u + static_cast<VertexId>(j)) % num_vertices);
+      if (rng.NextBernoulli(beta)) {
+        // Rewire: keep u, pick a fresh random endpoint; retry a few times
+        // before falling back to the lattice edge so degree stays ~k.
+        bool placed = false;
+        for (int attempt = 0; attempt < 8 && !placed; ++attempt) {
+          placed = add_unique(u, rng.NextU32(num_vertices));
+        }
+        if (!placed) add_unique(u, v);
+      } else {
+        add_unique(u, v);
+      }
+    }
+  }
+  list.set_num_vertices(num_vertices);
+  return Graph::FromEdgeList(std::move(list));
+}
+
+std::vector<EdgeCount> PowerLawDegreeSequence(VertexId num_vertices,
+                                              double gamma,
+                                              EdgeCount min_degree,
+                                              EdgeCount max_degree,
+                                              uint64_t seed) {
+  GPUTC_CHECK_GE(min_degree, 1);
+  GPUTC_CHECK_GE(max_degree, min_degree);
+  GPUTC_CHECK_GT(gamma, 1.0);
+  Rng rng(seed);
+  // Inverse-CDF sampling of P(d) ~ d^-gamma on [min_degree, max_degree] via
+  // the continuous Pareto approximation, then rounding down.
+  const double a = 1.0 - gamma;
+  const double lo = std::pow(static_cast<double>(min_degree), a);
+  const double hi = std::pow(static_cast<double>(max_degree) + 1.0, a);
+  std::vector<EdgeCount> degrees(num_vertices);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    const double u = rng.NextDouble();
+    const double d = std::pow(lo + u * (hi - lo), 1.0 / a);
+    degrees[v] = std::clamp(static_cast<EdgeCount>(d), min_degree, max_degree);
+  }
+  return degrees;
+}
+
+Graph GeneratePowerLawConfiguration(VertexId num_vertices, double gamma,
+                                    EdgeCount min_degree, EdgeCount max_degree,
+                                    uint64_t seed) {
+  std::vector<EdgeCount> degrees = PowerLawDegreeSequence(
+      num_vertices, gamma, min_degree, max_degree, seed);
+  // Build the stub list and match uniformly at random (configuration model).
+  std::vector<VertexId> stubs;
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    for (EdgeCount i = 0; i < degrees[v]; ++i) stubs.push_back(v);
+  }
+  if (stubs.size() % 2 == 1) stubs.pop_back();
+  Rng rng(seed ^ 0xD1CEull);
+  for (size_t i = stubs.size(); i > 1; --i) {
+    const size_t j = static_cast<size_t>(rng.NextBounded(i));
+    std::swap(stubs[i - 1], stubs[j]);
+  }
+  EdgeList list(num_vertices);
+  for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    list.Add(stubs[i], stubs[i + 1]);  // Normalize() drops loops/duplicates.
+  }
+  list.set_num_vertices(num_vertices);
+  return Graph::FromEdgeList(std::move(list));
+}
+
+Graph GenerateRmat(int scale, int edge_factor, uint64_t seed, double a,
+                   double b, double c) {
+  GPUTC_CHECK_GT(scale, 0);
+  GPUTC_CHECK_LT(scale, 31);
+  GPUTC_CHECK_GT(edge_factor, 0);
+  const double d = 1.0 - a - b - c;
+  GPUTC_CHECK_GT(d, 0.0);
+  const VertexId n = static_cast<VertexId>(1) << scale;
+  const EdgeCount m = static_cast<EdgeCount>(edge_factor) * n;
+  Rng rng(seed);
+  EdgeList list(n);
+  for (EdgeCount e = 0; e < m; ++e) {
+    VertexId u = 0, v = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      const double r = rng.NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // Top-left quadrant: both bits 0.
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    list.Add(u, v);
+  }
+  list.set_num_vertices(n);
+  return Graph::FromEdgeList(std::move(list));
+}
+
+Graph CompleteGraph(VertexId n) {
+  EdgeList list(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) list.Add(u, v);
+  }
+  list.set_num_vertices(n);
+  return Graph::FromEdgeList(std::move(list));
+}
+
+Graph CycleGraph(VertexId n) {
+  GPUTC_CHECK_GE(n, 3u);
+  EdgeList list(n);
+  for (VertexId u = 0; u < n; ++u) list.Add(u, (u + 1) % n);
+  return Graph::FromEdgeList(std::move(list));
+}
+
+Graph StarGraph(VertexId n) {
+  GPUTC_CHECK_GE(n, 2u);
+  EdgeList list(n);
+  for (VertexId v = 1; v < n; ++v) list.Add(0, v);
+  return Graph::FromEdgeList(std::move(list));
+}
+
+Graph PathGraph(VertexId n) {
+  GPUTC_CHECK_GE(n, 2u);
+  EdgeList list(n);
+  for (VertexId v = 0; v + 1 < n; ++v) list.Add(v, v + 1);
+  return Graph::FromEdgeList(std::move(list));
+}
+
+Graph GridGraph(VertexId rows, VertexId cols) {
+  GPUTC_CHECK_GE(rows, 1u);
+  GPUTC_CHECK_GE(cols, 1u);
+  EdgeList list(rows * cols);
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) list.Add(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) list.Add(id(r, c), id(r + 1, c));
+    }
+  }
+  list.set_num_vertices(rows * cols);
+  return Graph::FromEdgeList(std::move(list));
+}
+
+Graph WheelGraph(VertexId n) {
+  GPUTC_CHECK_GE(n, 4u);
+  EdgeList list(n);
+  for (VertexId v = 1; v < n; ++v) {
+    list.Add(0, v);
+    list.Add(v, v + 1 == n ? 1 : v + 1);
+  }
+  return Graph::FromEdgeList(std::move(list));
+}
+
+Graph CompleteBipartiteGraph(VertexId a, VertexId b) {
+  GPUTC_CHECK_GE(a, 1u);
+  GPUTC_CHECK_GE(b, 1u);
+  EdgeList list(a + b);
+  for (VertexId u = 0; u < a; ++u) {
+    for (VertexId v = 0; v < b; ++v) list.Add(u, a + v);
+  }
+  return Graph::FromEdgeList(std::move(list));
+}
+
+}  // namespace gputc

@@ -1,0 +1,78 @@
+#ifndef GPUTC_GRAPH_GENERATORS_H_
+#define GPUTC_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace gputc {
+
+// Random graph families. All generators are deterministic given the seed and
+// return simple graphs (self loops / duplicate edges removed, which can make
+// the realized edge count slightly below the request for dense parameters).
+
+/// G(n, m): `num_edges` distinct uniform edges over `num_vertices` vertices.
+Graph GenerateErdosRenyi(VertexId num_vertices, EdgeCount num_edges,
+                         uint64_t seed);
+
+/// Preferential attachment: each new vertex attaches to `edges_per_vertex`
+/// existing vertices chosen proportionally to degree. Produces a power-law
+/// tail with exponent about 3.
+Graph GenerateBarabasiAlbert(VertexId num_vertices, int edges_per_vertex,
+                             uint64_t seed);
+
+/// Watts–Strogatz small world: ring lattice of even degree `k`, each edge
+/// rewired with probability `beta`. High clustering, near-uniform degrees —
+/// the stand-in for road-network-like graphs.
+Graph GenerateWattsStrogatz(VertexId num_vertices, int k, double beta,
+                            uint64_t seed);
+
+/// Configuration-model power law (the paper's ACL model, Eq. 18): degree d
+/// has probability proportional to d^-gamma on [min_degree, max_degree];
+/// stubs are matched uniformly at random and collisions dropped.
+Graph GeneratePowerLawConfiguration(VertexId num_vertices, double gamma,
+                                    EdgeCount min_degree, EdgeCount max_degree,
+                                    uint64_t seed);
+
+/// R-MAT / Kronecker (graph500 defaults a=0.57, b=c=0.19): 2^scale vertices,
+/// edge_factor * 2^scale sampled edges. The stand-in for the kron-log*
+/// datasets.
+Graph GenerateRmat(int scale, int edge_factor, uint64_t seed,
+                   double a = 0.57, double b = 0.19, double c = 0.19);
+
+/// Samples a power-law degree sequence (exposed for tests and the Figure 7
+/// approximation-ratio sweep).
+std::vector<EdgeCount> PowerLawDegreeSequence(VertexId num_vertices,
+                                              double gamma,
+                                              EdgeCount min_degree,
+                                              EdgeCount max_degree,
+                                              uint64_t seed);
+
+// Deterministic fixtures with known triangle counts, used heavily in tests.
+
+/// K_n: C(n,3) triangles.
+Graph CompleteGraph(VertexId n);
+
+/// Simple cycle: no triangles for n >= 4; 1 for n == 3.
+Graph CycleGraph(VertexId n);
+
+/// Star K_{1,n-1}: hub 0, no triangles.
+Graph StarGraph(VertexId n);
+
+/// Path: no triangles.
+Graph PathGraph(VertexId n);
+
+/// rows x cols grid: no triangles.
+Graph GridGraph(VertexId rows, VertexId cols);
+
+/// Wheel: hub 0 plus an (n-1)-cycle; n-1 triangles for n >= 4.
+Graph WheelGraph(VertexId n);
+
+/// Complete bipartite K_{a,b}: no triangles.
+Graph CompleteBipartiteGraph(VertexId a, VertexId b);
+
+}  // namespace gputc
+
+#endif  // GPUTC_GRAPH_GENERATORS_H_

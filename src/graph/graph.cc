@@ -1,0 +1,68 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace gputc {
+
+Graph Graph::FromEdgeList(EdgeList edges) {
+  edges.Normalize();
+  Graph g;
+  const VertexId n = edges.num_vertices();
+  g.num_edges_ = edges.num_edges();
+  g.offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  for (const Edge& e : edges.edges()) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.adj_.resize(static_cast<size_t>(2) * static_cast<size_t>(g.num_edges_));
+  std::vector<EdgeCount> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges.edges()) {
+    g.adj_[static_cast<size_t>(cursor[e.u]++)] = e.v;
+    g.adj_[static_cast<size_t>(cursor[e.v]++)] = e.u;
+  }
+  // Normalized input is sorted by (u, v), so each u's neighbors > u arrive in
+  // order, but neighbors < u (inserted while scanning their own rows) also
+  // arrive in order; the two runs interleave, so sort each list once.
+  for (VertexId v = 0; v < n; ++v) {
+    std::sort(g.adj_.begin() + g.offsets_[v], g.adj_.begin() + g.offsets_[v + 1]);
+  }
+  return g;
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  if (u >= num_vertices() || v >= num_vertices()) return false;
+  if (degree(u) > degree(v)) std::swap(u, v);
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+double Graph::AverageDegree() const {
+  if (num_vertices() == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_edges_) /
+         static_cast<double>(num_vertices());
+}
+
+EdgeCount Graph::MaxDegree() const {
+  EdgeCount max_d = 0;
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    max_d = std::max(max_d, degree(v));
+  }
+  return max_d;
+}
+
+EdgeList Graph::ToEdgeList() const {
+  EdgeList list(num_vertices());
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    for (VertexId v : neighbors(u)) {
+      if (u < v) list.Add(u, v);
+    }
+  }
+  return list;
+}
+
+}  // namespace gputc

@@ -1,0 +1,114 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <sstream>
+
+#include "util/table.h"
+
+namespace gputc {
+
+std::vector<int64_t> ConnectedComponents(const Graph& g,
+                                         std::vector<int64_t>* sizes) {
+  const VertexId n = g.num_vertices();
+  std::vector<int64_t> component(n, -1);
+  if (sizes != nullptr) sizes->clear();
+  int64_t next_id = 0;
+  std::deque<VertexId> queue;
+  for (VertexId root = 0; root < n; ++root) {
+    if (component[root] >= 0) continue;
+    int64_t size = 0;
+    component[root] = next_id;
+    queue.push_back(root);
+    while (!queue.empty()) {
+      const VertexId u = queue.front();
+      queue.pop_front();
+      ++size;
+      for (VertexId v : g.neighbors(u)) {
+        if (component[v] < 0) {
+          component[v] = next_id;
+          queue.push_back(v);
+        }
+      }
+    }
+    if (sizes != nullptr) sizes->push_back(size);
+    ++next_id;
+  }
+  return component;
+}
+
+GraphStats ComputeGraphStats(const Graph& g) {
+  GraphStats stats;
+  stats.num_vertices = g.num_vertices();
+  stats.num_edges = g.num_edges();
+  stats.average_degree = g.AverageDegree();
+  if (g.num_vertices() == 0) return stats;
+
+  std::vector<EdgeCount> degrees(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    degrees[v] = g.degree(v);
+    if (degrees[v] == 0) ++stats.isolated_vertices;
+  }
+  std::sort(degrees.begin(), degrees.end());
+  stats.max_degree = degrees.back();
+  stats.median_degree = degrees[degrees.size() / 2];
+  stats.p99_degree =
+      degrees[std::min(degrees.size() - 1,
+                       static_cast<size_t>(0.99 * degrees.size()))];
+
+  // Gini of the sorted degree sequence: G = (2 * sum i*d_i) / (n * sum d)
+  // - (n + 1) / n, with 1-based ranks over ascending degrees.
+  double weighted = 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < degrees.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * static_cast<double>(degrees[i]);
+    total += static_cast<double>(degrees[i]);
+  }
+  const double n = static_cast<double>(degrees.size());
+  if (total > 0.0) {
+    stats.degree_gini = 2.0 * weighted / (n * total) - (n + 1.0) / n;
+  }
+
+  // Continuous MLE for the power-law tail: gamma = 1 + k / sum ln(d / dmin)
+  // over degrees >= dmin (Clauset, Shalizi & Newman).
+  const double dmin = static_cast<double>(stats.gamma_dmin);
+  double log_sum = 0.0;
+  int64_t tail = 0;
+  for (EdgeCount d : degrees) {
+    if (d >= stats.gamma_dmin) {
+      log_sum += std::log(static_cast<double>(d) / (dmin - 0.5));
+      ++tail;
+    }
+  }
+  if (tail >= 10 && log_sum > 0.0) {
+    stats.gamma_estimate = 1.0 + static_cast<double>(tail) / log_sum;
+  }
+
+  std::vector<int64_t> sizes;
+  ConnectedComponents(g, &sizes);
+  stats.num_components = static_cast<int64_t>(sizes.size());
+  for (int64_t s : sizes) {
+    stats.largest_component = std::max(stats.largest_component, s);
+  }
+  return stats;
+}
+
+std::string FormatGraphStats(const GraphStats& stats) {
+  std::ostringstream out;
+  out << "vertices:        " << FmtCount(stats.num_vertices) << "\n"
+      << "edges:           " << FmtCount(stats.num_edges) << "\n"
+      << "avg degree:      " << Fmt(stats.average_degree, 2) << "\n"
+      << "degree max/p99/median: " << FmtCount(stats.max_degree) << " / "
+      << FmtCount(stats.p99_degree) << " / " << FmtCount(stats.median_degree)
+      << "\n"
+      << "degree gini:     " << Fmt(stats.degree_gini, 3) << "\n"
+      << "gamma (MLE, d>=" << stats.gamma_dmin
+      << "): " << Fmt(stats.gamma_estimate, 2) << "\n"
+      << "components:      " << FmtCount(stats.num_components)
+      << " (largest " << FmtCount(stats.largest_component) << ", isolated "
+      << FmtCount(stats.isolated_vertices) << ")\n";
+  return out.str();
+}
+
+}  // namespace gputc

@@ -1,0 +1,46 @@
+#ifndef GPUTC_GRAPH_GRAPH_STATS_H_
+#define GPUTC_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gputc {
+
+/// Structural summary of a graph — the quantities that determine how much
+/// the paper's preprocessing can help (degree skew drives Eq. 1; the
+/// short/long list mix drives Eq. 3).
+struct GraphStats {
+  VertexId num_vertices = 0;
+  EdgeCount num_edges = 0;
+  double average_degree = 0.0;  // 2|E| / |V|.
+  EdgeCount max_degree = 0;
+  EdgeCount median_degree = 0;
+  EdgeCount p99_degree = 0;
+  /// Gini coefficient of the degree distribution in [0, 1); 0 = uniform.
+  double degree_gini = 0.0;
+  /// Continuous MLE estimate of the power-law exponent gamma for degrees
+  /// >= gamma_dmin (Clauset et al.); 0 when too few tail samples.
+  double gamma_estimate = 0.0;
+  EdgeCount gamma_dmin = 2;
+  int64_t num_components = 0;
+  int64_t largest_component = 0;
+  int64_t isolated_vertices = 0;
+};
+
+/// Computes the full summary. O(|V| + |E| + |V| log |V|).
+GraphStats ComputeGraphStats(const Graph& g);
+
+/// Connected components by BFS; returns each vertex's component id (dense,
+/// by discovery order) and fills `sizes` (optional) with component sizes.
+std::vector<int64_t> ConnectedComponents(const Graph& g,
+                                         std::vector<int64_t>* sizes = nullptr);
+
+/// Multi-line human-readable rendering of the summary.
+std::string FormatGraphStats(const GraphStats& stats);
+
+}  // namespace gputc
+
+#endif  // GPUTC_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,39 @@
+#ifndef GPUTC_GRAPH_IO_H_
+#define GPUTC_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace gputc {
+
+// SNAP-style text format: '#' comment lines, then one "u<ws>v" pair per
+// line. Vertex ids are remapped to a dense [0, n) range in first-seen order,
+// matching how the paper's datasets are consumed.
+
+/// Parses a SNAP edge-list stream. Returns std::nullopt on malformed input.
+std::optional<Graph> ReadSnapText(std::istream& in);
+
+/// Loads a SNAP edge-list file. Returns std::nullopt if the file cannot be
+/// opened or parsed.
+std::optional<Graph> LoadSnapText(const std::string& path);
+
+/// Writes a graph in SNAP text format (one undirected edge per line, u < v).
+void WriteSnapText(const Graph& g, std::ostream& out);
+bool SaveSnapText(const Graph& g, const std::string& path);
+
+// Binary format: little-endian header {magic, n, m} followed by the CSR
+// offsets and adjacency. Round-trips exactly and loads in O(bytes).
+
+/// Saves in the native binary format. Returns false on I/O error.
+bool SaveBinary(const Graph& g, const std::string& path);
+
+/// Loads the native binary format. Returns std::nullopt on error or if the
+/// file is not a gputc binary graph.
+std::optional<Graph> LoadBinary(const std::string& path);
+
+}  // namespace gputc
+
+#endif  // GPUTC_GRAPH_IO_H_

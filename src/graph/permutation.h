@@ -1,0 +1,42 @@
+#ifndef GPUTC_GRAPH_PERMUTATION_H_
+#define GPUTC_GRAPH_PERMUTATION_H_
+
+#include <vector>
+
+#include "graph/directed_graph.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace gputc {
+
+/// A permutation maps old vertex id -> new vertex id. perm[old] == new.
+/// Orderings in src/order produce permutations; applying one relabels the
+/// graph so that a GPU block's work set (consecutive new ids) is the bucket
+/// the ordering intended.
+using Permutation = std::vector<VertexId>;
+
+/// True if `perm` is a bijection on [0, perm.size()).
+bool IsPermutation(const Permutation& perm);
+
+/// Identity permutation of size n.
+Permutation IdentityPermutation(VertexId n);
+
+/// Inverse permutation: Inverse(p)[p[v]] == v.
+Permutation InversePermutation(const Permutation& perm);
+
+/// Composition: result[v] = outer[inner[v]] (apply `inner`, then `outer`).
+Permutation Compose(const Permutation& outer, const Permutation& inner);
+
+/// Relabels an undirected graph: vertex v becomes perm[v].
+Graph ApplyPermutation(const Graph& g, const Permutation& perm);
+
+/// Relabels a directed graph, preserving every arc's orientation.
+DirectedGraph ApplyPermutation(const DirectedGraph& g, const Permutation& perm);
+
+/// Builds the permutation that assigns consecutive new ids following
+/// `order_of_vertices` (a sequence of old ids; position i gets new id i).
+Permutation PermutationFromSequence(const std::vector<VertexId>& order);
+
+}  // namespace gputc
+
+#endif  // GPUTC_GRAPH_PERMUTATION_H_

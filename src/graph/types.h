@@ -1,0 +1,26 @@
+#ifndef GPUTC_GRAPH_TYPES_H_
+#define GPUTC_GRAPH_TYPES_H_
+
+#include <cstdint>
+
+namespace gputc {
+
+/// Vertex identifier. All graphs use dense ids in [0, num_vertices).
+using VertexId = uint32_t;
+
+/// Edge counter / CSR offset type. Signed 64-bit so that arithmetic on edge
+/// counts never wraps.
+using EdgeCount = int64_t;
+
+/// An undirected edge. Normalized edges satisfy u < v.
+struct Edge {
+  VertexId u = 0;
+  VertexId v = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+}  // namespace gputc
+
+#endif  // GPUTC_GRAPH_TYPES_H_

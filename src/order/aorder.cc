@@ -1,0 +1,145 @@
+#include "order/aorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace gputc {
+namespace {
+
+struct HeapEntry {
+  double mem_sup;
+  int bucket;
+};
+
+struct MinFirst {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    return a.mem_sup != b.mem_sup ? a.mem_sup > b.mem_sup
+                                  : a.bucket > b.bucket;
+  }
+};
+
+struct MaxFirst {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    return a.mem_sup != b.mem_sup ? a.mem_sup < b.mem_sup
+                                  : a.bucket > b.bucket;
+  }
+};
+
+}  // namespace
+
+AOrderResult AOrder(const std::vector<EdgeCount>& out_degrees,
+                    const ResourceModel& model,
+                    const AOrderOptions& options) {
+  GPUTC_CHECK_GT(options.bucket_size, 0);
+  const size_t n = out_degrees.size();
+  AOrderResult result;
+  result.perm.assign(n, 0);
+  if (n == 0) return result;
+
+  const size_t bucket_size = static_cast<size_t>(options.bucket_size);
+  const size_t num_buckets = (n + bucket_size - 1) / bucket_size;
+
+  // Partition vertices by the sign of their memory superiority (Lines 3-4).
+  std::vector<VertexId> mem_dominated;
+  std::vector<VertexId> comp_dominated;
+  std::vector<double> superiority(n);
+  for (VertexId v = 0; v < n; ++v) {
+    superiority[v] = model.MemorySuperiority(out_degrees[v]);
+    (superiority[v] > 0.0 ? mem_dominated : comp_dominated).push_back(v);
+  }
+  result.num_memory_dominated = static_cast<int64_t>(mem_dominated.size());
+  result.num_compute_dominated = static_cast<int64_t>(comp_dominated.size());
+  // Largest contributions first so they land while all buckets still have
+  // room.
+  auto by_abs_desc = [&superiority](VertexId a, VertexId b) {
+    const double sa = std::abs(superiority[a]);
+    const double sb = std::abs(superiority[b]);
+    return sa != sb ? sa > sb : a < b;
+  };
+  std::sort(mem_dominated.begin(), mem_dominated.end(), by_abs_desc);
+  std::sort(comp_dominated.begin(), comp_dominated.end(), by_abs_desc);
+
+  std::vector<std::vector<VertexId>> buckets(num_buckets);
+  std::vector<double> bucket_sup(num_buckets, 0.0);
+
+  // Phase 1 (Lines 5-9): memory-dominated vertices into the bucket with the
+  // least accumulated memory superiority.
+  {
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, MinFirst> heap;
+    for (size_t b = 0; b < num_buckets; ++b) {
+      heap.push(HeapEntry{0.0, static_cast<int>(b)});
+    }
+    for (VertexId v : mem_dominated) {
+      HeapEntry top = heap.top();
+      heap.pop();
+      auto& bucket = buckets[static_cast<size_t>(top.bucket)];
+      bucket.push_back(v);
+      bucket_sup[static_cast<size_t>(top.bucket)] += superiority[v];
+      if (bucket.size() < bucket_size) {
+        heap.push(
+            HeapEntry{bucket_sup[static_cast<size_t>(top.bucket)], top.bucket});
+      }
+    }
+  }
+
+  // Phase 2 (Lines 10-15): compute-dominated vertices into the bucket with
+  // the largest accumulated memory superiority.
+  {
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, MaxFirst> heap;
+    for (size_t b = 0; b < num_buckets; ++b) {
+      if (buckets[b].size() < bucket_size) {
+        heap.push(HeapEntry{bucket_sup[b], static_cast<int>(b)});
+      }
+    }
+    for (VertexId v : comp_dominated) {
+      GPUTC_CHECK(!heap.empty());
+      HeapEntry top = heap.top();
+      heap.pop();
+      auto& bucket = buckets[static_cast<size_t>(top.bucket)];
+      bucket.push_back(v);
+      bucket_sup[static_cast<size_t>(top.bucket)] += superiority[v];
+      if (bucket.size() < bucket_size) {
+        heap.push(
+            HeapEntry{bucket_sup[static_cast<size_t>(top.bucket)], top.bucket});
+      }
+    }
+  }
+
+  // Lines 16-20: consecutive ids within each bucket.
+  std::vector<VertexId> sequence;
+  sequence.reserve(n);
+  for (const auto& bucket : buckets) {
+    sequence.insert(sequence.end(), bucket.begin(), bucket.end());
+  }
+  GPUTC_CHECK_EQ(sequence.size(), n);
+  // Degree-sort each aligned id chunk (the positions one block will fetch):
+  // chunk membership — and therefore the Eq. 3 objective — is untouched;
+  // the sort only makes lock-step warps inside a block as uniform as
+  // possible so the balanced mix does not reappear as SIMT divergence.
+  if (options.sort_within_bucket) {
+    for (size_t chunk = 0; chunk < sequence.size(); chunk += bucket_size) {
+      const auto begin =
+          sequence.begin() + static_cast<ptrdiff_t>(chunk);
+      const auto end =
+          sequence.begin() +
+          static_cast<ptrdiff_t>(std::min(sequence.size(), chunk + bucket_size));
+      std::sort(begin, end, [&out_degrees](VertexId a, VertexId b) {
+        return out_degrees[a] != out_degrees[b]
+                   ? out_degrees[a] > out_degrees[b]
+                   : a < b;
+      });
+    }
+  }
+  for (VertexId position = 0; position < n; ++position) {
+    result.perm[sequence[position]] = position;
+  }
+
+  result.imbalance_cost = OrderingImbalanceCost(
+      out_degrees, result.perm, options.bucket_size, model);
+  return result;
+}
+
+}  // namespace gputc

@@ -1,0 +1,385 @@
+#include "order/classic_orders.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <queue>
+#include <tuple>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace gputc {
+namespace {
+
+/// BFS over the subset marked `in_part`, starting at `start`; returns the
+/// visit order (only vertices with in_part true are traversed).
+std::vector<VertexId> BfsWithin(const Graph& g, VertexId start,
+                                const std::vector<bool>& in_part,
+                                std::vector<bool>* visited_scratch) {
+  std::vector<bool>& visited = *visited_scratch;
+  std::vector<VertexId> order;
+  std::deque<VertexId> queue;
+  queue.push_back(start);
+  visited[start] = true;
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    order.push_back(u);
+    for (VertexId v : g.neighbors(u)) {
+      if (in_part[v] && !visited[v]) {
+        visited[v] = true;
+        queue.push_back(v);
+      }
+    }
+  }
+  for (VertexId v : order) visited[v] = false;  // Reset scratch.
+  return order;
+}
+
+/// Recursive bisection used by BfsROrder. Appends the final order of the
+/// vertices in `part` (all marked true in `in_part`) to `out`. `scratch` is
+/// a shared n-sized buffer reused across the recursion so per-call work is
+/// proportional to |part|, not |V|.
+void BfsRRecurse(const Graph& g, std::vector<VertexId> part,
+                 std::vector<bool>* in_part, std::vector<bool>* visited,
+                 std::vector<bool>* scratch, std::vector<VertexId>* out) {
+  constexpr size_t kLeafSize = 32;
+  if (part.size() <= kLeafSize) {
+    for (VertexId v : part) {
+      (*in_part)[v] = false;
+      out->push_back(v);
+    }
+    return;
+  }
+  // Pseudo-peripheral start: BFS from the first vertex, restart from the
+  // vertex discovered last (largest depth).
+  std::vector<VertexId> first_pass = BfsWithin(g, part[0], *in_part, visited);
+  // A disconnected part would bisect one component at a time and recurse
+  // |components| deep; instead, peel the first component off in one step.
+  if (first_pass.size() < part.size() / 2) {
+    std::vector<bool>& in_a = *scratch;
+    for (VertexId v : first_pass) in_a[v] = true;
+    std::vector<VertexId> side_b;
+    side_b.reserve(part.size() - first_pass.size());
+    for (VertexId v : part) {
+      if (!in_a[v]) side_b.push_back(v);
+    }
+    for (VertexId v : first_pass) {
+      in_a[v] = false;
+      (*in_part)[v] = false;
+    }
+    BfsRRecurse(g, std::move(first_pass), in_part, visited, scratch, out);
+    for (VertexId v : side_b) (*in_part)[v] = true;
+    BfsRRecurse(g, std::move(side_b), in_part, visited, scratch, out);
+    return;
+  }
+  const VertexId far = first_pass.back();
+  std::vector<VertexId> second_pass = BfsWithin(g, far, *in_part, visited);
+
+  // Visit from `far` until half of the part is covered. Disconnected
+  // remainders are swept into the B side.
+  const size_t half = part.size() / 2;
+  std::vector<VertexId> side_a(second_pass.begin(),
+                               second_pass.begin() +
+                                   static_cast<ptrdiff_t>(std::min(
+                                       half, second_pass.size())));
+  std::vector<bool>& in_a = *scratch;
+  for (VertexId v : side_a) in_a[v] = true;
+  std::vector<VertexId> side_b;
+  for (VertexId v : part) {
+    if (!in_a[v]) side_b.push_back(v);
+  }
+  for (VertexId v : side_a) in_a[v] = false;  // Reset scratch.
+  if (side_a.empty() || side_b.empty()) {
+    // Degenerate split (tiny connected core); emit as a leaf.
+    for (VertexId v : part) {
+      (*in_part)[v] = false;
+      out->push_back(v);
+    }
+    return;
+  }
+  // Recurse on A with B masked out, then on B.
+  for (VertexId v : side_b) (*in_part)[v] = false;
+  BfsRRecurse(g, std::move(side_a), in_part, visited, scratch, out);
+  for (VertexId v : side_b) (*in_part)[v] = true;
+  BfsRRecurse(g, std::move(side_b), in_part, visited, scratch, out);
+}
+
+}  // namespace
+
+Permutation DegreeOrder(const Graph& g) {
+  std::vector<VertexId> order(g.num_vertices());
+  std::iota(order.begin(), order.end(), VertexId{0});
+  std::sort(order.begin(), order.end(), [&g](VertexId a, VertexId b) {
+    return g.degree(a) != g.degree(b) ? g.degree(a) > g.degree(b) : a < b;
+  });
+  return PermutationFromSequence(order);
+}
+
+Permutation DfsOrder(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> order;
+  order.reserve(n);
+  std::vector<bool> visited(n, false);
+  std::vector<VertexId> stack;
+  for (VertexId root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    stack.push_back(root);
+    visited[root] = true;
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      order.push_back(u);
+      const auto nbrs = g.neighbors(u);
+      // Push in reverse so the smallest neighbor is discovered first.
+      for (size_t i = nbrs.size(); i > 0; --i) {
+        const VertexId v = nbrs[i - 1];
+        if (!visited[v]) {
+          visited[v] = true;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return PermutationFromSequence(order);
+}
+
+Permutation BfsROrder(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> out;
+  out.reserve(n);
+  std::vector<bool> in_part(n, false);
+  std::vector<bool> visited(n, false);
+  std::vector<bool> assigned(n, false);
+  std::vector<bool> scratch(n, false);
+  const std::vector<bool> all(n, true);
+  // Process one connected component at a time.
+  for (VertexId root = 0; root < n; ++root) {
+    if (assigned[root]) continue;
+    std::vector<VertexId> component = BfsWithin(g, root, all, &visited);
+    std::vector<VertexId> pending;
+    for (VertexId v : component) {
+      if (!assigned[v]) {
+        pending.push_back(v);
+        in_part[v] = true;
+        assigned[v] = true;
+      }
+    }
+    BfsRRecurse(g, std::move(pending), &in_part, &visited, &scratch, &out);
+  }
+  GPUTC_CHECK_EQ(out.size(), static_cast<size_t>(n));
+  return PermutationFromSequence(out);
+}
+
+Permutation SlashBurnOrder(const Graph& g, double hub_fraction) {
+  const VertexId n = g.num_vertices();
+  const VertexId k = std::max<VertexId>(
+      1, static_cast<VertexId>(hub_fraction * static_cast<double>(n)));
+  std::vector<VertexId> front;   // Hubs, in removal order (lowest ids).
+  std::vector<VertexId> back;    // Spokes, appended per round (highest ids).
+  std::vector<bool> removed(n, false);
+  std::vector<EdgeCount> degree(n);
+  for (VertexId v = 0; v < n; ++v) degree[v] = g.degree(v);
+  VertexId alive = n;
+
+  std::vector<int64_t> component_id(n, -1);
+  while (alive > 0) {
+    // 1. Remove the k highest-degree alive vertices (hubs).
+    std::vector<VertexId> alive_list;
+    alive_list.reserve(alive);
+    for (VertexId v = 0; v < n; ++v) {
+      if (!removed[v]) alive_list.push_back(v);
+    }
+    const VertexId take = std::min<VertexId>(k, alive);
+    std::partial_sort(alive_list.begin(), alive_list.begin() + take,
+                      alive_list.end(), [&degree](VertexId a, VertexId b) {
+                        return degree[a] != degree[b] ? degree[a] > degree[b]
+                                                      : a < b;
+                      });
+    for (VertexId i = 0; i < take; ++i) {
+      const VertexId hub = alive_list[i];
+      removed[hub] = true;
+      --alive;
+      front.push_back(hub);
+      for (VertexId nbr : g.neighbors(hub)) {
+        if (!removed[nbr]) --degree[nbr];
+      }
+    }
+    if (alive == 0) break;
+
+    // 2. Connected components of the remainder; keep the giant one, push the
+    // rest to the back (larger components first, as SlashBurn prescribes).
+    std::fill(component_id.begin(), component_id.end(), -1);
+    std::vector<std::vector<VertexId>> components;
+    for (VertexId v = 0; v < n; ++v) {
+      if (removed[v] || component_id[v] >= 0) continue;
+      components.emplace_back();
+      std::deque<VertexId> queue{v};
+      component_id[v] = static_cast<int64_t>(components.size()) - 1;
+      while (!queue.empty()) {
+        const VertexId u = queue.front();
+        queue.pop_front();
+        components.back().push_back(u);
+        for (VertexId w : g.neighbors(u)) {
+          if (!removed[w] && component_id[w] < 0) {
+            component_id[w] = component_id[u];
+            queue.push_back(w);
+          }
+        }
+      }
+    }
+    size_t giant = 0;
+    for (size_t c = 1; c < components.size(); ++c) {
+      if (components[c].size() > components[giant].size()) giant = c;
+    }
+    std::vector<size_t> spoke_components;
+    for (size_t c = 0; c < components.size(); ++c) {
+      if (c != giant) spoke_components.push_back(c);
+    }
+    std::sort(spoke_components.begin(), spoke_components.end(),
+              [&components](size_t a, size_t b) {
+                return components[a].size() != components[b].size()
+                           ? components[a].size() > components[b].size()
+                           : a < b;
+              });
+    for (size_t c : spoke_components) {
+      for (VertexId v : components[c]) {
+        removed[v] = true;
+        --alive;
+        back.push_back(v);
+        for (VertexId nbr : g.neighbors(v)) {
+          if (!removed[nbr]) --degree[nbr];
+        }
+      }
+    }
+    // 3. Iterate on the giant component (still alive).
+  }
+
+  std::vector<VertexId> order = std::move(front);
+  order.insert(order.end(), back.rbegin(), back.rend());
+  GPUTC_CHECK_EQ(order.size(), static_cast<size_t>(n));
+  return PermutationFromSequence(order);
+}
+
+Permutation GroOrder(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> order;
+  order.reserve(n);
+  std::vector<bool> placed(n, false);
+  std::vector<EdgeCount> placed_neighbors(n, 0);
+  // Lazy max-heap keyed by (#placed neighbors, degree): place next the
+  // vertex whose adjacency overlaps the already-placed region the most.
+  using Entry = std::tuple<EdgeCount, EdgeCount, VertexId>;
+  std::priority_queue<Entry> heap;
+  auto push = [&](VertexId v) {
+    heap.push(Entry{placed_neighbors[v], g.degree(v), v});
+  };
+  for (VertexId seed = 0; seed < n; ++seed) {
+    if (placed[seed]) continue;
+    // Start each component from its highest-degree vertex.
+    push(seed);
+    while (!heap.empty()) {
+      const auto [score, deg, v] = heap.top();
+      heap.pop();
+      if (placed[v] || score != placed_neighbors[v]) continue;  // Stale.
+      placed[v] = true;
+      order.push_back(v);
+      for (VertexId nbr : g.neighbors(v)) {
+        if (!placed[nbr]) {
+          ++placed_neighbors[nbr];
+          push(nbr);
+        }
+      }
+    }
+  }
+  GPUTC_CHECK_EQ(order.size(), static_cast<size_t>(n));
+  return PermutationFromSequence(order);
+}
+
+Permutation BfsOrder(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> order;
+  order.reserve(n);
+  std::vector<bool> visited(n, false);
+  std::deque<VertexId> queue;
+  for (VertexId root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    visited[root] = true;
+    queue.push_back(root);
+    while (!queue.empty()) {
+      const VertexId u = queue.front();
+      queue.pop_front();
+      order.push_back(u);
+      for (VertexId v : g.neighbors(u)) {
+        if (!visited[v]) {
+          visited[v] = true;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return PermutationFromSequence(order);
+}
+
+Permutation RcmOrder(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> order;
+  order.reserve(n);
+  std::vector<bool> visited(n, false);
+  std::vector<VertexId> nbrs_by_degree;
+  const std::vector<bool> all(n, true);
+  std::vector<bool> scratch(n, false);
+  for (VertexId seed = 0; seed < n; ++seed) {
+    if (visited[seed]) continue;
+    // Pseudo-peripheral start: last vertex of a BFS from the component's
+    // first vertex.
+    std::vector<VertexId> pass = BfsWithin(g, seed, all, &scratch);
+    VertexId start = pass.back();
+    // Keep only vertices of this (unvisited) component.
+    std::deque<VertexId> queue;
+    visited[start] = true;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      const VertexId u = queue.front();
+      queue.pop_front();
+      order.push_back(u);
+      nbrs_by_degree.assign(g.neighbors(u).begin(), g.neighbors(u).end());
+      std::sort(nbrs_by_degree.begin(), nbrs_by_degree.end(),
+                [&g](VertexId a, VertexId b) {
+                  return g.degree(a) != g.degree(b)
+                             ? g.degree(a) < g.degree(b)
+                             : a < b;
+                });
+      for (VertexId v : nbrs_by_degree) {
+        if (!visited[v]) {
+          visited[v] = true;
+          queue.push_back(v);
+        }
+      }
+    }
+    // Sweep stragglers the peripheral BFS may have missed (vertices of the
+    // component already claimed by `seed`'s membership but not reached from
+    // `start` cannot exist in an undirected graph; this loop is for safety
+    // with isolated vertices).
+    if (!visited[seed]) {
+      visited[seed] = true;
+      order.push_back(seed);
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  GPUTC_CHECK_EQ(order.size(), static_cast<size_t>(n));
+  return PermutationFromSequence(order);
+}
+
+Permutation RandomOrder(VertexId n, uint64_t seed) {
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  Rng rng(seed);
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.NextBounded(i)]);
+  }
+  return PermutationFromSequence(order);
+}
+
+}  // namespace gputc

@@ -1,0 +1,53 @@
+#ifndef GPUTC_ORDER_CLASSIC_ORDERS_H_
+#define GPUTC_ORDER_CLASSIC_ORDERS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "graph/permutation.h"
+
+namespace gputc {
+
+// Reimplementations of the reordering baselines the paper compares A-order
+// against in Tables 5 and 6. All return old-id -> new-id permutations.
+
+/// Degree-descending order ("D-order"): vertices sorted by degree, largest
+/// first, ties by id. The paper's negative baseline — it groups equal-degree
+/// vertices (same resource preference) into the same block.
+Permutation DegreeOrder(const Graph& g);
+
+/// DFS discovery order [Shun 2017]; restarts from the smallest unvisited id.
+Permutation DfsOrder(const Graph& g);
+
+/// BFS-R [Blandford, Blelloch, Kash 2003]: recursively bisect the graph by
+/// BFS from a pseudo-peripheral vertex until half the part is visited;
+/// leaves of the separator tree give the order.
+Permutation BfsROrder(const Graph& g);
+
+/// SlashBurn [Lim, Kang, Faloutsos 2014]: iteratively remove the k highest
+/// degree hubs (assigned the lowest ids, in removal order), push non-giant
+/// component vertices to the highest ids, and recurse on the giant connected
+/// component. `hub_fraction` is k/|V| per iteration (paper default 0.5%).
+Permutation SlashBurnOrder(const Graph& g, double hub_fraction = 0.005);
+
+/// GRO [Han, Zou, Yu 2018]: greedy compactness ordering that places next the
+/// vertex with the most already-placed neighbors, making adjacency lists of
+/// nearby vertices overlap. (Simplified faithful-in-spirit greedy of the
+/// paper's compactness-score minimization.)
+Permutation GroOrder(const Graph& g);
+
+/// Plain BFS discovery order from the smallest unvisited id (locality
+/// baseline; the starting point BFS-R refines).
+Permutation BfsOrder(const Graph& g);
+
+/// Reverse Cuthill-McKee: BFS from a pseudo-peripheral vertex, neighbors
+/// visited in ascending degree, final order reversed — the classic
+/// bandwidth-minimizing ordering from sparse linear algebra.
+Permutation RcmOrder(const Graph& g);
+
+/// Uniformly random permutation (ablation baseline).
+Permutation RandomOrder(VertexId n, uint64_t seed);
+
+}  // namespace gputc
+
+#endif  // GPUTC_ORDER_CLASSIC_ORDERS_H_

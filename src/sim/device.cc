@@ -1,0 +1,7 @@
+#include "sim/device.h"
+
+// DeviceSpec is a plain options struct; all members are defined inline in the
+// header. This translation unit exists so the target has a stable archive
+// member for the header and a place for future out-of-line helpers.
+
+namespace gputc {}  // namespace gputc

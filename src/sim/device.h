@@ -1,0 +1,103 @@
+#ifndef GPUTC_SIM_DEVICE_H_
+#define GPUTC_SIM_DEVICE_H_
+
+namespace gputc {
+
+/// Parameters of the simulated GPU.
+///
+/// The simulator is a *cost model*, not a cycle-accurate emulator: it charges
+/// each block the roofline maximum of its compute demand, memory demand, and
+/// longest warp critical path (see BlockCostModel), using the throughput
+/// numbers below. Defaults approximate the paper's NVIDIA Titan Xp at the
+/// granularity the analytic models care about (warp width, transaction size,
+/// compute:memory throughput ratio); absolute milliseconds are not meant to
+/// match real hardware.
+struct DeviceSpec {
+  /// Number of streaming multiprocessors. Blocks are distributed over SMs.
+  int num_sms = 30;
+
+  /// Threads per warp (lock-step execution).
+  int warp_size = 32;
+
+  /// Warps per block (threads_per_block = warps_per_block * warp_size).
+  int warps_per_block = 8;
+
+  /// Bytes fetched by one memory transaction (coalescing granularity).
+  int transaction_bytes = 128;
+
+  /// Bytes per adjacency element (VertexId).
+  int element_bytes = 4;
+
+  /// Warp-instructions an SM can issue per cycle (compute throughput).
+  double issue_width = 4.0;
+
+  /// Global-memory transactions an SM can complete per cycle. This is an
+  /// *effective* rate including L2 hits, sized so the triangle-counting
+  /// kernels run near the compute/memory roofline ridge like their CUDA
+  /// originals do; raw DRAM alone would make every kernel purely
+  /// memory-bound and erase the resource-balance effects the paper studies.
+  double mem_transactions_per_cycle = 4.0;
+
+  /// Shared-memory transactions an SM can complete per cycle. Shared memory
+  /// is its own pipeline (the paper's Section 5.3 calibrates against shared
+  /// memory bandwidth separately from global coalescing).
+  double shared_transactions_per_cycle = 8.0;
+
+  /// Latency of one memory transaction, charged on a warp's critical path.
+  double mem_latency_cycles = 40.0;
+
+  /// Cycles charged for one intra-block __syncthreads().
+  double sync_cost_cycles = 24.0;
+
+  /// Shared memory per block (bytes); bounds Hu-style staging tiles.
+  int shared_memory_bytes = 48 * 1024;
+
+  /// Instruction multiplier charged to data-dependent-branch code (merge
+  /// loops) for SIMT divergence: every merge step is a three-way
+  /// data-dependent branch (advance left / advance right / match), and the
+  /// warp executes all paths its lanes disagree on. Binary search runs a
+  /// uniform probe loop and does not pay this.
+  double simt_divergence_penalty = 3.0;
+
+  /// SM clock in GHz; converts model cycles to reported milliseconds.
+  double clock_ghz = 1.4;
+
+  int threads_per_block() const { return warps_per_block * warp_size; }
+
+  /// Adjacency elements covered by one memory transaction.
+  int elements_per_transaction() const {
+    return transaction_bytes / element_bytes;
+  }
+
+  /// A Titan-Xp-like default device (what all benches use).
+  static DeviceSpec TitanXpLike() { return DeviceSpec{}; }
+
+  /// A mid-range part: fewer SMs, narrower issue, slower memory and a
+  /// smaller sync cost. Used to check that the preprocessing conclusions
+  /// are not artifacts of one device configuration.
+  static DeviceSpec MidrangeLike() {
+    DeviceSpec spec;
+    spec.num_sms = 12;
+    spec.warps_per_block = 4;
+    spec.issue_width = 2.0;
+    spec.mem_transactions_per_cycle = 2.0;
+    spec.shared_transactions_per_cycle = 4.0;
+    spec.mem_latency_cycles = 60.0;
+    spec.sync_cost_cycles = 16.0;
+    spec.clock_ghz = 1.1;
+    return spec;
+  }
+
+  /// A small device for tests: 2 SMs, 2 warps per block. Makes block/SM
+  /// boundary behaviour easy to reason about in unit tests.
+  static DeviceSpec Tiny() {
+    DeviceSpec spec;
+    spec.num_sms = 2;
+    spec.warps_per_block = 2;
+    return spec;
+  }
+};
+
+}  // namespace gputc
+
+#endif  // GPUTC_SIM_DEVICE_H_

@@ -1,0 +1,92 @@
+#include "sim/profiler.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/table.h"
+
+namespace gputc {
+
+std::string ToString(KernelBottleneck bottleneck) {
+  switch (bottleneck) {
+    case KernelBottleneck::kCompute:
+      return "compute";
+    case KernelBottleneck::kGlobalMemory:
+      return "global-memory";
+    case KernelBottleneck::kSharedMemory:
+      return "shared-memory";
+    case KernelBottleneck::kSynchronization:
+      return "synchronization";
+    case KernelBottleneck::kLoadImbalance:
+      return "load-imbalance";
+    case KernelBottleneck::kIdle:
+      return "idle";
+  }
+  return "unknown";
+}
+
+KernelReport ProfileKernel(const KernelStats& stats,
+                           double imbalance_threshold) {
+  KernelReport report;
+  report.sm_utilization = stats.sm_utilization;
+  if (stats.num_blocks > 0) {
+    report.supersteps_per_block =
+        static_cast<double>(stats.supersteps) /
+        static_cast<double>(stats.num_blocks);
+  }
+  if (stats.total_transactions > 0.0) {
+    report.ops_per_transaction = stats.total_ops / stats.total_transactions;
+  }
+  const double total = stats.compute_cycles + stats.memory_cycles +
+                       stats.shared_cycles + stats.sync_cycles;
+  if (total <= 0.0) {
+    report.bottleneck = KernelBottleneck::kIdle;
+    return report;
+  }
+  struct Entry {
+    double cycles;
+    KernelBottleneck kind;
+  };
+  const Entry entries[] = {
+      {stats.compute_cycles, KernelBottleneck::kCompute},
+      {stats.memory_cycles, KernelBottleneck::kGlobalMemory},
+      {stats.shared_cycles, KernelBottleneck::kSharedMemory},
+      {stats.sync_cycles, KernelBottleneck::kSynchronization},
+  };
+  const Entry* top = &entries[0];
+  for (const Entry& e : entries) {
+    if (e.cycles > top->cycles) top = &e;
+  }
+  report.bottleneck = top->kind;
+  report.bottleneck_fraction = top->cycles / total;
+  // Stragglers trump resource mix: when most SMs sit idle, the fix is load
+  // balance, not more bandwidth.
+  if (stats.sm_utilization > 0.0 &&
+      stats.sm_utilization < imbalance_threshold) {
+    report.bottleneck = KernelBottleneck::kLoadImbalance;
+  }
+  return report;
+}
+
+std::string FormatKernelReport(const KernelStats& stats) {
+  const KernelReport report = ProfileKernel(stats);
+  std::ostringstream out;
+  out << "kernel: " << Fmt(stats.millis, 4) << " ms ("
+      << FmtCount(static_cast<int64_t>(stats.cycles)) << " cycles, "
+      << FmtCount(stats.num_blocks) << " blocks)\n"
+      << "  bottleneck:        " << ToString(report.bottleneck) << " ("
+      << Frac(report.bottleneck_fraction) << " of block time)\n"
+      << "  sm utilization:    " << Frac(report.sm_utilization) << "\n"
+      << "  ops/transaction:   " << Fmt(report.ops_per_transaction, 2) << "\n"
+      << "  supersteps/block:  " << Fmt(report.supersteps_per_block, 1)
+      << "\n"
+      << "  cycles by resource: compute="
+      << FmtCount(static_cast<int64_t>(stats.compute_cycles))
+      << " global=" << FmtCount(static_cast<int64_t>(stats.memory_cycles))
+      << " shared=" << FmtCount(static_cast<int64_t>(stats.shared_cycles))
+      << " sync=" << FmtCount(static_cast<int64_t>(stats.sync_cycles))
+      << "\n";
+  return out.str();
+}
+
+}  // namespace gputc

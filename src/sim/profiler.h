@@ -1,0 +1,47 @@
+#ifndef GPUTC_SIM_PROFILER_H_
+#define GPUTC_SIM_PROFILER_H_
+
+#include <string>
+
+#include "sim/kernel.h"
+
+namespace gputc {
+
+/// Which resource bound a kernel's runtime (the roofline corner it sits in).
+enum class KernelBottleneck {
+  kCompute,
+  kGlobalMemory,
+  kSharedMemory,
+  kSynchronization,
+  kLoadImbalance,  // SMs idle: makespan far above mean busy time.
+  kIdle,           // No work.
+};
+
+/// nvprof-style digest of one simulated kernel launch.
+struct KernelReport {
+  KernelBottleneck bottleneck = KernelBottleneck::kIdle;
+  /// Fraction of the summed block time spent on the bottleneck resource.
+  double bottleneck_fraction = 0.0;
+  /// Useful compute ops per global transaction (arithmetic intensity).
+  double ops_per_transaction = 0.0;
+  /// Mean SM busy fraction (= KernelStats::sm_utilization).
+  double sm_utilization = 0.0;
+  /// Mean supersteps per block (0 for non-BSP kernels).
+  double supersteps_per_block = 0.0;
+};
+
+/// Human-readable name of a bottleneck ("compute", "global-memory", ...).
+std::string ToString(KernelBottleneck bottleneck);
+
+/// Classifies a kernel launch. A launch with sm_utilization below
+/// `imbalance_threshold` is tagged kLoadImbalance regardless of resource
+/// mix — the straggler regime D-order creates.
+KernelReport ProfileKernel(const KernelStats& stats,
+                           double imbalance_threshold = 0.5);
+
+/// Multi-line textual report (used by the explorer example and tools).
+std::string FormatKernelReport(const KernelStats& stats);
+
+}  // namespace gputc
+
+#endif  // GPUTC_SIM_PROFILER_H_

@@ -1,0 +1,84 @@
+#include "sim/warp_scheduler.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace gputc {
+namespace {
+
+/// A pool of identical servers; Acquire returns the start time for a job
+/// that becomes ready at `ready` and occupies a server for `duration`.
+class ServerPool {
+ public:
+  ServerPool(int servers, double rate) : rate_(rate) {
+    GPUTC_CHECK_GT(servers, 0);
+    GPUTC_CHECK_GT(rate, 0.0);
+    for (int i = 0; i < servers; ++i) free_.push(0.0);
+  }
+
+  double Acquire(double ready, double work, double* busy) {
+    const double duration = work / rate_;
+    const double start = std::max(ready, free_.top());
+    free_.pop();
+    free_.push(start + duration);
+    *busy += duration;
+    return start + duration;
+  }
+
+ private:
+  double rate_;
+  std::priority_queue<double, std::vector<double>, std::greater<>> free_;
+};
+
+struct WarpEvent {
+  double ready = 0.0;
+  int warp = 0;
+  size_t segment = 0;
+
+  bool operator>(const WarpEvent& other) const {
+    return ready > other.ready || (ready == other.ready && warp > other.warp);
+  }
+};
+
+}  // namespace
+
+ScheduleResult WarpSchedulerSim::RunBlock(
+    const std::vector<WarpTrace>& warps) const {
+  ScheduleResult result;
+  // issue_width concurrent warp-instruction streams at 1 cycle each; a
+  // single memory pipeline at mem_transactions_per_cycle.
+  ServerPool compute(std::max(1, static_cast<int>(spec_.issue_width)), 1.0);
+  ServerPool memory(1, spec_.mem_transactions_per_cycle);
+
+  std::priority_queue<WarpEvent, std::vector<WarpEvent>, std::greater<>> queue;
+  for (int w = 0; w < static_cast<int>(warps.size()); ++w) {
+    if (!warps[static_cast<size_t>(w)].empty()) {
+      queue.push(WarpEvent{0.0, w, 0});
+    }
+  }
+
+  while (!queue.empty()) {
+    WarpEvent ev = queue.top();
+    queue.pop();
+    const WarpSegment& seg = warps[static_cast<size_t>(ev.warp)][ev.segment];
+    double t = ev.ready;
+    if (seg.compute_cycles > 0.0) {
+      t = compute.Acquire(t, seg.compute_cycles, &result.compute_busy);
+    }
+    if (seg.mem_transactions > 0.0) {
+      // The warp observes the transaction latency once, plus queueing on the
+      // memory pipeline's throughput.
+      t = memory.Acquire(t, seg.mem_transactions, &result.memory_busy) +
+          spec_.mem_latency_cycles;
+    }
+    result.cycles = std::max(result.cycles, t);
+    if (ev.segment + 1 < warps[static_cast<size_t>(ev.warp)].size()) {
+      queue.push(WarpEvent{t, ev.warp, ev.segment + 1});
+    }
+  }
+  return result;
+}
+
+}  // namespace gputc

@@ -1,0 +1,61 @@
+#ifndef GPUTC_TC_COUNTER_H_
+#define GPUTC_TC_COUNTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "graph/directed_graph.h"
+#include "sim/device.h"
+#include "sim/kernel.h"
+
+namespace gputc {
+
+/// Result of one (simulated) triangle-counting run: the exact triangle count
+/// plus the modelled kernel cost.
+struct TcResult {
+  int64_t triangles = 0;
+  KernelStats kernel;
+};
+
+/// Work-distribution unit a kernel reorders by (Section 6.4): Hu, TriCore
+/// and Gunrock consume vertex orderings; Fox consumes edge orderings.
+enum class ReorderUnit { kVertex, kEdge };
+
+/// Interface of the simulated GPU triangle counters.
+///
+/// Implementations walk the directed graph on the host, computing the exact
+/// triangle count, while charging every primitive operation (searches,
+/// scans, bitmap probes, synchronizations) to the block cost model exactly
+/// as the corresponding CUDA kernel would distribute it over blocks, warps
+/// and threads. The returned KernelStats is the modelled kernel time.
+///
+/// The input graph must already be preprocessed: oriented by the desired
+/// direction strategy and relabeled by the desired ordering — blocks take
+/// work for consecutive vertex ids (or edges in CSR order), which is exactly
+/// how preprocessing steers the kernels without changing them.
+class SimTriangleCounter {
+ public:
+  virtual ~SimTriangleCounter() = default;
+
+  /// Algorithm name as used in the paper ("Hu", "TriCore", ...).
+  virtual std::string name() const = 0;
+
+  /// Counts triangles of `g` on the simulated device.
+  virtual TcResult Count(const DirectedGraph& g,
+                         const DeviceSpec& spec) const = 0;
+
+  /// True if the kernel uses intra-block synchronization — the algorithms
+  /// A-direction's BSP analysis applies to (Bisson, Hu).
+  virtual bool uses_intra_block_sync() const = 0;
+
+  /// True if the kernel intersects lists by binary search — the algorithms
+  /// A-order's diversity analysis applies to (all but Bisson's bitmap).
+  virtual bool uses_binary_search() const = 0;
+
+  virtual ReorderUnit reorder_unit() const { return ReorderUnit::kVertex; }
+};
+
+}  // namespace gputc
+
+#endif  // GPUTC_TC_COUNTER_H_

@@ -1,0 +1,38 @@
+#ifndef GPUTC_TC_CPU_COUNTERS_H_
+#define GPUTC_TC_CPU_COUNTERS_H_
+
+#include <cstdint>
+
+#include "graph/directed_graph.h"
+#include "graph/graph.h"
+
+namespace gputc {
+
+// Exact host-side triangle counters (the CPU families of Section 2.2.1).
+// They are the correctness oracles for every simulated GPU kernel and the
+// serial baselines in the benches.
+
+/// Node-iterator [Alon et al.]: for every vertex, test all neighbor pairs.
+/// O(sum d(v)^2). Exact.
+int64_t CountTrianglesNodeIterator(const Graph& g);
+
+/// Edge-iterator [Batagelj & Mrvar]: for every edge, intersect the two
+/// endpoint adjacency lists. O(sum over edges of d(u)+d(v)). Exact.
+int64_t CountTrianglesEdgeIterator(const Graph& g);
+
+/// Forward algorithm [Schank & Wagner]: orient by degree, intersect
+/// out-lists — the standard O(m^(3/2)) counter. Exact.
+int64_t CountTrianglesForward(const Graph& g);
+
+/// Counts directed wedges closed by an arc on an oriented graph; with an
+/// acyclic orientation this equals the triangle count of the underlying
+/// undirected graph. Exact.
+int64_t CountTrianglesDirected(const DirectedGraph& g);
+
+/// Multicore merge-based counter in the spirit of Shun & Tangwongsan:
+/// partitions vertices over `num_threads` std::threads. Exact.
+int64_t CountTrianglesParallel(const Graph& g, int num_threads);
+
+}  // namespace gputc
+
+#endif  // GPUTC_TC_CPU_COUNTERS_H_

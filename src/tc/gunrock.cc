@@ -1,0 +1,57 @@
+#include "tc/gunrock.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/block_cost.h"
+#include "tc/cost_rules.h"
+#include "tc/intersect.h"
+#include "tc/work_partition.h"
+
+namespace gputc {
+
+TcResult GunrockCounter::Count(const DirectedGraph& g,
+                               const DeviceSpec& spec) const {
+  TcResult result;
+  const int threads = spec.threads_per_block();
+
+  const std::vector<VertexId> sources = ArcSources(g);
+  const std::vector<ArcRange> blocks_arcs =
+      VertexBucketArcRanges(g, spec.threads_per_block());
+
+  std::vector<BlockCost> blocks;
+  blocks.reserve(blocks_arcs.size());
+  BlockCostModel model(spec);
+  for (const ArcRange& range : blocks_arcs) {
+    if (range.size() == 0) {
+      blocks.push_back(BlockCost{});
+      continue;
+    }
+    model.BeginBlock();
+    for (int64_t i = range.begin; i < range.end; ++i) {
+      const VertexId u = sources[static_cast<size_t>(i)];
+      const VertexId v = g.adjacency()[static_cast<size_t>(i)];
+      int64_t shorter = g.out_degree(u);
+      int64_t longer = g.out_degree(v);
+      if (shorter > longer) std::swap(shorter, longer);
+      ThreadWork work;
+      if (strategy_ == IntersectStrategy::kBinarySearch) {
+        // Stream the shorter list, search each key in the longer one.
+        work = SequentialScan(shorter, spec);
+        work += BinarySearchBatch(shorter, longer, /*shared=*/false, spec);
+      } else {
+        work = SortMerge(g.out_degree(u), g.out_degree(v), spec);
+      }
+      model.AddThreadWork(static_cast<int>((i - range.begin) % threads), work);
+
+      result.triangles +=
+          SortedIntersectionSize(g.out_neighbors(u), g.out_neighbors(v));
+    }
+    blocks.push_back(model.Finish());
+  }
+
+  result.kernel = KernelLauncher(spec).Launch(blocks);
+  return result;
+}
+
+}  // namespace gputc

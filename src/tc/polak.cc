@@ -1,0 +1,51 @@
+#include "tc/polak.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/block_cost.h"
+#include "tc/cost_rules.h"
+#include "tc/intersect.h"
+#include "tc/work_partition.h"
+
+namespace gputc {
+
+TcResult PolakCounter::Count(const DirectedGraph& g,
+                             const DeviceSpec& spec) const {
+  TcResult result;
+  const int threads = spec.threads_per_block();
+
+  const std::vector<VertexId> sources = ArcSources(g);
+  const std::vector<ArcRange> blocks_arcs =
+      VertexBucketArcRanges(g, spec.threads_per_block());
+
+  std::vector<BlockCost> blocks;
+  blocks.reserve(blocks_arcs.size());
+  BlockCostModel model(spec);
+  for (const ArcRange& range : blocks_arcs) {
+    if (range.size() == 0) {
+      blocks.push_back(BlockCost{});
+      continue;
+    }
+    model.BeginBlock();
+    // Grid-stride within the block: thread t handles arcs t, t+T, t+2T, ...
+    for (int64_t i = range.begin; i < range.end; ++i) {
+      const VertexId u = sources[static_cast<size_t>(i)];
+      const VertexId v = g.adjacency()[static_cast<size_t>(i)];
+      const int64_t du = g.out_degree(u);
+      const int64_t dv = g.out_degree(v);
+      ThreadWork work = SequentialScan(dv, spec);
+      work += BinarySearchBatch(dv, du, /*shared=*/false, spec);
+      model.AddThreadWork(static_cast<int>((i - range.begin) % threads), work);
+
+      result.triangles +=
+          SortedIntersectionSize(g.out_neighbors(u), g.out_neighbors(v));
+    }
+    blocks.push_back(model.Finish());
+  }
+
+  result.kernel = KernelLauncher(spec).Launch(blocks);
+  return result;
+}
+
+}  // namespace gputc

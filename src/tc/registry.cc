@@ -1,0 +1,60 @@
+#include "tc/registry.h"
+
+#include "tc/bisson.h"
+#include "tc/fox.h"
+#include "tc/gunrock.h"
+#include "tc/hu.h"
+#include "tc/polak.h"
+#include "tc/tricore.h"
+#include "util/logging.h"
+
+namespace gputc {
+
+std::string ToString(TcAlgorithm algorithm) {
+  switch (algorithm) {
+    case TcAlgorithm::kGunrockBinarySearch:
+      return "Gunrock-bs";
+    case TcAlgorithm::kGunrockSortMerge:
+      return "Gunrock-sm";
+    case TcAlgorithm::kTriCore:
+      return "TriCore";
+    case TcAlgorithm::kFox:
+      return "Fox";
+    case TcAlgorithm::kBisson:
+      return "Bisson";
+    case TcAlgorithm::kHu:
+      return "Hu";
+    case TcAlgorithm::kPolak:
+      return "Polak";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<SimTriangleCounter> MakeCounter(TcAlgorithm algorithm) {
+  switch (algorithm) {
+    case TcAlgorithm::kGunrockBinarySearch:
+      return std::make_unique<GunrockCounter>(
+          IntersectStrategy::kBinarySearch);
+    case TcAlgorithm::kGunrockSortMerge:
+      return std::make_unique<GunrockCounter>(IntersectStrategy::kSortMerge);
+    case TcAlgorithm::kTriCore:
+      return std::make_unique<TriCoreCounter>();
+    case TcAlgorithm::kFox:
+      return std::make_unique<FoxCounter>();
+    case TcAlgorithm::kBisson:
+      return std::make_unique<BissonCounter>();
+    case TcAlgorithm::kHu:
+      return std::make_unique<HuCounter>();
+    case TcAlgorithm::kPolak:
+      return std::make_unique<PolakCounter>();
+  }
+  GPUTC_LOG(Fatal) << "unhandled algorithm";
+  return nullptr;
+}
+
+std::vector<TcAlgorithm> PaperAlgorithms() {
+  return {TcAlgorithm::kGunrockBinarySearch, TcAlgorithm::kTriCore,
+          TcAlgorithm::kFox, TcAlgorithm::kBisson, TcAlgorithm::kHu};
+}
+
+}  // namespace gputc

@@ -1,0 +1,37 @@
+#ifndef GPUTC_TC_REGISTRY_H_
+#define GPUTC_TC_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tc/counter.h"
+
+namespace gputc {
+
+/// The five state-of-the-art GPU algorithms the paper evaluates, plus the
+/// Polak baseline and Gunrock's sort-merge variant.
+enum class TcAlgorithm {
+  kGunrockBinarySearch,
+  kGunrockSortMerge,
+  kTriCore,
+  kFox,
+  kBisson,
+  kHu,
+  kPolak,
+};
+
+/// Name matching the paper ("Gunrock-bs", "TriCore", "Fox", "Bisson", "Hu",
+/// "Polak").
+std::string ToString(TcAlgorithm algorithm);
+
+/// Constructs the counter for `algorithm`.
+std::unique_ptr<SimTriangleCounter> MakeCounter(TcAlgorithm algorithm);
+
+/// The paper's five comparative methods (Section 6.1), binary-search
+/// Gunrock representing Gunrock.
+std::vector<TcAlgorithm> PaperAlgorithms();
+
+}  // namespace gputc
+
+#endif  // GPUTC_TC_REGISTRY_H_

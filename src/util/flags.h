@@ -1,0 +1,42 @@
+#ifndef GPUTC_UTIL_FLAGS_H_
+#define GPUTC_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gputc {
+
+/// Tiny command-line flag parser for examples and bench binaries.
+///
+/// Accepts `--name=value` and `--name value` syntax; anything else is kept as
+/// a positional argument. Example:
+///
+///   FlagParser flags(argc, argv);
+///   int64_t n = flags.GetInt("nodes", 1000);
+///   std::string name = flags.GetString("dataset", "gowalla");
+class FlagParser {
+ public:
+  FlagParser(int argc, char** argv);
+
+  /// Returns the flag's value, or `def` when the flag is absent. GetInt and
+  /// GetDouble abort on a malformed number so typos fail loudly.
+  std::string GetString(const std::string& name, const std::string& def) const;
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+  bool Has(const std::string& name) const;
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program_name() const { return program_name_; }
+
+ private:
+  std::string program_name_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gputc
+
+#endif  // GPUTC_UTIL_FLAGS_H_

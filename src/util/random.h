@@ -1,0 +1,70 @@
+#ifndef GPUTC_UTIL_RANDOM_H_
+#define GPUTC_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace gputc {
+
+/// Deterministic 64-bit PRNG (xorshift128+ seeded via SplitMix64).
+///
+/// Every stochastic component in this repository (graph generators, random
+/// orientations, sampling in tests) draws from this generator so that all
+/// experiments are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { Seed(seed); }
+
+  /// Re-seeds the generator. Two streams with equal seeds are identical.
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xorshift state, which avoids
+    // the all-zero state and decorrelates nearby seeds.
+    s0_ = SplitMix(&seed);
+    s1_ = SplitMix(&seed);
+  }
+
+  /// Returns a uniformly distributed 64-bit value.
+  uint64_t Next64() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Returns a uniform value in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    // Multiplicative range reduction; the bias is < 2^-64 * bound and is
+    // irrelevant for graph generation.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(Next64()) * bound) >> 64);
+  }
+
+  /// Returns a uniform uint32_t in [0, bound).
+  uint32_t NextU32(uint32_t bound) {
+    return static_cast<uint32_t>(NextBounded(bound));
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability `p`.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace gputc
+
+#endif  // GPUTC_UTIL_RANDOM_H_

@@ -1,0 +1,65 @@
+#ifndef GPUTC_UTIL_STATS_H_
+#define GPUTC_UTIL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace gputc {
+
+/// Summary statistics of a sample.
+struct Summary {
+  int64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  // Population standard deviation.
+  double sum = 0.0;
+};
+
+/// Computes summary statistics of `values`. Returns a zeroed Summary for an
+/// empty input.
+Summary Summarize(const std::vector<double>& values);
+
+/// Result of an ordinary least squares fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0, 1]; 1 means a perfect fit.
+  double r_squared = 0.0;
+};
+
+/// Fits a line through (xs[i], ys[i]) by least squares. The inputs must have
+/// equal, nonzero size. Degenerate inputs (constant x) yield slope 0.
+LinearFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Fixed-width histogram over [lo, hi) with `buckets` buckets; values outside
+/// the range are clamped into the first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int buckets);
+
+  void Add(double value);
+
+  /// Number of samples in bucket `i`.
+  int64_t bucket_count(int i) const { return counts_[i]; }
+  int num_buckets() const { return static_cast<int>(counts_.size()); }
+  int64_t total() const { return total_; }
+
+  /// Lower edge of bucket `i`.
+  double BucketLo(int i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+/// Pearson correlation coefficient of two equally sized samples; 0 on
+/// degenerate input.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+}  // namespace gputc
+
+#endif  // GPUTC_UTIL_STATS_H_

@@ -1,0 +1,48 @@
+#ifndef GPUTC_UTIL_TABLE_H_
+#define GPUTC_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gputc {
+
+/// Column-aligned plain-text table used by the benchmark harness to print
+/// rows matching the paper's tables and figure series.
+///
+///   TablePrinter t({"dataset", "kernel(ms)", "speedup"});
+///   t.AddRow({"gowalla", Fmt(12.3), Percent(0.25)});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table; `out` is typically std::cout.
+  void Print(std::ostream& out) const;
+
+  /// Returns the rendered table as a string (used in tests).
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimal places.
+std::string Fmt(double value, int digits = 2);
+
+/// Formats an integer with thousands separators ("1,234,567").
+std::string FmtCount(int64_t value);
+
+/// Formats a ratio as a signed percentage ("+25.0%") — deltas/speedups.
+std::string Percent(double ratio);
+
+/// Formats a ratio as an unsigned percentage ("86.0%") — fractions such as
+/// utilization.
+std::string Frac(double ratio);
+
+}  // namespace gputc
+
+#endif  // GPUTC_UTIL_TABLE_H_

@@ -1,0 +1,32 @@
+#ifndef GPUTC_UTIL_TIMER_H_
+#define GPUTC_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace gputc {
+
+/// Wall-clock stopwatch used to time host-side preprocessing. Simulated GPU
+/// kernel time is reported in model cycles, not wall time (see src/sim).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Returns seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Returns milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gputc
+
+#endif  // GPUTC_UTIL_TIMER_H_

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "apps/clustering.h"
+#include "apps/ktruss.h"
+#include "apps/recommendation.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "tc/cpu_counters.h"
+
+namespace gputc {
+namespace {
+
+// --- Clustering coefficients -----------------------------------------------
+
+TEST(ClusteringTest, CompleteGraphIsFullyClustered) {
+  const Graph g = CompleteGraph(8);
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(g), 1.0);
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(g), 1.0);
+  for (double cc : LocalClusteringCoefficients(g)) {
+    EXPECT_DOUBLE_EQ(cc, 1.0);
+  }
+}
+
+TEST(ClusteringTest, TriangleFreeGraphsAreZero) {
+  for (const Graph& g :
+       {CycleGraph(10), StarGraph(12), GridGraph(4, 4),
+        CompleteBipartiteGraph(3, 5)}) {
+    EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(g), 0.0);
+    EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(g), 0.0);
+  }
+}
+
+TEST(ClusteringTest, PerVertexCountsSumToThreeTriangles) {
+  const Graph g = GeneratePowerLawConfiguration(800, 2.0, 2, 100, 91);
+  const std::vector<int64_t> counts = PerVertexTriangleCounts(g);
+  const int64_t total = std::accumulate(counts.begin(), counts.end(),
+                                        static_cast<int64_t>(0));
+  EXPECT_EQ(total, 3 * CountTrianglesNodeIterator(g));
+}
+
+TEST(ClusteringTest, WheelHubAndRim) {
+  // Wheel W_7: hub 0 adjacent to a 6-cycle. Hub: d=6, 6 triangles ->
+  // cc = 12/30 = 0.4. Rim vertex: d=3, 2 triangles -> cc = 4/6.
+  const Graph g = WheelGraph(7);
+  const std::vector<double> cc = LocalClusteringCoefficients(g);
+  EXPECT_DOUBLE_EQ(cc[0], 0.4);
+  for (VertexId v = 1; v < 7; ++v) EXPECT_DOUBLE_EQ(cc[v], 2.0 / 3.0);
+}
+
+TEST(ClusteringTest, SmallWorldBeatsPowerLaw) {
+  const Graph ws = GenerateWattsStrogatz(2000, 6, 0.05, 92);
+  const Graph pl = GeneratePowerLawConfiguration(2000, 2.1, 3, 200, 92);
+  EXPECT_GT(AverageClusteringCoefficient(ws),
+            AverageClusteringCoefficient(pl));
+}
+
+// --- k-truss ----------------------------------------------------------------
+
+TEST(KTrussTest, CompleteGraphTrussness) {
+  // Every edge of K_n is in the n-truss (each edge has n-2 triangles).
+  const TrussDecompositionResult r = DecomposeTruss(CompleteGraph(6));
+  EXPECT_EQ(r.max_trussness, 6);
+  for (int k : r.trussness) EXPECT_EQ(k, 6);
+}
+
+TEST(KTrussTest, TriangleFreeGraphIsTwoTruss) {
+  const TrussDecompositionResult r = DecomposeTruss(CycleGraph(10));
+  EXPECT_EQ(r.max_trussness, 2);
+  for (int k : r.trussness) EXPECT_EQ(k, 2);
+}
+
+TEST(KTrussTest, CliqueWithTailSeparates) {
+  // K_5 plus a pendant path: clique edges reach trussness 5, path edges 2.
+  EdgeList list;
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) list.Add(u, v);
+  }
+  list.Add(4, 5);
+  list.Add(5, 6);
+  const Graph g = Graph::FromEdgeList(std::move(list));
+  const TrussDecompositionResult r = DecomposeTruss(g);
+  EXPECT_EQ(r.max_trussness, 5);
+  const auto profile = TrussProfile(r);
+  EXPECT_EQ(profile.at(5), 10);  // Clique edges.
+  EXPECT_EQ(profile.at(2), 2);   // Path edges.
+
+  const Graph truss3 = KTrussSubgraph(g, 3);
+  EXPECT_EQ(truss3.num_edges(), 10);
+  const Graph truss6 = KTrussSubgraph(g, 6);
+  EXPECT_EQ(truss6.num_edges(), 0);
+}
+
+TEST(KTrussTest, TrussnessIsMonotoneUnderSupport) {
+  // In any graph, an edge's trussness is at most its support + 2.
+  const Graph g = GenerateRmat(8, 6, 93);
+  const TrussDecompositionResult r = DecomposeTruss(g);
+  const auto& list = r.edges.edges();
+  for (size_t e = 0; e < list.size(); ++e) {
+    const int64_t support = CommonNeighborScore(g, list[e].u, list[e].v);
+    EXPECT_LE(r.trussness[e], support + 2);
+    EXPECT_GE(r.trussness[e], 2);
+  }
+}
+
+TEST(KTrussTest, KTrussSubgraphSatisfiesDefinition) {
+  // Every edge of the k-truss subgraph has >= k-2 triangles *within* it.
+  const Graph g = LoadDataset("email-Eucore");
+  const int k = 5;
+  const Graph truss = KTrussSubgraph(g, k);
+  for (VertexId u = 0; u < truss.num_vertices(); ++u) {
+    for (VertexId v : truss.neighbors(u)) {
+      if (u < v) {
+        EXPECT_GE(CommonNeighborScore(truss, u, v), k - 2)
+            << u << "-" << v;
+      }
+    }
+  }
+}
+
+TEST(KTrussTest, EmptyGraph) {
+  const TrussDecompositionResult r =
+      DecomposeTruss(Graph::FromEdgeList(EdgeList{}));
+  EXPECT_EQ(r.max_trussness, 2);
+  EXPECT_TRUE(r.trussness.empty());
+}
+
+// --- Link recommendation -----------------------------------------------------
+
+TEST(RecommendationTest, ScoresCommonNeighbors) {
+  // Path 0-1-2: pair (0, 2) has one common neighbor.
+  const Graph g = PathGraph(3);
+  EXPECT_EQ(CommonNeighborScore(g, 0, 2), 1);
+  EXPECT_EQ(CommonNeighborScore(g, 0, 1), 0);  // Adjacent; no common nbr.
+  EXPECT_EQ(CommonNeighborScore(g, 0, 0), 0);
+  EXPECT_EQ(CommonNeighborScore(g, 0, 99), 0);
+}
+
+TEST(RecommendationTest, RecommendsTheMissingCliqueEdge) {
+  // K_5 minus one edge: that edge has 3 common neighbors, the strongest
+  // possible recommendation.
+  EdgeList list;
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) {
+      if (!(u == 0 && v == 1)) list.Add(u, v);
+    }
+  }
+  const Graph g = Graph::FromEdgeList(std::move(list));
+  const auto recs = RecommendLinks(g);
+  ASSERT_FALSE(recs.empty());
+  EXPECT_EQ(recs[0], (Recommendation{0, 1, 3}));
+}
+
+TEST(RecommendationTest, NeverRecommendsExistingEdges) {
+  const Graph g = LoadDataset("email-Eucore");
+  RecommendationOptions options;
+  options.top_k = 50;
+  for (const Recommendation& r : RecommendLinks(g, options)) {
+    EXPECT_FALSE(g.HasEdge(r.u, r.v));
+    EXPECT_LT(r.u, r.v);
+    EXPECT_GT(r.score, 0);
+  }
+}
+
+TEST(RecommendationTest, ResultsAreSortedAndUnique) {
+  const Graph g = GeneratePowerLawConfiguration(500, 2.0, 2, 80, 94);
+  RecommendationOptions options;
+  options.top_k = 100;
+  const auto recs = RecommendLinks(g, options);
+  for (size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_GE(recs[i - 1].score, recs[i].score);
+    EXPECT_FALSE(recs[i - 1].u == recs[i].u && recs[i - 1].v == recs[i].v);
+  }
+}
+
+TEST(RecommendationTest, TriangleFreeStarStillFindsCandidates) {
+  // Star: all leaf pairs share the hub.
+  const Graph g = StarGraph(6);
+  const auto recs = RecommendLinks(g);
+  ASSERT_FALSE(recs.empty());
+  for (const Recommendation& r : recs) EXPECT_EQ(r.score, 1);
+}
+
+}  // namespace
+}  // namespace gputc

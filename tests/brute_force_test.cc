@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "direction/brute_force.h"
+#include "direction/cost_model.h"
+#include "direction/direction.h"
+#include "graph/generators.h"
+
+namespace gputc {
+namespace {
+
+TEST(BruteForceTest, SingleEdgeCost) {
+  const Graph g = PathGraph(2);
+  const BruteForceDirectionResult r = BruteForceOptimalDirection(g);
+  EXPECT_EQ(r.orientations_examined, 2);
+  EXPECT_EQ(r.orientations_valid, 2);
+  // d_avg = 0.5; out-degrees {1, 0} either way: cost = 0.5 + 0.5 = 1.
+  EXPECT_DOUBLE_EQ(r.optimal_cost, 1.0);
+}
+
+TEST(BruteForceTest, TriangleExcludesDirectedCycles) {
+  const Graph g = CycleGraph(3);
+  const BruteForceDirectionResult r = BruteForceOptimalDirection(g);
+  EXPECT_EQ(r.orientations_examined, 8);
+  // Of 8 orientations, exactly 2 are directed 3-cycles.
+  EXPECT_EQ(r.orientations_valid, 6);
+  // d_avg = 1, and the perfectly flat {1,1,1} orientation is exactly the
+  // forbidden directed cycle — so the constrained optimum is {2,1,0} with
+  // cost |2-1| + |1-1| + |0-1| = 2.
+  EXPECT_DOUBLE_EQ(r.optimal_cost, 2.0);
+}
+
+TEST(BruteForceTest, StarOptimumIsFlat) {
+  const Graph g = StarGraph(5);  // 4 edges, d_avg = 0.8.
+  const BruteForceDirectionResult r = BruteForceOptimalDirection(g);
+  // Best: all edges leaf -> hub. Out-degrees {0,1,1,1,1}: cost =
+  // 0.8 + 4 * 0.2 = 1.6.
+  EXPECT_NEAR(r.optimal_cost, 1.6, 1e-12);
+}
+
+TEST(BruteForceTest, OptimalNeverExceedsHeuristics) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const Graph g = GenerateErdosRenyi(8, 12, seed);
+    const BruteForceDirectionResult opt = BruteForceOptimalDirection(g);
+    for (DirectionStrategy s : AllDirectionStrategies()) {
+      const double heuristic_cost = DirectionCost(Orient(g, s));
+      EXPECT_LE(opt.optimal_cost, heuristic_cost + 1e-9)
+          << "seed=" << seed << " strategy=" << ToString(s);
+    }
+  }
+}
+
+TEST(BruteForceTest, WitnessDegreesMatchCost) {
+  const Graph g = GenerateErdosRenyi(7, 10, 3);
+  const BruteForceDirectionResult r = BruteForceOptimalDirection(g);
+  EXPECT_DOUBLE_EQ(
+      DirectionCostFromOutDegrees(r.optimal_out_degrees, g.num_edges()),
+      r.optimal_cost);
+}
+
+TEST(BruteForceDeathTest, TooManyEdgesAborts) {
+  const Graph g = GenerateErdosRenyi(30, 25, 1);
+  EXPECT_DEATH(BruteForceOptimalDirection(g), "24 edges");
+}
+
+}  // namespace
+}  // namespace gputc

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "order/calibration.h"
+#include "sim/memory.h"
+
+namespace gputc {
+namespace {
+
+TEST(CalibrationTest, ProducesPositiveLambda) {
+  const CalibrationResult r =
+      CalibrateResourceModel(DeviceSpec::TitanXpLike());
+  EXPECT_GT(r.lambda, 0.0);
+  EXPECT_FALSE(r.samples.empty());
+}
+
+TEST(CalibrationTest, PcGrowsWithListLength) {
+  // Figure 8, right axis: the balance-point multiplier p_c grows with the
+  // adjacency list length (long lists are further into memory-bound
+  // territory).
+  const CalibrationResult r =
+      CalibrateResourceModel(DeviceSpec::TitanXpLike());
+  ASSERT_GE(r.samples.size(), 8u);
+  EXPECT_GT(r.samples.back().p_c, r.samples.front().p_c);
+  for (size_t i = 1; i < r.samples.size(); ++i) {
+    EXPECT_GE(r.samples[i].p_c, r.samples[i - 1].p_c - 1e-9);
+  }
+}
+
+TEST(CalibrationTest, LinearFitIsTight) {
+  // Figure 9: m vs p_c * c is well fitted by a line.
+  const CalibrationResult r =
+      CalibrateResourceModel(DeviceSpec::TitanXpLike());
+  EXPECT_GT(r.fit.r_squared, 0.8);
+}
+
+TEST(CalibrationTest, SamplesCoverRequestedRange) {
+  const CalibrationResult r =
+      CalibrateResourceModel(DeviceSpec::TitanXpLike(), /*max_list_length=*/256);
+  ASSERT_EQ(r.samples.size(), 9u);  // 1..256 in powers of two.
+  EXPECT_EQ(r.samples.front().list_length, 1);
+  EXPECT_EQ(r.samples.back().list_length, 256);
+}
+
+TEST(CalibrationTest, DeterministicAcrossCalls) {
+  const CalibrationResult a =
+      CalibrateResourceModel(DeviceSpec::TitanXpLike());
+  const CalibrationResult b =
+      CalibrateResourceModel(DeviceSpec::TitanXpLike());
+  EXPECT_EQ(a.lambda, b.lambda);
+}
+
+TEST(CalibrationTest, RespondsToDeviceBalance) {
+  // A device with faster memory should see smaller p_c at the long end.
+  DeviceSpec fast_mem = DeviceSpec::TitanXpLike();
+  fast_mem.mem_transactions_per_cycle = 8.0;
+  DeviceSpec slow_mem = DeviceSpec::TitanXpLike();
+  slow_mem.mem_transactions_per_cycle = 0.25;
+  const double fast_pc =
+      CalibrateResourceModel(fast_mem).samples.back().p_c;
+  const double slow_pc =
+      CalibrateResourceModel(slow_mem).samples.back().p_c;
+  EXPECT_LT(fast_pc, slow_pc);
+}
+
+TEST(CalibrationTest, CalibratedModelUsesFittedLambda) {
+  const DeviceSpec spec = DeviceSpec::TitanXpLike();
+  const CalibrationResult r = CalibrateResourceModel(spec);
+  const ResourceModel model = CalibratedResourceModel(spec);
+  EXPECT_DOUBLE_EQ(model.lambda(), r.lambda);
+}
+
+TEST(CalibrationTest, WorkloadsCalibrateSeparately) {
+  // Section 5.3: the parameter determination is repeated per algorithm
+  // family. The cooperative-warp pattern (TriCore) coalesces the top levels
+  // of the shared probe tree, so it must measure as less memory-hungry than
+  // lanes searching distinct lists (Hu / Gunrock).
+  const DeviceSpec spec = DeviceSpec::TitanXpLike();
+  const CalibrationResult distinct = CalibrateResourceModel(
+      spec, 1 << 20, SearchWorkload::kDistinctLists);
+  const CalibrationResult cooperative = CalibrateResourceModel(
+      spec, 1 << 20, SearchWorkload::kCooperativeWarp);
+  EXPECT_GT(distinct.lambda, 0.0);
+  EXPECT_GT(cooperative.lambda, 0.0);
+  EXPECT_NE(distinct.lambda, cooperative.lambda);
+  // At long lengths the cooperative warp needs fewer transactions per
+  // search than distinct lanes.
+  const BandwidthProfiler d_prof(spec, SearchWorkload::kDistinctLists);
+  const BandwidthProfiler c_prof(spec, SearchWorkload::kCooperativeWarp);
+  EXPECT_LT(c_prof.Measure(1 << 16).transactions_per_search,
+            d_prof.Measure(1 << 16).transactions_per_search);
+}
+
+TEST(CalibrationTest, CooperativePcIsMonotoneToo) {
+  const CalibrationResult r = CalibrateResourceModel(
+      DeviceSpec::TitanXpLike(), 1 << 16, SearchWorkload::kCooperativeWarp);
+  for (size_t i = 1; i < r.samples.size(); ++i) {
+    EXPECT_GE(r.samples[i].p_c, r.samples[i - 1].p_c - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace gputc

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "order/classic_orders.h"
+
+namespace gputc {
+namespace {
+
+TEST(DegreeOrderTest, SortsDescending) {
+  const Graph g = StarGraph(5);
+  const Permutation perm = DegreeOrder(g);
+  // Hub (degree 4) gets new id 0; leaves keep id-order after it.
+  EXPECT_EQ(perm[0], 0u);
+  EXPECT_EQ(perm[1], 1u);
+  EXPECT_EQ(perm[4], 4u);
+}
+
+TEST(DfsOrderTest, FollowsDiscoveryOrder) {
+  const Graph g = PathGraph(5);
+  const Permutation perm = DfsOrder(g);
+  // DFS from 0 on a path discovers vertices in path order.
+  EXPECT_EQ(perm, IdentityPermutation(5));
+}
+
+TEST(DfsOrderTest, CoversDisconnectedComponents) {
+  EdgeList list;
+  list.Add(0, 1);
+  list.Add(3, 4);
+  list.set_num_vertices(6);
+  const Graph g = Graph::FromEdgeList(std::move(list));
+  const Permutation perm = DfsOrder(g);
+  EXPECT_TRUE(IsPermutation(perm));
+}
+
+TEST(BfsROrderTest, ValidOnVariedGraphs) {
+  for (const Graph& g :
+       {GenerateErdosRenyi(500, 1500, 61), GenerateWattsStrogatz(400, 4, 0.1, 62),
+        StarGraph(100), PathGraph(200)}) {
+    EXPECT_TRUE(IsPermutation(BfsROrder(g)));
+  }
+}
+
+TEST(BfsROrderTest, KeepsBfsNeighborhoodsTogether) {
+  // On a long path, BFS-R should place the two halves contiguously: the
+  // average |perm[v] - perm[v+1]| stays small.
+  const Graph g = PathGraph(256);
+  const Permutation perm = BfsROrder(g);
+  double total_gap = 0.0;
+  for (VertexId v = 0; v + 1 < 256; ++v) {
+    total_gap += std::abs(static_cast<double>(perm[v]) -
+                          static_cast<double>(perm[v + 1]));
+  }
+  EXPECT_LT(total_gap / 255.0, 16.0);
+}
+
+TEST(SlashBurnOrderTest, HubsGetLowestIds) {
+  const Graph g = GeneratePowerLawConfiguration(2000, 2.0, 1, 300, 63);
+  const Permutation perm = SlashBurnOrder(g, 0.01);
+  ASSERT_TRUE(IsPermutation(perm));
+  // The first removed batch is the top-degree hubs: the single highest
+  // degree vertex must be near the very front.
+  VertexId top = 0;
+  for (VertexId v = 1; v < g.num_vertices(); ++v) {
+    if (g.degree(v) > g.degree(top)) top = v;
+  }
+  EXPECT_LT(perm[top], 20u);
+}
+
+TEST(SlashBurnOrderTest, ValidOnEdgeCases) {
+  EXPECT_TRUE(IsPermutation(SlashBurnOrder(StarGraph(50))));
+  EXPECT_TRUE(IsPermutation(SlashBurnOrder(CompleteGraph(10))));
+  // Isolated vertices.
+  EdgeList list;
+  list.Add(0, 1);
+  list.set_num_vertices(5);
+  EXPECT_TRUE(
+      IsPermutation(SlashBurnOrder(Graph::FromEdgeList(std::move(list)))));
+}
+
+TEST(GroOrderTest, PlacesOverlappingNeighborhoodsTogether) {
+  const Graph g = GenerateErdosRenyi(300, 1200, 64);
+  const Permutation perm = GroOrder(g);
+  ASSERT_TRUE(IsPermutation(perm));
+}
+
+TEST(GroOrderTest, CliqueStaysContiguous) {
+  // Two 5-cliques joined by one edge: each clique should occupy a
+  // contiguous id range (the greedy always has an in-clique candidate with
+  // more placed neighbors than anything across the bridge).
+  EdgeList list;
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) {
+      list.Add(u, v);
+      list.Add(5 + u, 5 + v);
+    }
+  }
+  list.Add(4, 5);
+  const Graph g = Graph::FromEdgeList(std::move(list));
+  const Permutation perm = GroOrder(g);
+  VertexId max_first = 0, min_first = 10, max_second = 0, min_second = 10;
+  for (VertexId v = 0; v < 5; ++v) {
+    max_first = std::max(max_first, perm[v]);
+    min_first = std::min(min_first, perm[v]);
+  }
+  for (VertexId v = 5; v < 10; ++v) {
+    max_second = std::max(max_second, perm[v]);
+    min_second = std::min(min_second, perm[v]);
+  }
+  // One clique fully precedes the other.
+  EXPECT_TRUE(max_first < min_second || max_second < min_first);
+  EXPECT_TRUE(IsPermutation(perm));
+}
+
+TEST(BfsOrderTest, LayersThePath) {
+  const Graph g = PathGraph(6);
+  EXPECT_EQ(BfsOrder(g), IdentityPermutation(6));
+}
+
+TEST(BfsOrderTest, ValidOnDisconnected) {
+  EdgeList list;
+  list.Add(0, 1);
+  list.set_num_vertices(4);
+  EXPECT_TRUE(IsPermutation(BfsOrder(Graph::FromEdgeList(std::move(list)))));
+}
+
+TEST(RcmOrderTest, ReducesPathBandwidth) {
+  // On a path, RCM keeps neighbors adjacent in the ordering.
+  const Graph g = PathGraph(64);
+  const Permutation perm = RcmOrder(g);
+  ASSERT_TRUE(IsPermutation(perm));
+  for (VertexId v = 0; v + 1 < 64; ++v) {
+    const int64_t gap = std::abs(static_cast<int64_t>(perm[v]) -
+                                 static_cast<int64_t>(perm[v + 1]));
+    EXPECT_EQ(gap, 1);
+  }
+}
+
+TEST(RcmOrderTest, ValidOnVariedGraphs) {
+  for (const Graph& g :
+       {GenerateErdosRenyi(400, 1200, 71), StarGraph(50),
+        GeneratePowerLawConfiguration(500, 2.0, 1, 80, 72)}) {
+    EXPECT_TRUE(IsPermutation(RcmOrder(g)));
+  }
+}
+
+TEST(RandomOrderTest, SeededAndValid) {
+  const Permutation a = RandomOrder(100, 7);
+  const Permutation b = RandomOrder(100, 7);
+  const Permutation c = RandomOrder(100, 8);
+  EXPECT_TRUE(IsPermutation(a));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace gputc

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "sim/memory.h"
+#include "tc/cost_rules.h"
+
+namespace gputc {
+namespace {
+
+DeviceSpec Spec() { return DeviceSpec::TitanXpLike(); }
+
+TEST(CostRulesTest, BinarySearchGlobalShape) {
+  const DeviceSpec spec = Spec();
+  const ThreadWork short_list = BinarySearchGlobal(8, spec);
+  const ThreadWork long_list = BinarySearchGlobal(1 << 16, spec);
+  EXPECT_GT(long_list.compute_ops, short_list.compute_ops);
+  EXPECT_GT(long_list.mem_transactions, short_list.mem_transactions);
+  EXPECT_EQ(short_list.shared_transactions, 0.0);
+  EXPECT_EQ(BinarySearchGlobal(0, spec).compute_ops, 0.0);
+}
+
+TEST(CostRulesTest, SharedSearchUsesSharedPipeline) {
+  const ThreadWork w = BinarySearchShared(1024, Spec());
+  EXPECT_GT(w.shared_transactions, 0.0);
+  EXPECT_EQ(w.mem_transactions, 0.0);
+  EXPECT_GT(w.compute_ops, 0.0);
+}
+
+TEST(CostRulesTest, BatchSearchCappedByListSegments) {
+  const DeviceSpec spec = Spec();
+  // 1000 keys into a 64-element list (2 segments): transactions must not
+  // exceed the list's segment count, however many keys are searched.
+  const ThreadWork w = BinarySearchBatch(1000, 64, /*shared=*/false, spec);
+  EXPECT_LE(w.mem_transactions, 2.0);
+  EXPECT_DOUBLE_EQ(w.compute_ops, 1000.0 * ProbesForBinarySearch(64));
+}
+
+TEST(CostRulesTest, BatchSearchSmallKeyCountsPayPerSearch) {
+  const DeviceSpec spec = Spec();
+  // 2 keys into a large list: per-search cold misses, not the segment cap.
+  const int64_t len = 1 << 15;
+  const ThreadWork w = BinarySearchBatch(2, len, /*shared=*/false, spec);
+  EXPECT_DOUBLE_EQ(w.mem_transactions,
+                   2.0 * static_cast<double>(
+                             ThreadBinarySearchTransactions(len, spec)));
+}
+
+TEST(CostRulesTest, BatchSearchSharedFlag) {
+  const DeviceSpec spec = Spec();
+  const ThreadWork global = BinarySearchBatch(10, 1000, false, spec);
+  const ThreadWork shared = BinarySearchBatch(10, 1000, true, spec);
+  EXPECT_EQ(global.shared_transactions, 0.0);
+  EXPECT_EQ(shared.mem_transactions, 0.0);
+  EXPECT_DOUBLE_EQ(global.mem_transactions, shared.shared_transactions);
+  EXPECT_DOUBLE_EQ(global.compute_ops, shared.compute_ops);
+}
+
+TEST(CostRulesTest, WarpSearchLaneShareDividesTransactions) {
+  const DeviceSpec spec = Spec();
+  const ThreadWork full = WarpSearchLaneShare(1 << 12, 32, spec);
+  EXPECT_NEAR(full.mem_transactions * 32.0,
+              static_cast<double>(
+                  WarpSharedListSearchTransactions(1 << 12, 32, spec)),
+              1e-9);
+  EXPECT_EQ(WarpSearchLaneShare(100, 0, spec).compute_ops, 0.0);
+}
+
+TEST(CostRulesTest, SequentialScanCoalesces) {
+  const DeviceSpec spec = Spec();
+  const ThreadWork w = SequentialScan(100, spec);
+  EXPECT_DOUBLE_EQ(w.compute_ops, 100.0);
+  // ceil(100 / 32) = 4 transactions.
+  EXPECT_DOUBLE_EQ(w.mem_transactions, 4.0);
+  EXPECT_EQ(SequentialScan(0, spec).mem_transactions, 0.0);
+}
+
+TEST(CostRulesTest, CoalescedLoadSharesAcrossLanes) {
+  const DeviceSpec spec = Spec();
+  const ThreadWork w = CoalescedLoadLaneShare(320, 32, spec);
+  EXPECT_DOUBLE_EQ(w.compute_ops, 10.0);
+  EXPECT_DOUBLE_EQ(w.mem_transactions, 10.0 / 32.0);
+}
+
+TEST(CostRulesTest, SortMergePaysDivergence) {
+  const DeviceSpec spec = Spec();
+  const ThreadWork w = SortMerge(50, 50, spec);
+  EXPECT_DOUBLE_EQ(w.compute_ops, 100.0 * spec.simt_divergence_penalty);
+  EXPECT_DOUBLE_EQ(w.mem_transactions, 4.0);  // 2 + 2 segments.
+}
+
+TEST(CostRulesTest, BitmapAccessIsScattered) {
+  const ThreadWork w = BitmapAccess(Spec());
+  EXPECT_DOUBLE_EQ(w.mem_transactions, 1.0);
+  EXPECT_DOUBLE_EQ(w.compute_ops, 1.0);
+}
+
+TEST(CostRulesTest, ThreadWorkAccumulates) {
+  ThreadWork a{1.0, 2.0, 3.0};
+  const ThreadWork b{10.0, 20.0, 30.0};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.compute_ops, 11.0);
+  EXPECT_DOUBLE_EQ(a.mem_transactions, 22.0);
+  EXPECT_DOUBLE_EQ(a.shared_transactions, 33.0);
+}
+
+}  // namespace
+}  // namespace gputc

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+#include "tc/cpu_counters.h"
+
+namespace gputc {
+namespace {
+
+TEST(DatasetsTest, RegistryIsPopulated) {
+  const auto names = DatasetNames();
+  EXPECT_GE(names.size(), 15u);
+  for (const auto& name : names) {
+    EXPECT_TRUE(HasDataset(name));
+    const DatasetSpec spec = GetDatasetSpec(name);
+    EXPECT_EQ(spec.name, name);
+    EXPECT_FALSE(spec.family.empty());
+    EXPECT_FALSE(spec.provenance.empty());
+  }
+  EXPECT_FALSE(HasDataset("no-such-dataset"));
+}
+
+TEST(DatasetsTest, PaperTableNamesPresent) {
+  for (const char* name :
+       {"email-Eucore", "email-Euall", "gowalla", "road_central", "soc-pokec",
+        "soc-LJ", "com-orkut", "com-lj", "cit-patents", "wiki-topcats",
+        "kron-logn18", "kron-logn21", "twitter_rv"}) {
+    EXPECT_TRUE(HasDataset(name)) << name;
+  }
+}
+
+class DatasetLoadTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DatasetLoadTest, LoadsAndIsDeterministic) {
+  const Graph a = LoadDataset(GetParam());
+  EXPECT_GT(a.num_vertices(), 0u);
+  EXPECT_GT(a.num_edges(), 0);
+  const Graph b = LoadDataset(GetParam());
+  EXPECT_EQ(a.adjacency(), b.adjacency());
+  EXPECT_EQ(a.offsets(), b.offsets());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, DatasetLoadTest,
+    ::testing::Values("email-Eucore", "gowalla", "road_central",
+                      "cit-patents", "kron-logn18", "twitter_rv"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-' || c == '_') c = 'X';
+      }
+      return name;
+    });
+
+TEST(DatasetsTest, FamiliesHaveExpectedShape) {
+  // Power-law stand-ins are skewed; the road stand-in is near-uniform.
+  const Graph social = LoadDataset("gowalla");
+  EXPECT_GT(static_cast<double>(social.MaxDegree()),
+            20 * social.AverageDegree());
+  const Graph road = LoadDataset("road_central");
+  EXPECT_LT(static_cast<double>(road.MaxDegree()), 4 * road.AverageDegree());
+}
+
+TEST(DatasetsTest, SocialStandInsHaveTriangles) {
+  EXPECT_GT(CountTrianglesForward(LoadDataset("email-Eucore")), 1000);
+  EXPECT_GT(CountTrianglesForward(LoadDataset("kron-logn18")), 1000);
+}
+
+TEST(DatasetsDeathTest, UnknownNameAborts) {
+  EXPECT_DEATH(LoadDataset("definitely-missing"), "unknown dataset");
+  EXPECT_DEATH(GetDatasetSpec("definitely-missing"), "unknown dataset");
+}
+
+}  // namespace
+}  // namespace gputc

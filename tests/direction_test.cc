@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "direction/cost_model.h"
+#include "direction/direction.h"
+#include "direction/peeling.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "graph/permutation.h"
+#include "tc/cpu_counters.h"
+
+namespace gputc {
+namespace {
+
+class DirectionStrategyTest
+    : public ::testing::TestWithParam<DirectionStrategy> {};
+
+TEST_P(DirectionStrategyTest, RankIsAPermutation) {
+  const Graph g = GeneratePowerLawConfiguration(2000, 2.1, 1, 200, 31);
+  const auto rank = DirectionRank(g, GetParam());
+  EXPECT_TRUE(IsPermutation(rank));
+}
+
+TEST_P(DirectionStrategyTest, OrientationHasNoDirectedTriangle) {
+  const Graph g = GeneratePowerLawConfiguration(800, 2.0, 2, 100, 32);
+  const DirectedGraph d = Orient(g, GetParam());
+  EXPECT_TRUE(HasNoDirectedTriangleCycle(g, d));
+}
+
+TEST_P(DirectionStrategyTest, TriangleCountIsOrientationInvariant) {
+  const Graph g = GenerateRmat(9, 6, 33);
+  const int64_t expected = CountTrianglesNodeIterator(g);
+  EXPECT_EQ(CountTrianglesDirected(Orient(g, GetParam())), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, DirectionStrategyTest,
+    ::testing::ValuesIn(AllDirectionStrategies()),
+    [](const ::testing::TestParamInfo<DirectionStrategy>& info) {
+      std::string name = ToString(info.param);
+      std::erase(name, '-');
+      return name;
+    });
+
+TEST(DirectionRankTest, IdBasedIsIdentity) {
+  const Graph g = StarGraph(6);
+  const auto rank = DirectionRank(g, DirectionStrategy::kIdBased);
+  EXPECT_EQ(rank, IdentityPermutation(6));
+}
+
+TEST(DirectionRankTest, DegreeBasedDrainsHubs) {
+  // Star: hub has max degree, so every edge points leaf -> hub.
+  const Graph g = StarGraph(50);
+  const DirectedGraph d = Orient(g, DirectionStrategy::kDegreeBased);
+  EXPECT_EQ(d.out_degree(0), 0);
+  for (VertexId leaf = 1; leaf < 50; ++leaf) {
+    EXPECT_EQ(d.out_degree(leaf), 1);
+  }
+}
+
+TEST(DirectionCostTest, StarCosts) {
+  const Graph g = StarGraph(50);
+  // ID-based: hub 0 gets all 49 out-edges. d_avg = 49/50.
+  const double id_cost = DirectionCost(Orient(g, DirectionStrategy::kIdBased));
+  // Degree-based: perfectly flat (every vertex within 1 of d_avg).
+  const double deg_cost =
+      DirectionCost(Orient(g, DirectionStrategy::kDegreeBased));
+  EXPECT_GT(id_cost, 10 * deg_cost);
+}
+
+TEST(DirectionCostTest, MatchesManualComputation) {
+  // Path 0-1-2 oriented by id: out-degrees 1,1,0; d_avg = 2/3.
+  const Graph g = PathGraph(3);
+  const DirectedGraph d = Orient(g, DirectionStrategy::kIdBased);
+  EXPECT_NEAR(DirectionCost(d), (1 - 2.0 / 3) * 2 + 2.0 / 3, 1e-12);
+}
+
+TEST(DirectionCostTest, ThresholdedCostOnlyCountsHubs) {
+  const Graph g = StarGraph(100);
+  const DirectedGraph d = Orient(g, DirectionStrategy::kIdBased);
+  // Only the hub exceeds 2x average degree.
+  const double hub_only = DirectionCostAboveThreshold(g, d, 2.0);
+  EXPECT_NEAR(hub_only, 99.0 - 99.0 / 100.0, 1e-9);
+  // Threshold 0 counts everything with degree > 0.
+  EXPECT_GT(DirectionCostAboveThreshold(g, d, 0.0), hub_only);
+}
+
+TEST(ADirectionTest, CostBeatsOrMatchesDegreeOnSkewedGraphs) {
+  for (const char* name : {"gowalla", "cit-patents", "kron-logn18"}) {
+    const Graph g = LoadDataset(name);
+    const double a_cost =
+        DirectionCost(Orient(g, DirectionStrategy::kADirection));
+    const double d_cost =
+        DirectionCost(Orient(g, DirectionStrategy::kDegreeBased));
+    const double id_cost =
+        DirectionCost(Orient(g, DirectionStrategy::kIdBased));
+    EXPECT_LE(a_cost, d_cost * 1.02) << name;
+    EXPECT_LT(a_cost, id_cost) << name;
+  }
+}
+
+TEST(ADirectionTest, PeelOrderCoversAllVertices) {
+  const Graph g = GeneratePowerLawConfiguration(3000, 2.0, 1, 300, 35);
+  const PeelingResult result = ADirectionPeel(g);
+  EXPECT_EQ(result.peel_order.size(), 3000u);
+  EXPECT_TRUE(IsPermutation(PermutationFromSequence(result.peel_order)));
+  EXPECT_GT(result.rounds, 0);
+  EXPECT_GT(result.peel_degree, 0);
+}
+
+TEST(ADirectionTest, NonCoreEdgesPointIntoCores) {
+  // Lemma 4.1: an edge between a non-core vertex (d < d_avg) and a core
+  // vertex must leave the non-core vertex. Star: every leaf is non-core.
+  const Graph g = StarGraph(64);
+  const DirectedGraph d = Orient(g, DirectionStrategy::kADirection);
+  EXPECT_EQ(d.out_degree(0), 0);
+}
+
+TEST(ADirectionTest, HandlesEmptyAndTinyGraphs) {
+  const PeelingResult empty = ADirectionPeel(Graph::FromEdgeList(EdgeList{}));
+  EXPECT_TRUE(empty.peel_order.empty());
+
+  const Graph single_edge = PathGraph(2);
+  const PeelingResult r = ADirectionPeel(single_edge);
+  EXPECT_EQ(r.peel_order.size(), 2u);
+}
+
+TEST(ADirectionTest, ThresholdGrowthSweepStaysValid) {
+  const Graph g = GeneratePowerLawConfiguration(1000, 2.2, 1, 150, 36);
+  for (double growth : {1.5, 2.0, 4.0}) {
+    PeelingOptions options;
+    options.threshold_growth = growth;
+    const PeelingResult result = ADirectionPeel(g, options);
+    EXPECT_EQ(result.peel_order.size(), 1000u);
+    const DirectedGraph d = DirectedGraph::FromRank(
+        g, PermutationFromSequence(result.peel_order));
+    EXPECT_TRUE(HasNoDirectedTriangleCycle(g, d));
+  }
+}
+
+TEST(ADirectionTest, FlattensOutDegreeDistribution) {
+  const Graph g = LoadDataset("kron-logn18");
+  const DirectedGraph a = Orient(g, DirectionStrategy::kADirection);
+  const DirectedGraph id = Orient(g, DirectionStrategy::kIdBased);
+  EXPECT_LT(a.MaxOutDegree(), id.MaxOutDegree());
+}
+
+}  // namespace
+}  // namespace gputc

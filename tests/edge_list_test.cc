@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "graph/edge_list.h"
+
+namespace gputc {
+namespace {
+
+TEST(EdgeListTest, AddGrowsVertexUniverse) {
+  EdgeList list;
+  list.Add(3, 7);
+  EXPECT_EQ(list.num_vertices(), 8u);
+  EXPECT_EQ(list.num_edges(), 1);
+}
+
+TEST(EdgeListTest, NormalizeRemovesSelfLoops) {
+  EdgeList list;
+  list.Add(1, 1);
+  list.Add(0, 2);
+  list.Normalize();
+  EXPECT_EQ(list.num_edges(), 1);
+  EXPECT_EQ(list.edges()[0], (Edge{0, 2}));
+}
+
+TEST(EdgeListTest, NormalizeDeduplicatesBothOrders) {
+  EdgeList list;
+  list.Add(2, 5);
+  list.Add(5, 2);
+  list.Add(2, 5);
+  list.Normalize();
+  EXPECT_EQ(list.num_edges(), 1);
+  EXPECT_TRUE(list.IsNormalized());
+}
+
+TEST(EdgeListTest, NormalizeSorts) {
+  EdgeList list;
+  list.Add(4, 1);
+  list.Add(0, 3);
+  list.Add(2, 1);
+  list.Normalize();
+  ASSERT_EQ(list.num_edges(), 3);
+  EXPECT_EQ(list.edges()[0], (Edge{0, 3}));
+  EXPECT_EQ(list.edges()[1], (Edge{1, 2}));
+  EXPECT_EQ(list.edges()[2], (Edge{1, 4}));
+}
+
+TEST(EdgeListTest, NormalizeIsIdempotent) {
+  EdgeList list;
+  list.Add(4, 1);
+  list.Add(1, 4);
+  list.Normalize();
+  const auto first = list.edges();
+  list.Normalize();
+  EXPECT_EQ(list.edges(), first);
+}
+
+TEST(EdgeListTest, IsNormalizedDetectsViolations) {
+  EdgeList unsorted;
+  unsorted.Add(1, 2);
+  unsorted.Add(0, 1);
+  EXPECT_FALSE(unsorted.IsNormalized());
+
+  EdgeList reversed;
+  reversed.Add(2, 1);
+  EXPECT_FALSE(reversed.IsNormalized());
+
+  EdgeList good;
+  good.Add(0, 1);
+  good.Add(1, 2);
+  EXPECT_TRUE(good.IsNormalized());
+}
+
+TEST(EdgeListTest, SetNumVerticesKeepsIsolatedVertices) {
+  EdgeList list;
+  list.Add(0, 1);
+  list.set_num_vertices(10);
+  EXPECT_EQ(list.num_vertices(), 10u);
+}
+
+TEST(EdgeListDeathTest, SetNumVerticesBelowEndpointAborts) {
+  EdgeList list;
+  list.Add(0, 5);
+  EXPECT_DEATH(list.set_num_vertices(3), "endpoint");
+}
+
+}  // namespace
+}  // namespace gputc

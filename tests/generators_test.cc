@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "tc/cpu_counters.h"
+
+namespace gputc {
+namespace {
+
+TEST(FixtureTest, CompleteGraphTriangles) {
+  // K_n has C(n, 3) triangles.
+  EXPECT_EQ(CountTrianglesForward(CompleteGraph(4)), 4);
+  EXPECT_EQ(CountTrianglesForward(CompleteGraph(6)), 20);
+  EXPECT_EQ(CountTrianglesForward(CompleteGraph(10)), 120);
+}
+
+TEST(FixtureTest, TriangleFreeFamilies) {
+  EXPECT_EQ(CountTrianglesForward(CycleGraph(5)), 0);
+  EXPECT_EQ(CountTrianglesForward(StarGraph(20)), 0);
+  EXPECT_EQ(CountTrianglesForward(PathGraph(20)), 0);
+  EXPECT_EQ(CountTrianglesForward(GridGraph(5, 7)), 0);
+  EXPECT_EQ(CountTrianglesForward(CompleteBipartiteGraph(4, 6)), 0);
+}
+
+TEST(FixtureTest, SmallCycleAndWheel) {
+  EXPECT_EQ(CountTrianglesForward(CycleGraph(3)), 1);
+  EXPECT_EQ(CountTrianglesForward(WheelGraph(6)), 5);
+  EXPECT_EQ(CountTrianglesForward(WheelGraph(10)), 9);
+}
+
+TEST(FixtureTest, GridShape) {
+  const Graph g = GridGraph(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  EXPECT_EQ(g.num_edges(), 3 * 3 + 2 * 4);  // Horizontal + vertical.
+}
+
+TEST(ErdosRenyiTest, ExactEdgeCount) {
+  const Graph g = GenerateErdosRenyi(200, 1000, /*seed=*/1);
+  EXPECT_EQ(g.num_vertices(), 200u);
+  EXPECT_EQ(g.num_edges(), 1000);
+}
+
+TEST(ErdosRenyiTest, DeterministicBySeed) {
+  const Graph a = GenerateErdosRenyi(100, 400, 9);
+  const Graph b = GenerateErdosRenyi(100, 400, 9);
+  EXPECT_EQ(a.adjacency(), b.adjacency());
+  const Graph c = GenerateErdosRenyi(100, 400, 10);
+  EXPECT_NE(a.adjacency(), c.adjacency());
+}
+
+TEST(BarabasiAlbertTest, DegreesAndSkew) {
+  const Graph g = GenerateBarabasiAlbert(2000, 3, /*seed=*/2);
+  EXPECT_EQ(g.num_vertices(), 2000u);
+  // Every non-seed vertex attaches with 3 edges.
+  EXPECT_GE(g.num_edges(), 3 * (2000 - 4));
+  // Preferential attachment produces hubs far above the minimum degree.
+  EXPECT_GT(g.MaxDegree(), 30);
+}
+
+TEST(WattsStrogatzTest, NearUniformDegrees) {
+  const Graph g = GenerateWattsStrogatz(1000, 4, 0.05, /*seed=*/3);
+  EXPECT_EQ(g.num_vertices(), 1000u);
+  // Rewiring loses a few edges to collisions, but degree stays near k.
+  EXPECT_GT(g.AverageDegree(), 3.0);
+  EXPECT_LT(g.MaxDegree(), 12);
+  // The lattice has triangles only for k >= 4... k=4 ring lattice has n
+  // triangles before rewiring; most should survive beta=0.05.
+  EXPECT_GT(CountTrianglesForward(g), 500);
+}
+
+TEST(PowerLawTest, DegreeSequenceWithinBounds) {
+  const auto degrees = PowerLawDegreeSequence(5000, 2.2, 2, 500, /*seed=*/4);
+  EdgeCount max_seen = 0;
+  for (EdgeCount d : degrees) {
+    EXPECT_GE(d, 2);
+    EXPECT_LE(d, 500);
+    max_seen = std::max(max_seen, d);
+  }
+  // The tail should actually be exercised.
+  EXPECT_GT(max_seen, 50);
+}
+
+TEST(PowerLawTest, ConfigurationGraphIsSkewed) {
+  const Graph g = GeneratePowerLawConfiguration(5000, 2.1, 2, 500, /*seed=*/5);
+  EXPECT_EQ(g.num_vertices(), 5000u);
+  EXPECT_GT(g.num_edges(), 4000);
+  EXPECT_GT(static_cast<double>(g.MaxDegree()), 10 * g.AverageDegree());
+}
+
+TEST(PowerLawTest, HigherGammaThinnerTail) {
+  const Graph heavy = GeneratePowerLawConfiguration(4000, 1.8, 2, 1000, 6);
+  const Graph thin = GeneratePowerLawConfiguration(4000, 3.0, 2, 1000, 6);
+  EXPECT_GT(heavy.MaxDegree(), thin.MaxDegree());
+}
+
+TEST(RmatTest, SizeAndSkew) {
+  const Graph g = GenerateRmat(10, 8, /*seed=*/7);
+  EXPECT_EQ(g.num_vertices(), 1u << 10);
+  // Duplicates get merged, so the realized count is below 8 * 2^10.
+  EXPECT_GT(g.num_edges(), 4 << 10);
+  EXPECT_LE(g.num_edges(), 8 << 10);
+  EXPECT_GT(static_cast<double>(g.MaxDegree()), 4 * g.AverageDegree());
+}
+
+TEST(RmatTest, Deterministic) {
+  const Graph a = GenerateRmat(8, 4, 11);
+  const Graph b = GenerateRmat(8, 4, 11);
+  EXPECT_EQ(a.adjacency(), b.adjacency());
+}
+
+class GeneratorSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratorSeedTest, AllFamiliesProduceSimpleGraphs) {
+  const uint64_t seed = GetParam();
+  for (const Graph& g :
+       {GenerateErdosRenyi(300, 900, seed),
+        GenerateBarabasiAlbert(300, 2, seed),
+        GenerateWattsStrogatz(300, 4, 0.1, seed),
+        GeneratePowerLawConfiguration(300, 2.0, 1, 60, seed),
+        GenerateRmat(8, 4, seed)}) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      const auto nbrs = g.neighbors(v);
+      // Sorted, no self loops, no duplicates.
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        EXPECT_NE(nbrs[i], v);
+        if (i > 0) {
+          EXPECT_LT(nbrs[i - 1], nbrs[i]);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedTest,
+                         ::testing::Values(1, 2, 3, 17, 12345));
+
+}  // namespace
+}  // namespace gputc

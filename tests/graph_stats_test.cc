@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "graph/graph_stats.h"
+
+namespace gputc {
+namespace {
+
+TEST(ConnectedComponentsTest, SingleComponent) {
+  std::vector<int64_t> sizes;
+  const auto comp = ConnectedComponents(CompleteGraph(10), &sizes);
+  ASSERT_EQ(sizes.size(), 1u);
+  EXPECT_EQ(sizes[0], 10);
+  for (int64_t c : comp) EXPECT_EQ(c, 0);
+}
+
+TEST(ConnectedComponentsTest, MultipleComponentsAndIsolated) {
+  EdgeList list;
+  list.Add(0, 1);
+  list.Add(2, 3);
+  list.Add(3, 4);
+  list.set_num_vertices(7);  // 5, 6 isolated.
+  std::vector<int64_t> sizes;
+  const auto comp =
+      ConnectedComponents(Graph::FromEdgeList(std::move(list)), &sizes);
+  EXPECT_EQ(sizes.size(), 4u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[5], comp[6]);
+}
+
+TEST(GraphStatsTest, EmptyGraph) {
+  const GraphStats stats = ComputeGraphStats(Graph::FromEdgeList(EdgeList{}));
+  EXPECT_EQ(stats.num_vertices, 0u);
+  EXPECT_EQ(stats.num_components, 0);
+}
+
+TEST(GraphStatsTest, UniformGraphHasLowGini) {
+  const GraphStats stats = ComputeGraphStats(CycleGraph(1000));
+  EXPECT_DOUBLE_EQ(stats.average_degree, 2.0);
+  EXPECT_EQ(stats.max_degree, 2);
+  EXPECT_EQ(stats.median_degree, 2);
+  EXPECT_NEAR(stats.degree_gini, 0.0, 1e-9);
+  EXPECT_EQ(stats.num_components, 1);
+}
+
+TEST(GraphStatsTest, StarIsMaximallySkewed) {
+  const GraphStats stats = ComputeGraphStats(StarGraph(1000));
+  EXPECT_EQ(stats.max_degree, 999);
+  EXPECT_EQ(stats.median_degree, 1);
+  EXPECT_GT(stats.degree_gini, 0.45);
+}
+
+TEST(GraphStatsTest, PowerLawGammaRecovered) {
+  // The MLE should land near the generating exponent.
+  const Graph g =
+      GeneratePowerLawConfiguration(30000, 2.3, 2, 3000, /*seed=*/7);
+  const GraphStats stats = ComputeGraphStats(g);
+  EXPECT_GT(stats.gamma_estimate, 1.9);
+  EXPECT_LT(stats.gamma_estimate, 2.8);
+  EXPECT_GT(stats.degree_gini, 0.2);
+}
+
+TEST(GraphStatsTest, RoadStandInVsSocialStandIn) {
+  const GraphStats road = ComputeGraphStats(LoadDataset("road_central"));
+  const GraphStats social = ComputeGraphStats(LoadDataset("gowalla"));
+  // The skew statistics that drive the paper's preprocessing.
+  EXPECT_LT(road.degree_gini, 0.2);
+  EXPECT_GT(social.degree_gini, 0.4);
+  EXPECT_LT(road.max_degree, 3 * static_cast<EdgeCount>(road.average_degree) + 4);
+  EXPECT_GT(static_cast<double>(social.max_degree),
+            20.0 * social.average_degree);
+}
+
+TEST(GraphStatsTest, ComponentsCounted) {
+  EdgeList list;
+  list.Add(0, 1);
+  list.Add(2, 3);
+  list.set_num_vertices(6);
+  const GraphStats stats =
+      ComputeGraphStats(Graph::FromEdgeList(std::move(list)));
+  EXPECT_EQ(stats.num_components, 4);
+  EXPECT_EQ(stats.largest_component, 2);
+  EXPECT_EQ(stats.isolated_vertices, 2);
+}
+
+TEST(GraphStatsTest, FormatMentionsKeyFields) {
+  const std::string text =
+      FormatGraphStats(ComputeGraphStats(CompleteGraph(6)));
+  EXPECT_NE(text.find("vertices"), std::string::npos);
+  EXPECT_NE(text.find("gini"), std::string::npos);
+  EXPECT_NE(text.find("components"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gputc

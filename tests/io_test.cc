@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+
+namespace gputc {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(SnapTextTest, ParsesCommentsAndWhitespace) {
+  std::istringstream in(
+      "# comment line\n"
+      "% another comment\n"
+      "0\t1\n"
+      "1 2\n"
+      "\n"
+      "2   0\n");
+  const auto g = ReadSnapText(in);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->num_vertices(), 3u);
+  EXPECT_EQ(g->num_edges(), 3);
+}
+
+TEST(SnapTextTest, RemapsSparseIdsDensely) {
+  std::istringstream in("1000000 2000000\n2000000 5\n");
+  const auto g = ReadSnapText(in);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->num_vertices(), 3u);
+  EXPECT_EQ(g->num_edges(), 2);
+}
+
+TEST(SnapTextTest, MalformedLineFails) {
+  std::istringstream in("0 1\nnot numbers\n");
+  EXPECT_FALSE(ReadSnapText(in).has_value());
+}
+
+TEST(SnapTextTest, RoundTrip) {
+  const Graph g = GenerateErdosRenyi(80, 200, /*seed=*/1);
+  std::ostringstream out;
+  WriteSnapText(g, out);
+  std::istringstream in(out.str());
+  const auto h = ReadSnapText(in);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->num_vertices(), g.num_vertices());
+  EXPECT_EQ(h->num_edges(), g.num_edges());
+  // Writer emits edges in id order, so the reader's dense remap may relabel;
+  // compare degree multisets.
+  std::vector<EdgeCount> dg, dh;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    dg.push_back(g.degree(v));
+    dh.push_back(h->degree(v));
+  }
+  std::sort(dg.begin(), dg.end());
+  std::sort(dh.begin(), dh.end());
+  EXPECT_EQ(dg, dh);
+}
+
+TEST(SnapTextTest, FileRoundTrip) {
+  const Graph g = GenerateRmat(6, 4, /*seed=*/9);
+  const std::string path = TempPath("snap_roundtrip.txt");
+  ASSERT_TRUE(SaveSnapText(g, path));
+  const auto h = LoadSnapText(path);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->num_edges(), g.num_edges());
+  std::remove(path.c_str());
+}
+
+TEST(SnapTextTest, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(LoadSnapText("/nonexistent/path/graph.txt").has_value());
+}
+
+TEST(BinaryTest, RoundTripExact) {
+  const Graph g = GenerateErdosRenyi(120, 500, /*seed=*/13);
+  const std::string path = TempPath("graph.bin");
+  ASSERT_TRUE(SaveBinary(g, path));
+  const auto h = LoadBinary(path);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->num_vertices(), g.num_vertices());
+  EXPECT_EQ(h->num_edges(), g.num_edges());
+  EXPECT_EQ(h->offsets(), g.offsets());
+  EXPECT_EQ(h->adjacency(), g.adjacency());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryTest, RejectsWrongMagic) {
+  const std::string path = TempPath("not_a_graph.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "garbage data that is not a graph";
+  }
+  EXPECT_FALSE(LoadBinary(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryTest, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(LoadBinary("/nonexistent/graph.bin").has_value());
+}
+
+}  // namespace
+}  // namespace gputc

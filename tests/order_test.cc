@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "direction/direction.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "order/aorder.h"
+#include "order/calibration.h"
+#include "order/ordering.h"
+#include "order/resource_model.h"
+
+namespace gputc {
+namespace {
+
+ResourceModel TestModel() {
+  return CalibratedResourceModel(DeviceSpec::TitanXpLike());
+}
+
+class OrderingStrategyTest : public ::testing::TestWithParam<OrderingStrategy> {
+};
+
+TEST_P(OrderingStrategyTest, ProducesAPermutation) {
+  const Graph g = GeneratePowerLawConfiguration(1500, 2.1, 1, 150, 51);
+  const DirectedGraph d = Orient(g, DirectionStrategy::kDegreeBased);
+  const Permutation perm =
+      ComputeOrdering(g, d, GetParam(), TestModel(), AOrderOptions{64});
+  EXPECT_TRUE(IsPermutation(perm));
+}
+
+TEST_P(OrderingStrategyTest, WorksOnDisconnectedGraphs) {
+  // Two components plus isolated vertices.
+  EdgeList list;
+  list.Add(0, 1);
+  list.Add(1, 2);
+  list.Add(0, 2);
+  list.Add(5, 6);
+  list.set_num_vertices(10);
+  const Graph g = Graph::FromEdgeList(std::move(list));
+  const DirectedGraph d = Orient(g, DirectionStrategy::kIdBased);
+  const Permutation perm =
+      ComputeOrdering(g, d, GetParam(), TestModel(), AOrderOptions{4});
+  EXPECT_TRUE(IsPermutation(perm));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, OrderingStrategyTest,
+    ::testing::Values(OrderingStrategy::kOriginal, OrderingStrategy::kDegree,
+                      OrderingStrategy::kAOrder, OrderingStrategy::kDfs,
+                      OrderingStrategy::kBfsR, OrderingStrategy::kSlashBurn,
+                      OrderingStrategy::kGro, OrderingStrategy::kBfs,
+                      OrderingStrategy::kRcm, OrderingStrategy::kRandom),
+    [](const ::testing::TestParamInfo<OrderingStrategy>& info) {
+      std::string name = ToString(info.param);
+      std::erase(name, '-');
+      return name;
+    });
+
+TEST(AOrderTest, EmptyInput) {
+  const AOrderResult r = AOrder({}, TestModel());
+  EXPECT_TRUE(r.perm.empty());
+  EXPECT_EQ(r.num_memory_dominated + r.num_compute_dominated, 0);
+}
+
+TEST(AOrderTest, PartitionsVerticesByDominance) {
+  const ResourceModel model = TestModel();
+  // Mix of tiny degrees (compute-dominated) and huge ones (memory).
+  std::vector<EdgeCount> degrees;
+  for (int i = 0; i < 64; ++i) degrees.push_back(1);
+  for (int i = 0; i < 64; ++i) degrees.push_back(4096);
+  const AOrderResult r = AOrder(degrees, model, AOrderOptions{16});
+  EXPECT_TRUE(IsPermutation(r.perm));
+  EXPECT_EQ(r.num_memory_dominated + r.num_compute_dominated, 128);
+  EXPECT_GT(r.num_memory_dominated, 0);
+  EXPECT_GT(r.num_compute_dominated, 0);
+}
+
+TEST(AOrderTest, MixesDominanceClassesWithinBuckets) {
+  const ResourceModel model = TestModel();
+  std::vector<EdgeCount> degrees;
+  for (int i = 0; i < 64; ++i) degrees.push_back(1);
+  for (int i = 0; i < 64; ++i) degrees.push_back(4096);
+  const int bucket_size = 16;
+  const AOrderResult r = AOrder(degrees, model, AOrderOptions{bucket_size});
+  // Every bucket should contain both short-list and long-list vertices.
+  std::vector<std::set<EdgeCount>> bucket_kinds(128 / bucket_size);
+  for (size_t v = 0; v < degrees.size(); ++v) {
+    bucket_kinds[r.perm[v] / bucket_size].insert(degrees[v]);
+  }
+  for (const auto& kinds : bucket_kinds) {
+    EXPECT_EQ(kinds.size(), 2u);
+  }
+}
+
+TEST(AOrderTest, BeatsDegreeOrderOnImbalanceObjective) {
+  const Graph g = LoadDataset("gowalla");
+  const DirectedGraph d = Orient(g, DirectionStrategy::kDegreeBased);
+  const ResourceModel model = TestModel();
+  const std::vector<EdgeCount> degs = d.OutDegrees();
+  const int bucket = 256;
+
+  const double a_cost =
+      AOrder(degs, model, AOrderOptions{bucket}).imbalance_cost;
+  const double original_cost = OrderingImbalanceCost(
+      degs, IdentityPermutation(d.num_vertices()), bucket, model);
+  const double degree_cost = OrderingImbalanceCost(
+      degs, ComputeOrdering(g, d, OrderingStrategy::kDegree, model), bucket,
+      model);
+  // Eq. 3: A-order < Original < D-order (D-order groups equal resource
+  // preferences, the paper's worst case).
+  EXPECT_LT(a_cost, original_cost);
+  EXPECT_LT(original_cost, degree_cost);
+}
+
+TEST(ResourceModelTest, IntensityShapes) {
+  const ResourceModel model = TestModel();
+  // F_c decreasing in degree, F_m nondecreasing.
+  EXPECT_GT(model.ComputeIntensity(1), model.ComputeIntensity(100));
+  EXPECT_LE(model.MemoryIntensity(1), model.MemoryIntensity(4096));
+  // Degree 0 treated as 1.
+  EXPECT_EQ(model.ComputeIntensity(0), model.ComputeIntensity(1));
+  EXPECT_GT(model.lambda(), 0.0);
+}
+
+TEST(ResourceModelTest, MemorySuperioritySignSeparatesClasses) {
+  const ResourceModel model = TestModel();
+  EXPECT_LT(model.MemorySuperiority(1), model.MemorySuperiority(1 << 14));
+}
+
+TEST(BucketCostsTest, SplitsByPermutedPosition) {
+  const ResourceModel model = TestModel();
+  const std::vector<EdgeCount> degs = {1, 1, 100, 100};
+  // Identity: bucket 0 = {1, 1}, bucket 1 = {100, 100}.
+  const auto identity_costs =
+      BucketCosts(degs, IdentityPermutation(4), 2, model);
+  ASSERT_EQ(identity_costs.size(), 2u);
+  EXPECT_GT(identity_costs[0].compute, identity_costs[1].compute);
+  EXPECT_LT(identity_costs[0].memory, identity_costs[1].memory);
+
+  // Interleaved: buckets become identical.
+  const Permutation interleave = {0, 2, 1, 3};
+  const auto mixed_costs = BucketCosts(degs, interleave, 2, model);
+  EXPECT_DOUBLE_EQ(mixed_costs[0].compute, mixed_costs[1].compute);
+  EXPECT_DOUBLE_EQ(mixed_costs[0].memory, mixed_costs[1].memory);
+}
+
+TEST(OrderingImbalanceTest, InterleavingLowersCost) {
+  const ResourceModel model = TestModel();
+  std::vector<EdgeCount> degs;
+  for (int i = 0; i < 32; ++i) degs.push_back(1);
+  for (int i = 0; i < 32; ++i) degs.push_back(2048);
+  Permutation interleave(64);
+  for (VertexId v = 0; v < 32; ++v) {
+    interleave[v] = 2 * v;           // Short lists at even slots.
+    interleave[32 + v] = 2 * v + 1;  // Long lists at odd slots.
+  }
+  const double mixed = OrderingImbalanceCost(degs, interleave, 8, model);
+  const double segregated =
+      OrderingImbalanceCost(degs, IdentityPermutation(64), 8, model);
+  EXPECT_LT(mixed, segregated);
+}
+
+}  // namespace
+}  // namespace gputc

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/permutation.h"
+#include "tc/cpu_counters.h"
+
+namespace gputc {
+namespace {
+
+TEST(PermutationTest, IdentityAndValidity) {
+  const Permutation id = IdentityPermutation(5);
+  EXPECT_TRUE(IsPermutation(id));
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(id[v], v);
+
+  EXPECT_FALSE(IsPermutation({0, 0, 1}));
+  EXPECT_FALSE(IsPermutation({0, 3, 1}));
+  EXPECT_TRUE(IsPermutation({2, 0, 1}));
+}
+
+TEST(PermutationTest, InverseComposesToIdentity) {
+  const Permutation p = {2, 0, 3, 1};
+  const Permutation inv = InversePermutation(p);
+  const Permutation composed = Compose(inv, p);
+  EXPECT_EQ(composed, IdentityPermutation(4));
+}
+
+TEST(PermutationTest, ComposeOrder) {
+  // outer applied after inner: result[v] = outer[inner[v]].
+  const Permutation inner = {1, 2, 0};
+  const Permutation outer = {2, 0, 1};
+  const Permutation composed = Compose(outer, inner);
+  EXPECT_EQ(composed, (Permutation{0, 1, 2}));
+}
+
+TEST(PermutationTest, FromSequence) {
+  // Sequence lists old ids in new-id order.
+  const Permutation p = PermutationFromSequence({2, 0, 1});
+  EXPECT_EQ(p[2], 0u);
+  EXPECT_EQ(p[0], 1u);
+  EXPECT_EQ(p[1], 2u);
+}
+
+TEST(PermutationTest, ApplyPreservesStructure) {
+  const Graph g = GenerateErdosRenyi(40, 150, /*seed=*/21);
+  Permutation perm(40);
+  for (VertexId v = 0; v < 40; ++v) perm[v] = (v * 7 + 3) % 40;
+  ASSERT_TRUE(IsPermutation(perm));
+  const Graph h = ApplyPermutation(g, perm);
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (VertexId u = 0; u < 40; ++u) {
+    EXPECT_EQ(h.degree(perm[u]), g.degree(u));
+    for (VertexId v : g.neighbors(u)) {
+      EXPECT_TRUE(h.HasEdge(perm[u], perm[v]));
+    }
+  }
+}
+
+TEST(PermutationTest, RelabelingIsTriangleInvariant) {
+  const Graph g = GeneratePowerLawConfiguration(500, 2.0, 2, 60, /*seed=*/22);
+  const int64_t before = CountTrianglesForward(g);
+  Permutation perm(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    perm[v] = (v * 13 + 5) % g.num_vertices();
+  }
+  // 13 is coprime with 500, so this is a bijection.
+  ASSERT_TRUE(IsPermutation(perm));
+  EXPECT_EQ(CountTrianglesForward(ApplyPermutation(g, perm)), before);
+}
+
+}  // namespace
+}  // namespace gputc

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "direction/direction.h"
+#include "graph/datasets.h"
+#include "sim/profiler.h"
+#include "tc/registry.h"
+
+namespace gputc {
+namespace {
+
+KernelStats MakeStats(double compute, double global, double shared,
+                      double sync, double utilization) {
+  KernelStats stats;
+  stats.compute_cycles = compute;
+  stats.memory_cycles = global;
+  stats.shared_cycles = shared;
+  stats.sync_cycles = sync;
+  stats.sm_utilization = utilization;
+  stats.cycles = compute + global + shared + sync;
+  stats.millis = stats.cycles / 1.4e6;
+  stats.num_blocks = 10;
+  stats.supersteps = 20;
+  stats.total_ops = 1000;
+  stats.total_transactions = 100;
+  return stats;
+}
+
+TEST(ProfilerTest, ClassifiesDominantResource) {
+  EXPECT_EQ(ProfileKernel(MakeStats(100, 10, 5, 1, 0.9)).bottleneck,
+            KernelBottleneck::kCompute);
+  EXPECT_EQ(ProfileKernel(MakeStats(10, 100, 5, 1, 0.9)).bottleneck,
+            KernelBottleneck::kGlobalMemory);
+  EXPECT_EQ(ProfileKernel(MakeStats(10, 5, 100, 1, 0.9)).bottleneck,
+            KernelBottleneck::kSharedMemory);
+  EXPECT_EQ(ProfileKernel(MakeStats(10, 5, 1, 100, 0.9)).bottleneck,
+            KernelBottleneck::kSynchronization);
+}
+
+TEST(ProfilerTest, LowUtilizationTrumpsResources) {
+  const KernelReport report = ProfileKernel(MakeStats(100, 10, 5, 1, 0.2));
+  EXPECT_EQ(report.bottleneck, KernelBottleneck::kLoadImbalance);
+}
+
+TEST(ProfilerTest, IdleKernel) {
+  KernelStats stats;
+  const KernelReport report = ProfileKernel(stats);
+  EXPECT_EQ(report.bottleneck, KernelBottleneck::kIdle);
+  EXPECT_EQ(report.bottleneck_fraction, 0.0);
+}
+
+TEST(ProfilerTest, DerivedRatios) {
+  const KernelReport report = ProfileKernel(MakeStats(100, 10, 5, 1, 0.9));
+  EXPECT_DOUBLE_EQ(report.ops_per_transaction, 10.0);
+  EXPECT_DOUBLE_EQ(report.supersteps_per_block, 2.0);
+  EXPECT_NEAR(report.bottleneck_fraction, 100.0 / 116.0, 1e-12);
+}
+
+TEST(ProfilerTest, NamesAreStable) {
+  EXPECT_EQ(ToString(KernelBottleneck::kCompute), "compute");
+  EXPECT_EQ(ToString(KernelBottleneck::kGlobalMemory), "global-memory");
+  EXPECT_EQ(ToString(KernelBottleneck::kLoadImbalance), "load-imbalance");
+}
+
+TEST(ProfilerTest, RealKernelReportsSaneValues) {
+  const Graph g = LoadDataset("gowalla");
+  const DirectedGraph d = Orient(g, DirectionStrategy::kDegreeBased);
+  const TcResult r = MakeCounter(TcAlgorithm::kHu)->Count(
+      d, DeviceSpec::TitanXpLike());
+  const KernelReport report = ProfileKernel(r.kernel);
+  EXPECT_NE(report.bottleneck, KernelBottleneck::kIdle);
+  EXPECT_GT(report.ops_per_transaction, 0.0);
+  EXPECT_GT(report.supersteps_per_block, 0.0);  // Hu is a BSP kernel.
+  const std::string text = FormatKernelReport(r.kernel);
+  EXPECT_NE(text.find("bottleneck"), std::string::npos);
+  EXPECT_NE(text.find("sm utilization"), std::string::npos);
+}
+
+TEST(ProfilerTest, BspVsNonBspSuperstepCounts) {
+  const Graph g = LoadDataset("email-Eucore");
+  const DirectedGraph d = Orient(g, DirectionStrategy::kDegreeBased);
+  const DeviceSpec spec = DeviceSpec::TitanXpLike();
+  const KernelReport hu =
+      ProfileKernel(MakeCounter(TcAlgorithm::kHu)->Count(d, spec).kernel);
+  const KernelReport tricore = ProfileKernel(
+      MakeCounter(TcAlgorithm::kTriCore)->Count(d, spec).kernel);
+  EXPECT_GT(hu.supersteps_per_block, 0.0);
+  EXPECT_EQ(tricore.supersteps_per_block, 0.0);
+}
+
+}  // namespace
+}  // namespace gputc

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/block_cost.h"
+#include "sim/device.h"
+#include "sim/warp_scheduler.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace gputc {
+namespace {
+
+// The closed-form BlockCostModel is the workhorse; the event-driven
+// WarpSchedulerSim is the reference. These tests check the two agree on
+// ranking and correlate strongly, which is what the preprocessing
+// conclusions rely on.
+
+DeviceSpec Spec() { return DeviceSpec::TitanXpLike(); }
+
+/// Builds matched inputs: per-warp (compute, transactions) pairs are fed to
+/// both models.
+struct MatchedBlock {
+  std::vector<WarpTrace> traces;
+  std::vector<ThreadWork> threads;
+};
+
+MatchedBlock MakeBlock(const DeviceSpec& spec, Rng* rng, double mem_bias,
+                       double scale = 1.0) {
+  MatchedBlock block;
+  block.threads.resize(static_cast<size_t>(spec.threads_per_block()));
+  for (int w = 0; w < spec.warps_per_block; ++w) {
+    WarpTrace trace;
+    double total_c = 0.0, total_m = 0.0;
+    const int segments = 4;
+    for (int s = 0; s < segments; ++s) {
+      WarpSegment seg;
+      seg.compute_cycles =
+          scale * (1.0 + rng->NextDouble() * 20.0 * (1.0 - mem_bias));
+      seg.mem_transactions = scale * rng->NextDouble() * 12.0 * mem_bias;
+      total_c += seg.compute_cycles;
+      total_m += seg.mem_transactions;
+      trace.push_back(seg);
+    }
+    block.traces.push_back(trace);
+    // Spread the warp's aggregate work evenly over its lanes for the
+    // closed-form model (its warp-max then equals the trace's compute).
+    for (int lane = 0; lane < spec.warp_size; ++lane) {
+      ThreadWork& t =
+          block.threads[static_cast<size_t>(w * spec.warp_size + lane)];
+      t.compute_ops = total_c;
+      t.mem_transactions = total_m / spec.warp_size;
+    }
+  }
+  return block;
+}
+
+TEST(SimAgreementTest, ModelsCorrelateAcrossRandomBlocks) {
+  const DeviceSpec spec = Spec();
+  const WarpSchedulerSim reference(spec);
+  Rng rng(77);
+  std::vector<double> analytic, event_driven;
+  for (int trial = 0; trial < 40; ++trial) {
+    const double mem_bias = (trial % 5) / 4.0;
+    // Spread block sizes over an order of magnitude: the models must track
+    // both composition and volume.
+    const double scale = 1.0 + (trial % 8);
+    const MatchedBlock block = MakeBlock(spec, &rng, mem_bias, scale);
+    analytic.push_back(PriceBlock(spec, block.threads).cycles);
+    event_driven.push_back(reference.RunBlock(block.traces).cycles);
+  }
+  EXPECT_GT(PearsonCorrelation(analytic, event_driven), 0.8);
+}
+
+TEST(SimAgreementTest, BothModelsPreferMixedBlocks) {
+  const DeviceSpec spec = Spec();
+  const WarpSchedulerSim reference(spec);
+
+  // Memory-only and compute-only warps vs mixed assignment, equal totals.
+  auto mem_trace = [] {
+    return WarpTrace{{2.0, 40.0}, {2.0, 40.0}};
+  };
+  auto comp_trace = [] {
+    return WarpTrace{{60.0, 0.0}, {60.0, 0.0}};
+  };
+  std::vector<WarpTrace> segregated_a(8, mem_trace());
+  std::vector<WarpTrace> segregated_b(8, comp_trace());
+  std::vector<WarpTrace> mixed;
+  for (int i = 0; i < 4; ++i) {
+    mixed.push_back(mem_trace());
+    mixed.push_back(comp_trace());
+  }
+  const double segregated = reference.RunBlock(segregated_a).cycles +
+                            reference.RunBlock(segregated_b).cycles;
+  const double mixed_total = 2.0 * reference.RunBlock(mixed).cycles;
+  EXPECT_LT(mixed_total, segregated);
+}
+
+TEST(WarpSchedulerTest, EmptyAndTrivialTraces) {
+  const WarpSchedulerSim sim(Spec());
+  EXPECT_EQ(sim.RunBlock({}).cycles, 0.0);
+  const ScheduleResult r = sim.RunBlock({WarpTrace{{10.0, 0.0}}});
+  EXPECT_DOUBLE_EQ(r.cycles, 10.0);
+  EXPECT_DOUBLE_EQ(r.compute_busy, 10.0);
+}
+
+TEST(WarpSchedulerTest, MemoryLatencyOnCriticalPath) {
+  const DeviceSpec spec = Spec();
+  const WarpSchedulerSim sim(spec);
+  const ScheduleResult r = sim.RunBlock({WarpTrace{{0.0, 1.0}}});
+  // One transaction: throughput time + latency.
+  EXPECT_DOUBLE_EQ(r.cycles, 1.0 / spec.mem_transactions_per_cycle +
+                                 spec.mem_latency_cycles);
+}
+
+TEST(WarpSchedulerTest, IndependentWarpsOverlapOnCompute) {
+  DeviceSpec spec = Spec();
+  spec.issue_width = 2.0;
+  const WarpSchedulerSim sim(spec);
+  // Four compute-only warps of 10 cycles on 2 pipelines: 20 cycles.
+  const std::vector<WarpTrace> warps(4, WarpTrace{{10.0, 0.0}});
+  EXPECT_DOUBLE_EQ(sim.RunBlock(warps).cycles, 20.0);
+}
+
+TEST(WarpSchedulerTest, DeterministicAcrossRuns) {
+  const DeviceSpec spec = Spec();
+  const WarpSchedulerSim sim(spec);
+  Rng rng(5);
+  MatchedBlock block = MakeBlock(spec, &rng, 0.5);
+  const double first = sim.RunBlock(block.traces).cycles;
+  const double second = sim.RunBlock(block.traces).cycles;
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace gputc

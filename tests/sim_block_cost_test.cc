@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/block_cost.h"
+#include "sim/device.h"
+
+namespace gputc {
+namespace {
+
+DeviceSpec Spec() { return DeviceSpec::TitanXpLike(); }
+
+TEST(BlockCostTest, EmptyBlockCostsNothing) {
+  BlockCostModel model(Spec());
+  model.BeginBlock();
+  const BlockCost cost = model.Finish();
+  EXPECT_EQ(cost.cycles, 0.0);
+  EXPECT_EQ(cost.supersteps, 0);
+}
+
+TEST(BlockCostTest, ComputeBoundBlock) {
+  const DeviceSpec spec = Spec();
+  std::vector<ThreadWork> threads(static_cast<size_t>(spec.threads_per_block()));
+  for (auto& t : threads) t.compute_ops = 100.0;
+  const BlockCost cost = PriceBlock(spec, threads);
+  // 8 warps x 100 warp-max ops / issue_width 4 = 200 compute cycles; memory
+  // is zero, so compute dominates.
+  EXPECT_DOUBLE_EQ(cost.compute_cycles, 200.0);
+  EXPECT_DOUBLE_EQ(cost.cycles, 200.0);
+}
+
+TEST(BlockCostTest, MemoryBoundBlock) {
+  const DeviceSpec spec = Spec();
+  std::vector<ThreadWork> threads(static_cast<size_t>(spec.threads_per_block()));
+  for (auto& t : threads) t.mem_transactions = 10.0;
+  const BlockCost cost = PriceBlock(spec, threads);
+  EXPECT_DOUBLE_EQ(cost.memory_cycles,
+                   256.0 * 10.0 / spec.mem_transactions_per_cycle);
+  EXPECT_GE(cost.cycles, cost.memory_cycles);
+}
+
+TEST(BlockCostTest, SharedMemoryIsItsOwnPipeline) {
+  const DeviceSpec spec = Spec();
+  std::vector<ThreadWork> threads(static_cast<size_t>(spec.threads_per_block()));
+  for (auto& t : threads) t.shared_transactions = 16.0;
+  const BlockCost cost = PriceBlock(spec, threads);
+  EXPECT_DOUBLE_EQ(cost.shared_cycles,
+                   256.0 * 16.0 / spec.shared_transactions_per_cycle);
+  EXPECT_DOUBLE_EQ(cost.memory_cycles, 0.0);
+  EXPECT_GE(cost.cycles, cost.shared_cycles);
+}
+
+TEST(BlockCostTest, WarpDivergenceChargesWarpMax) {
+  const DeviceSpec spec = Spec();
+  // One lane does 320 ops, the rest idle: the warp still retires 320.
+  std::vector<ThreadWork> one_lane(static_cast<size_t>(spec.threads_per_block()));
+  one_lane[0].compute_ops = 320.0;
+
+  // The same total work spread over a warp's 32 lanes: 10 each.
+  std::vector<ThreadWork> spread(static_cast<size_t>(spec.threads_per_block()));
+  for (int lane = 0; lane < spec.warp_size; ++lane) {
+    spread[static_cast<size_t>(lane)].compute_ops = 10.0;
+  }
+
+  const BlockCost imbalanced = PriceBlock(spec, one_lane);
+  const BlockCost balanced = PriceBlock(spec, spread);
+  EXPECT_GT(imbalanced.cycles, 10.0 * balanced.cycles);
+}
+
+TEST(BlockCostTest, MixingResourcesBeatsSegregation) {
+  const DeviceSpec spec = Spec();
+  const int n = spec.threads_per_block();
+  // Block A: all memory-heavy. Block B: all compute-heavy.
+  std::vector<ThreadWork> mem_block(static_cast<size_t>(n));
+  std::vector<ThreadWork> comp_block(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    mem_block[static_cast<size_t>(i)].mem_transactions = 8.0;
+    comp_block[static_cast<size_t>(i)].compute_ops = 32.0;
+  }
+  const double segregated = PriceBlock(spec, mem_block).cycles +
+                            PriceBlock(spec, comp_block).cycles;
+
+  // Two mixed blocks with the same total work: half the lanes of each warp
+  // memory-heavy, half compute-heavy.
+  std::vector<ThreadWork> mixed(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (i % 2 == 0) {
+      mixed[static_cast<size_t>(i)].mem_transactions = 8.0;
+    } else {
+      mixed[static_cast<size_t>(i)].compute_ops = 32.0;
+    }
+  }
+  const double mixed_total = 2.0 * PriceBlock(spec, mixed).cycles;
+  // The resource-balance effect the paper exploits: max(C,M) per block makes
+  // diverse blocks strictly cheaper than segregated ones.
+  EXPECT_LT(mixed_total, segregated);
+}
+
+TEST(BlockCostTest, SuperstepsChargeSyncAndMax) {
+  const DeviceSpec spec = Spec();
+  BlockCostModel model(spec);
+  model.BeginBlock();
+  ThreadWork w;
+  w.compute_ops = 4.0;
+  model.AddThreadWork(0, w);
+  model.EndSuperstep();
+  model.AddThreadWork(0, w);
+  model.EndSuperstep();
+  const BlockCost cost = model.Finish();
+  EXPECT_EQ(cost.supersteps, 2);
+  EXPECT_DOUBLE_EQ(cost.sync_cycles, 2.0 * spec.sync_cost_cycles);
+  EXPECT_GT(cost.cycles, cost.sync_cycles);
+}
+
+TEST(BlockCostTest, BspImbalanceAcrossSuperstepsCostsMore) {
+  const DeviceSpec spec = Spec();
+  const size_t n = static_cast<size_t>(spec.threads_per_block());
+  // Balanced: every thread does 16 ops in each of 2 supersteps.
+  BlockCostModel balanced(spec);
+  balanced.BeginBlock();
+  for (int step = 0; step < 2; ++step) {
+    for (size_t t = 0; t < n; ++t) {
+      ThreadWork w;
+      w.compute_ops = 16.0;
+      balanced.AddThreadWork(static_cast<int>(t), w);
+    }
+    balanced.EndSuperstep();
+  }
+  // Imbalanced: same total, but one straggler lane per warp does 32x work.
+  BlockCostModel imbalanced(spec);
+  imbalanced.BeginBlock();
+  for (int step = 0; step < 2; ++step) {
+    for (size_t t = 0; t < n; ++t) {
+      ThreadWork w;
+      w.compute_ops = (t % 32 == 0) ? 512.0 : 0.0;
+      imbalanced.AddThreadWork(static_cast<int>(t), w);
+    }
+    imbalanced.EndSuperstep();
+  }
+  EXPECT_GT(imbalanced.Finish().cycles, balanced.Finish().cycles);
+}
+
+TEST(BlockCostTest, FinishResetsState) {
+  const DeviceSpec spec = Spec();
+  BlockCostModel model(spec);
+  model.BeginBlock();
+  ThreadWork w;
+  w.compute_ops = 50.0;
+  model.AddThreadWork(0, w);
+  const BlockCost first = model.Finish();
+  EXPECT_GT(first.cycles, 0.0);
+  model.BeginBlock();
+  const BlockCost second = model.Finish();
+  EXPECT_EQ(second.cycles, 0.0);
+}
+
+TEST(BlockCostDeathTest, ThreadIndexOutOfRange) {
+  BlockCostModel model(Spec());
+  model.BeginBlock();
+  ThreadWork w;
+  EXPECT_DEATH(model.AddThreadWork(100000, w), "thread_idx");
+}
+
+}  // namespace
+}  // namespace gputc

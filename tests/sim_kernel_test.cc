@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/kernel.h"
+
+namespace gputc {
+namespace {
+
+BlockCost MakeBlock(double cycles) {
+  BlockCost b;
+  b.cycles = cycles;
+  b.total_ops = cycles;
+  return b;
+}
+
+TEST(KernelLauncherTest, EmptyLaunch) {
+  const KernelLauncher launcher(DeviceSpec::TitanXpLike());
+  const KernelStats stats = launcher.Launch({});
+  EXPECT_EQ(stats.cycles, 0.0);
+  EXPECT_EQ(stats.num_blocks, 0);
+}
+
+TEST(KernelLauncherTest, SingleBlockMakespan) {
+  const KernelLauncher launcher(DeviceSpec::TitanXpLike());
+  const KernelStats stats = launcher.Launch({MakeBlock(100.0)});
+  EXPECT_DOUBLE_EQ(stats.cycles, 100.0);
+  EXPECT_EQ(stats.num_blocks, 1);
+  EXPECT_GT(stats.millis, 0.0);
+}
+
+TEST(KernelLauncherTest, PerfectlyParallelBlocks) {
+  DeviceSpec spec = DeviceSpec::TitanXpLike();
+  spec.num_sms = 4;
+  const KernelLauncher launcher(spec);
+  const std::vector<BlockCost> blocks(8, MakeBlock(50.0));
+  const KernelStats stats = launcher.Launch(blocks);
+  // 8 equal blocks over 4 SMs: two rounds.
+  EXPECT_DOUBLE_EQ(stats.cycles, 100.0);
+  EXPECT_DOUBLE_EQ(stats.sm_utilization, 1.0);
+}
+
+TEST(KernelLauncherTest, StragglerDominatesMakespan) {
+  DeviceSpec spec = DeviceSpec::TitanXpLike();
+  spec.num_sms = 4;
+  const KernelLauncher launcher(spec);
+  std::vector<BlockCost> blocks(4, MakeBlock(10.0));
+  blocks.push_back(MakeBlock(1000.0));
+  const KernelStats stats = launcher.Launch(blocks);
+  // Greedy: the big block starts after a 10-cycle one finishes.
+  EXPECT_DOUBLE_EQ(stats.cycles, 1010.0);
+  EXPECT_LT(stats.sm_utilization, 0.5);
+}
+
+TEST(KernelLauncherTest, GreedyAssignsToFirstFreeSm) {
+  DeviceSpec spec = DeviceSpec::TitanXpLike();
+  spec.num_sms = 2;
+  const KernelLauncher launcher(spec);
+  // Blocks 100, 10, 10, 10: SM0 takes 100; SM1 takes the three 10s.
+  const KernelStats stats = launcher.Launch(
+      {MakeBlock(100.0), MakeBlock(10.0), MakeBlock(10.0), MakeBlock(10.0)});
+  EXPECT_DOUBLE_EQ(stats.cycles, 100.0);
+}
+
+TEST(KernelLauncherTest, AggregatesBlockTotals) {
+  const KernelLauncher launcher(DeviceSpec::TitanXpLike());
+  BlockCost b;
+  b.cycles = 10.0;
+  b.total_ops = 5.0;
+  b.total_transactions = 7.0;
+  b.supersteps = 2;
+  const KernelStats stats = launcher.Launch({b, b, b});
+  EXPECT_DOUBLE_EQ(stats.total_ops, 15.0);
+  EXPECT_DOUBLE_EQ(stats.total_transactions, 21.0);
+  EXPECT_EQ(stats.supersteps, 6);
+}
+
+TEST(KernelStatsTest, AccumulateSumsSequentialLaunches) {
+  KernelStats a;
+  a.cycles = 100.0;
+  a.millis = 1.0;
+  a.num_blocks = 2;
+  a.sm_utilization = 0.5;
+  KernelStats b;
+  b.cycles = 300.0;
+  b.millis = 3.0;
+  b.num_blocks = 4;
+  b.sm_utilization = 1.0;
+  a.Accumulate(b);
+  EXPECT_DOUBLE_EQ(a.cycles, 400.0);
+  EXPECT_DOUBLE_EQ(a.millis, 4.0);
+  EXPECT_EQ(a.num_blocks, 6);
+  // Busy-weighted mean utilization: (0.5*100 + 1.0*300) / 400.
+  EXPECT_DOUBLE_EQ(a.sm_utilization, 0.875);
+}
+
+}  // namespace
+}  // namespace gputc

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "tc/cpu_counters.h"
+
+namespace gputc {
+namespace {
+
+TEST(CpuCountersTest, KnownFixtureCounts) {
+  EXPECT_EQ(CountTrianglesNodeIterator(CompleteGraph(5)), 10);
+  EXPECT_EQ(CountTrianglesEdgeIterator(CompleteGraph(5)), 10);
+  EXPECT_EQ(CountTrianglesForward(CompleteGraph(5)), 10);
+  EXPECT_EQ(CountTrianglesParallel(CompleteGraph(5), 2), 10);
+
+  EXPECT_EQ(CountTrianglesNodeIterator(WheelGraph(8)), 7);
+  EXPECT_EQ(CountTrianglesEdgeIterator(CycleGraph(10)), 0);
+}
+
+TEST(CpuCountersTest, EmptyAndTinyGraphs) {
+  const Graph empty = Graph::FromEdgeList(EdgeList{});
+  EXPECT_EQ(CountTrianglesNodeIterator(empty), 0);
+  EXPECT_EQ(CountTrianglesEdgeIterator(empty), 0);
+  EXPECT_EQ(CountTrianglesForward(empty), 0);
+  EXPECT_EQ(CountTrianglesParallel(PathGraph(2), 4), 0);
+}
+
+class CpuAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CpuAgreementTest, AllCountersAgreeOnRandomGraphs) {
+  const uint64_t seed = GetParam();
+  for (const Graph& g :
+       {GenerateErdosRenyi(300, 2000, seed),
+        GeneratePowerLawConfiguration(400, 2.0, 2, 80, seed),
+        GenerateRmat(8, 8, seed), GenerateWattsStrogatz(300, 6, 0.2, seed)}) {
+    const int64_t expected = CountTrianglesNodeIterator(g);
+    EXPECT_EQ(CountTrianglesEdgeIterator(g), expected);
+    EXPECT_EQ(CountTrianglesForward(g), expected);
+    EXPECT_EQ(CountTrianglesParallel(g, 3), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CpuAgreementTest,
+                         ::testing::Values(1, 7, 42, 123));
+
+TEST(CpuCountersTest, DenseSmallWorldHasManyTriangles) {
+  // Ring lattice k=6 without rewiring: each vertex participates in
+  // triangles with its near neighbors.
+  const Graph g = GenerateWattsStrogatz(500, 6, 0.0, 9);
+  EXPECT_GT(CountTrianglesForward(g), 900);
+}
+
+TEST(CpuCountersTest, ParallelMatchesSerialOnDataset) {
+  const Graph g = LoadDataset("email-Eucore");
+  const int64_t serial = CountTrianglesForward(g);
+  EXPECT_GT(serial, 0);
+  EXPECT_EQ(CountTrianglesParallel(g, 4), serial);
+  EXPECT_EQ(CountTrianglesParallel(g, 1), serial);
+}
+
+}  // namespace
+}  // namespace gputc

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/preprocess.h"
+#include "direction/cost_model.h"
+#include "direction/direction.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "graph/permutation.h"
+#include "order/calibration.h"
+#include "order/ordering.h"
+#include "tc/fox.h"
+#include "tc/registry.h"
+
+namespace gputc {
+namespace {
+
+// Integration tests for the paper's qualitative claims: the preprocessing
+// must move simulated kernel time in the direction the paper reports.
+
+double KernelCycles(TcAlgorithm algorithm, const DirectedGraph& g,
+                    const DeviceSpec& spec) {
+  return MakeCounter(algorithm)->Count(g, spec).kernel.cycles;
+}
+
+DirectedGraph OrientAndOrder(const Graph& g, DirectionStrategy dir,
+                             OrderingStrategy ord, const DeviceSpec& spec) {
+  const DirectedGraph d = Orient(g, dir);
+  const ResourceModel model = CalibratedResourceModel(spec);
+  const Permutation perm =
+      ComputeOrdering(g, d, ord, model, AOrderOptions{spec.threads_per_block()});
+  return ApplyPermutation(d, perm);
+}
+
+class SkewedGraphTest : public ::testing::Test {
+ protected:
+  DeviceSpec spec_ = DeviceSpec::TitanXpLike();
+  Graph graph_ = LoadDataset("kron-logn18");
+};
+
+TEST_F(SkewedGraphTest, ADirectionBeatsIdBasedOnHu) {
+  // Figure 12's headline: A-direction and D-direction both clearly beat
+  // ID-based on BSP algorithms; A-direction is at least competitive with
+  // D-direction.
+  const double id = KernelCycles(
+      TcAlgorithm::kHu, Orient(graph_, DirectionStrategy::kIdBased), spec_);
+  const double deg = KernelCycles(
+      TcAlgorithm::kHu, Orient(graph_, DirectionStrategy::kDegreeBased),
+      spec_);
+  const double adir = KernelCycles(
+      TcAlgorithm::kHu, Orient(graph_, DirectionStrategy::kADirection), spec_);
+  EXPECT_LT(deg, id);
+  EXPECT_LT(adir, id);
+  EXPECT_LT(adir, deg * 1.05);
+}
+
+TEST_F(SkewedGraphTest, ADirectionBeatsIdBasedOnBisson) {
+  // Figure 13.
+  const double id = KernelCycles(
+      TcAlgorithm::kBisson, Orient(graph_, DirectionStrategy::kIdBased),
+      spec_);
+  const double adir =
+      KernelCycles(TcAlgorithm::kBisson,
+                   Orient(graph_, DirectionStrategy::kADirection), spec_);
+  EXPECT_LT(adir, id);
+}
+
+TEST_F(SkewedGraphTest, AOrderBeatsDegreeOrderOnHu) {
+  // Table 5: D-order is the worst ordering, A-order the best.
+  const double a_order =
+      KernelCycles(TcAlgorithm::kHu,
+                   OrientAndOrder(graph_, DirectionStrategy::kDegreeBased,
+                                  OrderingStrategy::kAOrder, spec_),
+                   spec_);
+  const double d_order =
+      KernelCycles(TcAlgorithm::kHu,
+                   OrientAndOrder(graph_, DirectionStrategy::kDegreeBased,
+                                  OrderingStrategy::kDegree, spec_),
+                   spec_);
+  EXPECT_LT(a_order, d_order);
+}
+
+TEST_F(SkewedGraphTest, AOrderAtLeastMatchesOriginalOnTriCore) {
+  // Table 6: A-order speeds up TriCore relative to the original order.
+  const double original =
+      KernelCycles(TcAlgorithm::kTriCore,
+                   OrientAndOrder(graph_, DirectionStrategy::kDegreeBased,
+                                  OrderingStrategy::kOriginal, spec_),
+                   spec_);
+  const double a_order =
+      KernelCycles(TcAlgorithm::kTriCore,
+                   OrientAndOrder(graph_, DirectionStrategy::kDegreeBased,
+                                  OrderingStrategy::kAOrder, spec_),
+                   spec_);
+  EXPECT_LT(a_order, original * 1.02);
+}
+
+TEST_F(SkewedGraphTest, BinarySearchBeatsSortMergeOnGunrock) {
+  // Figure 10 on skewed graphs.
+  const DirectedGraph d = Orient(graph_, DirectionStrategy::kDegreeBased);
+  const double bs = KernelCycles(TcAlgorithm::kGunrockBinarySearch, d, spec_);
+  const double sm = KernelCycles(TcAlgorithm::kGunrockSortMerge, d, spec_);
+  EXPECT_LT(bs, sm);
+}
+
+TEST_F(SkewedGraphTest, EdgeAOrderHelpsFox) {
+  // Figure 15.
+  const DirectedGraph d = Orient(graph_, DirectionStrategy::kDegreeBased);
+  const ResourceModel model = CalibratedResourceModel(spec_);
+  const FoxCounter fox;
+  const double original = fox.Count(d, spec_).kernel.cycles;
+  const std::vector<int64_t> order = fox.AOrderedEdgeOrder(d, model, spec_);
+  const double a_order =
+      fox.CountWithEdgeOrder(d, spec_, order).kernel.cycles;
+  EXPECT_LT(a_order, original * 1.02);
+}
+
+TEST(CombinedEffectTest, CombinationAtLeastMatchesSingles) {
+  // Figure 16: A-direction + A-order together never lose badly to either
+  // alone on Hu's algorithm. A small slack is allowed against the better
+  // single: the two orientations produce slightly different wedge totals,
+  // so a few percent either way is noise, while a real regression (say 2x)
+  // would trip this.
+  const DeviceSpec spec = DeviceSpec::TitanXpLike();
+  const Graph g = LoadDataset("gowalla");
+  const double combined = KernelCycles(
+      TcAlgorithm::kHu,
+      OrientAndOrder(g, DirectionStrategy::kADirection,
+                     OrderingStrategy::kAOrder, spec),
+      spec);
+  const double direction_only = KernelCycles(
+      TcAlgorithm::kHu,
+      OrientAndOrder(g, DirectionStrategy::kADirection,
+                     OrderingStrategy::kOriginal, spec),
+      spec);
+  const double order_only = KernelCycles(
+      TcAlgorithm::kHu,
+      OrientAndOrder(g, DirectionStrategy::kDegreeBased,
+                     OrderingStrategy::kAOrder, spec),
+      spec);
+  EXPECT_LT(combined, direction_only * 1.12);
+  EXPECT_LT(combined, order_only * 1.12);
+}
+
+TEST(ImbalanceCouplingTest, LowerEq1CostLowersBspKernelTime) {
+  // The analytic model (Eq. 1) and the simulator must agree in sign: across
+  // direction strategies, kernel cycles on Hu rise with the imbalance cost.
+  const DeviceSpec spec = DeviceSpec::TitanXpLike();
+  const Graph g = LoadDataset("cit-patents");
+  std::vector<std::pair<double, double>> points;  // (cost, cycles).
+  for (DirectionStrategy s :
+       {DirectionStrategy::kIdBased, DirectionStrategy::kDegreeBased,
+        DirectionStrategy::kADirection}) {
+    const DirectedGraph d = Orient(g, s);
+    points.emplace_back(DirectionCost(d),
+                        KernelCycles(TcAlgorithm::kHu, d, spec));
+  }
+  // The strategy with the lowest Eq. 1 cost must not have the highest
+  // kernel time, and vice versa.
+  auto by_cost = std::minmax_element(
+      points.begin(), points.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  EXPECT_LE(by_cost.first->second, by_cost.second->second);
+}
+
+}  // namespace
+}  // namespace gputc

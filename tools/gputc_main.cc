@@ -1,0 +1,227 @@
+// gputc — command-line front end for the library.
+//
+//   gputc datasets                       list bundled dataset stand-ins
+//   gputc info --dataset gowalla         structural statistics
+//   gputc generate --family rmat --scale 12 --out g.txt
+//   gputc convert --in g.txt --out g.bin
+//   gputc count --dataset gowalla [--algorithm Hu] [--direction A-direction]
+//               [--ordering A-order] [--profile]
+//   gputc calibrate                      print the Section 5.3 calibration
+
+#include <iostream>
+#include <string>
+
+#include "core/pipeline.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "graph/graph_stats.h"
+#include "graph/io.h"
+#include "order/calibration.h"
+#include "sim/profiler.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace gputc {
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage: gputc <command> [flags]\n"
+         "commands:\n"
+         "  datasets   list bundled dataset stand-ins\n"
+         "  info       --dataset NAME | --in FILE: structural statistics\n"
+         "  generate   --family rmat|powerlaw|er|ws --out FILE [...]\n"
+         "  convert    --in FILE --out FILE (.txt <-> .bin by extension)\n"
+         "  count      --dataset NAME [--algorithm A] [--direction D]\n"
+         "             [--ordering O] [--profile]\n"
+         "  calibrate  print BW(d), p_c(d) and lambda for the device model\n";
+  return 2;
+}
+
+std::optional<Graph> LoadAny(const FlagParser& flags) {
+  if (flags.Has("dataset")) {
+    const std::string name = flags.GetString("dataset", "");
+    if (!HasDataset(name)) {
+      std::cerr << "unknown dataset '" << name << "'\n";
+      return std::nullopt;
+    }
+    return LoadDataset(name);
+  }
+  if (flags.Has("in")) {
+    const std::string path = flags.GetString("in", "");
+    std::optional<Graph> g = path.ends_with(".bin") ? LoadBinary(path)
+                                                    : LoadSnapText(path);
+    if (!g.has_value()) std::cerr << "cannot load '" << path << "'\n";
+    return g;
+  }
+  std::cerr << "need --dataset or --in\n";
+  return std::nullopt;
+}
+
+int CmdDatasets() {
+  TablePrinter table({"name", "family", "provenance"});
+  for (const auto& name : DatasetNames()) {
+    const DatasetSpec spec = GetDatasetSpec(name);
+    table.AddRow({spec.name, spec.family, spec.provenance});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+int CmdInfo(const FlagParser& flags) {
+  const auto g = LoadAny(flags);
+  if (!g.has_value()) return 1;
+  std::cout << FormatGraphStats(ComputeGraphStats(*g));
+  return 0;
+}
+
+int CmdGenerate(const FlagParser& flags) {
+  const std::string family = flags.GetString("family", "rmat");
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::cerr << "need --out FILE\n";
+    return 1;
+  }
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  Graph g;
+  if (family == "rmat") {
+    g = GenerateRmat(static_cast<int>(flags.GetInt("scale", 12)),
+                     static_cast<int>(flags.GetInt("edge-factor", 8)), seed);
+  } else if (family == "powerlaw") {
+    g = GeneratePowerLawConfiguration(
+        static_cast<VertexId>(flags.GetInt("nodes", 10000)),
+        flags.GetDouble("gamma", 2.1), flags.GetInt("min-degree", 2),
+        flags.GetInt("max-degree", 1000), seed);
+  } else if (family == "er") {
+    g = GenerateErdosRenyi(static_cast<VertexId>(flags.GetInt("nodes", 10000)),
+                           flags.GetInt("edges", 50000), seed);
+  } else if (family == "ws") {
+    g = GenerateWattsStrogatz(
+        static_cast<VertexId>(flags.GetInt("nodes", 10000)),
+        static_cast<int>(flags.GetInt("k", 4)), flags.GetDouble("beta", 0.05),
+        seed);
+  } else {
+    std::cerr << "unknown family '" << family
+              << "' (rmat|powerlaw|er|ws)\n";
+    return 1;
+  }
+  const bool ok = out.ends_with(".bin") ? SaveBinary(g, out)
+                                        : SaveSnapText(g, out);
+  if (!ok) {
+    std::cerr << "cannot write '" << out << "'\n";
+    return 1;
+  }
+  std::cout << "wrote " << g.num_vertices() << " vertices, " << g.num_edges()
+            << " edges to " << out << "\n";
+  return 0;
+}
+
+int CmdConvert(const FlagParser& flags) {
+  const auto g = LoadAny(flags);
+  if (!g.has_value()) return 1;
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::cerr << "need --out FILE\n";
+    return 1;
+  }
+  const bool ok = out.ends_with(".bin") ? SaveBinary(*g, out)
+                                        : SaveSnapText(*g, out);
+  if (!ok) {
+    std::cerr << "cannot write '" << out << "'\n";
+    return 1;
+  }
+  std::cout << "wrote " << out << "\n";
+  return 0;
+}
+
+DirectionStrategy ParseDirection(const std::string& name) {
+  for (DirectionStrategy s : AllDirectionStrategies()) {
+    if (ToString(s) == name) return s;
+  }
+  std::cerr << "unknown direction '" << name << "', using A-direction\n";
+  return DirectionStrategy::kADirection;
+}
+
+OrderingStrategy ParseOrdering(const std::string& name) {
+  for (OrderingStrategy s :
+       {OrderingStrategy::kOriginal, OrderingStrategy::kDegree,
+        OrderingStrategy::kAOrder, OrderingStrategy::kDfs,
+        OrderingStrategy::kBfsR, OrderingStrategy::kSlashBurn,
+        OrderingStrategy::kGro, OrderingStrategy::kBfs,
+        OrderingStrategy::kRcm, OrderingStrategy::kRandom}) {
+    if (ToString(s) == name) return s;
+  }
+  std::cerr << "unknown ordering '" << name << "', using A-order\n";
+  return OrderingStrategy::kAOrder;
+}
+
+TcAlgorithm ParseAlgorithm(const std::string& name) {
+  for (TcAlgorithm a :
+       {TcAlgorithm::kGunrockBinarySearch, TcAlgorithm::kGunrockSortMerge,
+        TcAlgorithm::kTriCore, TcAlgorithm::kFox, TcAlgorithm::kBisson,
+        TcAlgorithm::kHu, TcAlgorithm::kPolak}) {
+    if (ToString(a) == name) return a;
+  }
+  std::cerr << "unknown algorithm '" << name << "', using Hu\n";
+  return TcAlgorithm::kHu;
+}
+
+int CmdCount(const FlagParser& flags) {
+  const auto g = LoadAny(flags);
+  if (!g.has_value()) return 1;
+  PreprocessOptions options;
+  options.direction =
+      ParseDirection(flags.GetString("direction", "A-direction"));
+  options.ordering = ParseOrdering(flags.GetString("ordering", "A-order"));
+  const TcAlgorithm algorithm =
+      ParseAlgorithm(flags.GetString("algorithm", "Hu"));
+  const DeviceSpec spec = DeviceSpec::TitanXpLike();
+  const RunResult r = RunTriangleCount(*g, algorithm, spec, options);
+  std::cout << "algorithm:     " << ToString(algorithm) << "\n"
+            << "direction:     " << ToString(options.direction)
+            << " (Eq.1 cost " << Fmt(r.preprocess.direction_cost, 0) << ")\n"
+            << "ordering:      " << ToString(options.ordering)
+            << " (Eq.3 cost " << Fmt(r.preprocess.ordering_cost, 0) << ")\n"
+            << "triangles:     " << FmtCount(r.triangles) << "\n"
+            << "preprocess:    " << Fmt(r.preprocess.total_ms, 2)
+            << " ms (host)\n"
+            << "kernel:        " << Fmt(r.kernel_ms(), 4)
+            << " ms (simulated)\n";
+  if (flags.GetBool("profile", false)) {
+    std::cout << "\n" << FormatKernelReport(r.kernel);
+  }
+  return 0;
+}
+
+int CmdCalibrate() {
+  const DeviceSpec spec = DeviceSpec::TitanXpLike();
+  const CalibrationResult r = CalibrateResourceModel(spec);
+  TablePrinter table({"list length", "BW (B/cycle)", "p_c", "F_c", "F_m"});
+  for (const CalibrationSample& s : r.samples) {
+    table.AddRow({FmtCount(s.list_length), Fmt(s.bandwidth, 1), Fmt(s.p_c, 1),
+                  Fmt(s.compute_intensity, 4), Fmt(s.memory_intensity, 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "lambda = " << Fmt(r.lambda, 3)
+            << "   (figure-9 fit: slope " << Fmt(r.fit.slope, 3)
+            << ", r^2 " << Fmt(r.fit.r_squared, 3) << ")\n";
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  if (flags.positional().empty()) return Usage();
+  const std::string command = flags.positional()[0];
+  if (command == "datasets") return CmdDatasets();
+  if (command == "info") return CmdInfo(flags);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "convert") return CmdConvert(flags);
+  if (command == "count") return CmdCount(flags);
+  if (command == "calibrate") return CmdCalibrate();
+  return Usage();
+}
+
+}  // namespace
+}  // namespace gputc
+
+int main(int argc, char** argv) { return gputc::Main(argc, argv); }
