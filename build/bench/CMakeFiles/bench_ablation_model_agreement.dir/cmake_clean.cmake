@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_model_agreement.dir/bench_ablation_model_agreement.cc.o"
+  "CMakeFiles/bench_ablation_model_agreement.dir/bench_ablation_model_agreement.cc.o.d"
+  "bench_ablation_model_agreement"
+  "bench_ablation_model_agreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_model_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

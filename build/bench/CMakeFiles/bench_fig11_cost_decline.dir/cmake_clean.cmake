@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_cost_decline.dir/bench_fig11_cost_decline.cc.o"
+  "CMakeFiles/bench_fig11_cost_decline.dir/bench_fig11_cost_decline.cc.o.d"
+  "bench_fig11_cost_decline"
+  "bench_fig11_cost_decline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_cost_decline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_adirection_hu.dir/bench_fig12_adirection_hu.cc.o"
+  "CMakeFiles/bench_fig12_adirection_hu.dir/bench_fig12_adirection_hu.cc.o.d"
+  "bench_fig12_adirection_hu"
+  "bench_fig12_adirection_hu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_adirection_hu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_adirection_bisson.dir/bench_fig13_adirection_bisson.cc.o"
+  "CMakeFiles/bench_fig13_adirection_bisson.dir/bench_fig13_adirection_bisson.cc.o.d"
+  "bench_fig13_adirection_bisson"
+  "bench_fig13_adirection_bisson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_adirection_bisson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_aorder_gunrock.dir/bench_fig14_aorder_gunrock.cc.o"
+  "CMakeFiles/bench_fig14_aorder_gunrock.dir/bench_fig14_aorder_gunrock.cc.o.d"
+  "bench_fig14_aorder_gunrock"
+  "bench_fig14_aorder_gunrock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_aorder_gunrock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_aorder_fox.dir/bench_fig15_aorder_fox.cc.o"
+  "CMakeFiles/bench_fig15_aorder_fox.dir/bench_fig15_aorder_fox.cc.o.d"
+  "bench_fig15_aorder_fox"
+  "bench_fig15_aorder_fox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_aorder_fox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig9_lambda_fit.cc" "bench/CMakeFiles/bench_fig9_lambda_fit.dir/bench_fig9_lambda_fit.cc.o" "gcc" "bench/CMakeFiles/bench_fig9_lambda_fit.dir/bench_fig9_lambda_fit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tc/CMakeFiles/tc_tc.dir/DependInfo.cmake"
+  "/root/repo/build/src/order/CMakeFiles/tc_order.dir/DependInfo.cmake"
+  "/root/repo/build/src/direction/CMakeFiles/tc_direction.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_rho.dir/bench_table3_rho.cc.o"
+  "CMakeFiles/bench_table3_rho.dir/bench_table3_rho.cc.o.d"
+  "bench_table3_rho"
+  "bench_table3_rho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_rho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

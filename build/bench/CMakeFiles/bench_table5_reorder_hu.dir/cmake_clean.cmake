@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_reorder_hu.dir/bench_table5_reorder_hu.cc.o"
+  "CMakeFiles/bench_table5_reorder_hu.dir/bench_table5_reorder_hu.cc.o.d"
+  "bench_table5_reorder_hu"
+  "bench_table5_reorder_hu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_reorder_hu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

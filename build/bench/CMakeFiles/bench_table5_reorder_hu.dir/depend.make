@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table5_reorder_hu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_reorder_tricore.dir/bench_table6_reorder_tricore.cc.o"
+  "CMakeFiles/bench_table6_reorder_tricore.dir/bench_table6_reorder_tricore.cc.o.d"
+  "bench_table6_reorder_tricore"
+  "bench_table6_reorder_tricore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_reorder_tricore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktruss.dir/ktruss.cpp.o"
+  "CMakeFiles/ktruss.dir/ktruss.cpp.o.d"
+  "ktruss"
+  "ktruss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktruss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

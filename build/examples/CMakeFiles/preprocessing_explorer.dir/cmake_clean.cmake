@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preprocessing_explorer.dir/preprocessing_explorer.cpp.o"
+  "CMakeFiles/preprocessing_explorer.dir/preprocessing_explorer.cpp.o.d"
+  "preprocessing_explorer"
+  "preprocessing_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preprocessing_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_apps.dir/clustering.cc.o"
+  "CMakeFiles/tc_apps.dir/clustering.cc.o.d"
+  "CMakeFiles/tc_apps.dir/ktruss.cc.o"
+  "CMakeFiles/tc_apps.dir/ktruss.cc.o.d"
+  "CMakeFiles/tc_apps.dir/recommendation.cc.o"
+  "CMakeFiles/tc_apps.dir/recommendation.cc.o.d"
+  "libtc_apps.a"
+  "libtc_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

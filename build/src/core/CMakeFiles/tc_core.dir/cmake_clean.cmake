@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_core.dir/pipeline.cc.o"
+  "CMakeFiles/tc_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/tc_core.dir/preprocess.cc.o"
+  "CMakeFiles/tc_core.dir/preprocess.cc.o.d"
+  "libtc_core.a"
+  "libtc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

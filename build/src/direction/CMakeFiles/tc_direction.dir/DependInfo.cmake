@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/direction/approx_ratio.cc" "src/direction/CMakeFiles/tc_direction.dir/approx_ratio.cc.o" "gcc" "src/direction/CMakeFiles/tc_direction.dir/approx_ratio.cc.o.d"
+  "/root/repo/src/direction/brute_force.cc" "src/direction/CMakeFiles/tc_direction.dir/brute_force.cc.o" "gcc" "src/direction/CMakeFiles/tc_direction.dir/brute_force.cc.o.d"
+  "/root/repo/src/direction/cost_model.cc" "src/direction/CMakeFiles/tc_direction.dir/cost_model.cc.o" "gcc" "src/direction/CMakeFiles/tc_direction.dir/cost_model.cc.o.d"
+  "/root/repo/src/direction/direction.cc" "src/direction/CMakeFiles/tc_direction.dir/direction.cc.o" "gcc" "src/direction/CMakeFiles/tc_direction.dir/direction.cc.o.d"
+  "/root/repo/src/direction/peeling.cc" "src/direction/CMakeFiles/tc_direction.dir/peeling.cc.o" "gcc" "src/direction/CMakeFiles/tc_direction.dir/peeling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/tc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_direction.dir/approx_ratio.cc.o"
+  "CMakeFiles/tc_direction.dir/approx_ratio.cc.o.d"
+  "CMakeFiles/tc_direction.dir/brute_force.cc.o"
+  "CMakeFiles/tc_direction.dir/brute_force.cc.o.d"
+  "CMakeFiles/tc_direction.dir/cost_model.cc.o"
+  "CMakeFiles/tc_direction.dir/cost_model.cc.o.d"
+  "CMakeFiles/tc_direction.dir/direction.cc.o"
+  "CMakeFiles/tc_direction.dir/direction.cc.o.d"
+  "CMakeFiles/tc_direction.dir/peeling.cc.o"
+  "CMakeFiles/tc_direction.dir/peeling.cc.o.d"
+  "libtc_direction.a"
+  "libtc_direction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_direction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

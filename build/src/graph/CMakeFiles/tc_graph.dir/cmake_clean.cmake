@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_graph.dir/datasets.cc.o"
+  "CMakeFiles/tc_graph.dir/datasets.cc.o.d"
+  "CMakeFiles/tc_graph.dir/directed_graph.cc.o"
+  "CMakeFiles/tc_graph.dir/directed_graph.cc.o.d"
+  "CMakeFiles/tc_graph.dir/edge_list.cc.o"
+  "CMakeFiles/tc_graph.dir/edge_list.cc.o.d"
+  "CMakeFiles/tc_graph.dir/generators.cc.o"
+  "CMakeFiles/tc_graph.dir/generators.cc.o.d"
+  "CMakeFiles/tc_graph.dir/graph.cc.o"
+  "CMakeFiles/tc_graph.dir/graph.cc.o.d"
+  "CMakeFiles/tc_graph.dir/graph_stats.cc.o"
+  "CMakeFiles/tc_graph.dir/graph_stats.cc.o.d"
+  "CMakeFiles/tc_graph.dir/io.cc.o"
+  "CMakeFiles/tc_graph.dir/io.cc.o.d"
+  "CMakeFiles/tc_graph.dir/permutation.cc.o"
+  "CMakeFiles/tc_graph.dir/permutation.cc.o.d"
+  "libtc_graph.a"
+  "libtc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

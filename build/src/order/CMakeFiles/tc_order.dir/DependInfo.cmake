@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/order/aorder.cc" "src/order/CMakeFiles/tc_order.dir/aorder.cc.o" "gcc" "src/order/CMakeFiles/tc_order.dir/aorder.cc.o.d"
+  "/root/repo/src/order/calibration.cc" "src/order/CMakeFiles/tc_order.dir/calibration.cc.o" "gcc" "src/order/CMakeFiles/tc_order.dir/calibration.cc.o.d"
+  "/root/repo/src/order/classic_orders.cc" "src/order/CMakeFiles/tc_order.dir/classic_orders.cc.o" "gcc" "src/order/CMakeFiles/tc_order.dir/classic_orders.cc.o.d"
+  "/root/repo/src/order/ordering.cc" "src/order/CMakeFiles/tc_order.dir/ordering.cc.o" "gcc" "src/order/CMakeFiles/tc_order.dir/ordering.cc.o.d"
+  "/root/repo/src/order/resource_model.cc" "src/order/CMakeFiles/tc_order.dir/resource_model.cc.o" "gcc" "src/order/CMakeFiles/tc_order.dir/resource_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/tc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_order.dir/aorder.cc.o"
+  "CMakeFiles/tc_order.dir/aorder.cc.o.d"
+  "CMakeFiles/tc_order.dir/calibration.cc.o"
+  "CMakeFiles/tc_order.dir/calibration.cc.o.d"
+  "CMakeFiles/tc_order.dir/classic_orders.cc.o"
+  "CMakeFiles/tc_order.dir/classic_orders.cc.o.d"
+  "CMakeFiles/tc_order.dir/ordering.cc.o"
+  "CMakeFiles/tc_order.dir/ordering.cc.o.d"
+  "CMakeFiles/tc_order.dir/resource_model.cc.o"
+  "CMakeFiles/tc_order.dir/resource_model.cc.o.d"
+  "libtc_order.a"
+  "libtc_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/block_cost.cc" "src/sim/CMakeFiles/tc_sim.dir/block_cost.cc.o" "gcc" "src/sim/CMakeFiles/tc_sim.dir/block_cost.cc.o.d"
+  "/root/repo/src/sim/device.cc" "src/sim/CMakeFiles/tc_sim.dir/device.cc.o" "gcc" "src/sim/CMakeFiles/tc_sim.dir/device.cc.o.d"
+  "/root/repo/src/sim/kernel.cc" "src/sim/CMakeFiles/tc_sim.dir/kernel.cc.o" "gcc" "src/sim/CMakeFiles/tc_sim.dir/kernel.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/sim/CMakeFiles/tc_sim.dir/memory.cc.o" "gcc" "src/sim/CMakeFiles/tc_sim.dir/memory.cc.o.d"
+  "/root/repo/src/sim/profiler.cc" "src/sim/CMakeFiles/tc_sim.dir/profiler.cc.o" "gcc" "src/sim/CMakeFiles/tc_sim.dir/profiler.cc.o.d"
+  "/root/repo/src/sim/warp_scheduler.cc" "src/sim/CMakeFiles/tc_sim.dir/warp_scheduler.cc.o" "gcc" "src/sim/CMakeFiles/tc_sim.dir/warp_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_sim.dir/block_cost.cc.o"
+  "CMakeFiles/tc_sim.dir/block_cost.cc.o.d"
+  "CMakeFiles/tc_sim.dir/device.cc.o"
+  "CMakeFiles/tc_sim.dir/device.cc.o.d"
+  "CMakeFiles/tc_sim.dir/kernel.cc.o"
+  "CMakeFiles/tc_sim.dir/kernel.cc.o.d"
+  "CMakeFiles/tc_sim.dir/memory.cc.o"
+  "CMakeFiles/tc_sim.dir/memory.cc.o.d"
+  "CMakeFiles/tc_sim.dir/profiler.cc.o"
+  "CMakeFiles/tc_sim.dir/profiler.cc.o.d"
+  "CMakeFiles/tc_sim.dir/warp_scheduler.cc.o"
+  "CMakeFiles/tc_sim.dir/warp_scheduler.cc.o.d"
+  "libtc_sim.a"
+  "libtc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+src/sim/CMakeFiles/tc_sim.dir/device.cc.o: /root/repo/src/sim/device.cc \
+ /usr/include/stdc-predef.h /root/repo/src/sim/device.h

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tc/bisson.cc" "src/tc/CMakeFiles/tc_tc.dir/bisson.cc.o" "gcc" "src/tc/CMakeFiles/tc_tc.dir/bisson.cc.o.d"
+  "/root/repo/src/tc/cost_rules.cc" "src/tc/CMakeFiles/tc_tc.dir/cost_rules.cc.o" "gcc" "src/tc/CMakeFiles/tc_tc.dir/cost_rules.cc.o.d"
+  "/root/repo/src/tc/cpu_counters.cc" "src/tc/CMakeFiles/tc_tc.dir/cpu_counters.cc.o" "gcc" "src/tc/CMakeFiles/tc_tc.dir/cpu_counters.cc.o.d"
+  "/root/repo/src/tc/fox.cc" "src/tc/CMakeFiles/tc_tc.dir/fox.cc.o" "gcc" "src/tc/CMakeFiles/tc_tc.dir/fox.cc.o.d"
+  "/root/repo/src/tc/gunrock.cc" "src/tc/CMakeFiles/tc_tc.dir/gunrock.cc.o" "gcc" "src/tc/CMakeFiles/tc_tc.dir/gunrock.cc.o.d"
+  "/root/repo/src/tc/hu.cc" "src/tc/CMakeFiles/tc_tc.dir/hu.cc.o" "gcc" "src/tc/CMakeFiles/tc_tc.dir/hu.cc.o.d"
+  "/root/repo/src/tc/polak.cc" "src/tc/CMakeFiles/tc_tc.dir/polak.cc.o" "gcc" "src/tc/CMakeFiles/tc_tc.dir/polak.cc.o.d"
+  "/root/repo/src/tc/registry.cc" "src/tc/CMakeFiles/tc_tc.dir/registry.cc.o" "gcc" "src/tc/CMakeFiles/tc_tc.dir/registry.cc.o.d"
+  "/root/repo/src/tc/tricore.cc" "src/tc/CMakeFiles/tc_tc.dir/tricore.cc.o" "gcc" "src/tc/CMakeFiles/tc_tc.dir/tricore.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/direction/CMakeFiles/tc_direction.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/order/CMakeFiles/tc_order.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

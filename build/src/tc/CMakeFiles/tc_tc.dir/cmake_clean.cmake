@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_tc.dir/bisson.cc.o"
+  "CMakeFiles/tc_tc.dir/bisson.cc.o.d"
+  "CMakeFiles/tc_tc.dir/cost_rules.cc.o"
+  "CMakeFiles/tc_tc.dir/cost_rules.cc.o.d"
+  "CMakeFiles/tc_tc.dir/cpu_counters.cc.o"
+  "CMakeFiles/tc_tc.dir/cpu_counters.cc.o.d"
+  "CMakeFiles/tc_tc.dir/fox.cc.o"
+  "CMakeFiles/tc_tc.dir/fox.cc.o.d"
+  "CMakeFiles/tc_tc.dir/gunrock.cc.o"
+  "CMakeFiles/tc_tc.dir/gunrock.cc.o.d"
+  "CMakeFiles/tc_tc.dir/hu.cc.o"
+  "CMakeFiles/tc_tc.dir/hu.cc.o.d"
+  "CMakeFiles/tc_tc.dir/polak.cc.o"
+  "CMakeFiles/tc_tc.dir/polak.cc.o.d"
+  "CMakeFiles/tc_tc.dir/registry.cc.o"
+  "CMakeFiles/tc_tc.dir/registry.cc.o.d"
+  "CMakeFiles/tc_tc.dir/tricore.cc.o"
+  "CMakeFiles/tc_tc.dir/tricore.cc.o.d"
+  "libtc_tc.a"
+  "libtc_tc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_tc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_util.dir/flags.cc.o"
+  "CMakeFiles/tc_util.dir/flags.cc.o.d"
+  "CMakeFiles/tc_util.dir/stats.cc.o"
+  "CMakeFiles/tc_util.dir/stats.cc.o.d"
+  "CMakeFiles/tc_util.dir/table.cc.o"
+  "CMakeFiles/tc_util.dir/table.cc.o.d"
+  "libtc_util.a"
+  "libtc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

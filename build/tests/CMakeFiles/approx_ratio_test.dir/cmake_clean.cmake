@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_ratio_test.dir/approx_ratio_test.cc.o"
+  "CMakeFiles/approx_ratio_test.dir/approx_ratio_test.cc.o.d"
+  "approx_ratio_test"
+  "approx_ratio_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_ratio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

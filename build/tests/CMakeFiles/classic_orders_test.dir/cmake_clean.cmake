@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classic_orders_test.dir/classic_orders_test.cc.o"
+  "CMakeFiles/classic_orders_test.dir/classic_orders_test.cc.o.d"
+  "classic_orders_test"
+  "classic_orders_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classic_orders_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_rules_test.dir/cost_rules_test.cc.o"
+  "CMakeFiles/cost_rules_test.dir/cost_rules_test.cc.o.d"
+  "cost_rules_test"
+  "cost_rules_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_device_test.dir/cross_device_test.cc.o"
+  "CMakeFiles/cross_device_test.dir/cross_device_test.cc.o.d"
+  "cross_device_test"
+  "cross_device_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/directed_graph_test.dir/directed_graph_test.cc.o"
+  "CMakeFiles/directed_graph_test.dir/directed_graph_test.cc.o.d"
+  "directed_graph_test"
+  "directed_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/directed_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/permutation_test.dir/permutation_test.cc.o"
+  "CMakeFiles/permutation_test.dir/permutation_test.cc.o.d"
+  "permutation_test"
+  "permutation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/permutation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_agreement_test.dir/sim_agreement_test.cc.o"
+  "CMakeFiles/sim_agreement_test.dir/sim_agreement_test.cc.o.d"
+  "sim_agreement_test"
+  "sim_agreement_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_agreement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_block_cost_test.dir/sim_block_cost_test.cc.o"
+  "CMakeFiles/sim_block_cost_test.dir/sim_block_cost_test.cc.o.d"
+  "sim_block_cost_test"
+  "sim_block_cost_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_block_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

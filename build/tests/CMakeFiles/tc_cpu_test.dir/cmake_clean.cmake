@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_cpu_test.dir/tc_cpu_test.cc.o"
+  "CMakeFiles/tc_cpu_test.dir/tc_cpu_test.cc.o.d"
+  "tc_cpu_test"
+  "tc_cpu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_cpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

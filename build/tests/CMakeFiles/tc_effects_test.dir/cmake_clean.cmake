@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_effects_test.dir/tc_effects_test.cc.o"
+  "CMakeFiles/tc_effects_test.dir/tc_effects_test.cc.o.d"
+  "tc_effects_test"
+  "tc_effects_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_effects_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_sim_test.dir/tc_sim_test.cc.o"
+  "CMakeFiles/tc_sim_test.dir/tc_sim_test.cc.o.d"
+  "tc_sim_test"
+  "tc_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

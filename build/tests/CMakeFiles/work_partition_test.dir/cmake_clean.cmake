@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/work_partition_test.dir/work_partition_test.cc.o"
+  "CMakeFiles/work_partition_test.dir/work_partition_test.cc.o.d"
+  "work_partition_test"
+  "work_partition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/work_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/gputc_main.cc" "tools/CMakeFiles/gputc.dir/gputc_main.cc.o" "gcc" "tools/CMakeFiles/gputc.dir/gputc_main.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/tc_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tc/CMakeFiles/tc_tc.dir/DependInfo.cmake"
+  "/root/repo/build/src/order/CMakeFiles/tc_order.dir/DependInfo.cmake"
+  "/root/repo/build/src/direction/CMakeFiles/tc_direction.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

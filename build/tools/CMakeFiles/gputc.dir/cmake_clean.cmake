@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gputc.dir/gputc_main.cc.o"
+  "CMakeFiles/gputc.dir/gputc_main.cc.o.d"
+  "gputc"
+  "gputc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gputc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
