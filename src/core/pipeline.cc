@@ -44,6 +44,17 @@ RunResult RunTriangleCount(const Graph& g, TcAlgorithm algorithm,
   return result;
 }
 
+StatusOr<RunResult> TryRunTriangleCount(const Graph& g, TcAlgorithm algorithm,
+                                        const DeviceSpec& spec,
+                                        const PreprocessOptions& options) {
+  const ValidationReport report = GraphDoctor().Examine(g);
+  if (!report.clean()) {
+    return report.ToStatus().WithContext(
+        "TryRunTriangleCount: input graph failed validation");
+  }
+  return RunTriangleCount(g, algorithm, spec, options);
+}
+
 int64_t CountTriangles(const Graph& g) {
   return RunTriangleCount(g, TcAlgorithm::kHu, DeviceSpec::TitanXpLike())
       .triangles;

@@ -6,9 +6,11 @@
 
 #include "core/preprocess.h"
 #include "graph/graph.h"
+#include "graph/validate.h"
 #include "sim/device.h"
 #include "tc/counter.h"
 #include "tc/registry.h"
+#include "util/status.h"
 
 namespace gputc {
 
@@ -32,6 +34,15 @@ struct RunResult {
 RunResult RunTriangleCount(const Graph& g, TcAlgorithm algorithm,
                            const DeviceSpec& spec,
                            const PreprocessOptions& options = {});
+
+/// Validated front door for untrusted graphs: runs GraphDoctor over `g`
+/// first (CSR integrity, self loops, symmetry, triangle-count overflow risk)
+/// and refuses with a context-bearing Status instead of feeding a damaged
+/// graph to the kernels. Graphs built by this library's loaders/generators
+/// always pass; hand-assembled CSRs may not.
+StatusOr<RunResult> TryRunTriangleCount(const Graph& g, TcAlgorithm algorithm,
+                                        const DeviceSpec& spec,
+                                        const PreprocessOptions& options = {});
 
 /// Convenience facade: preprocess with the paper's defaults (A-direction +
 /// A-order) and count with Hu's algorithm; returns just the triangle count.

@@ -119,6 +119,12 @@ const Registration* Find(const std::string& name) {
   return nullptr;
 }
 
+Status UnknownDatasetError(const std::string& name) {
+  std::string msg = "unknown dataset '" + name + "'; registered datasets:";
+  for (const Registration& r : Registry()) msg += " " + r.spec.name;
+  return NotFoundError(std::move(msg));
+}
+
 }  // namespace
 
 std::vector<std::string> DatasetNames() {
@@ -137,6 +143,18 @@ DatasetSpec GetDatasetSpec(const std::string& name) {
 Graph LoadDataset(const std::string& name) {
   const Registration* r = Find(name);
   GPUTC_CHECK(r != nullptr) << "unknown dataset '" << name << "'";
+  return r->make();
+}
+
+StatusOr<DatasetSpec> TryGetDatasetSpec(const std::string& name) {
+  const Registration* r = Find(name);
+  if (r == nullptr) return UnknownDatasetError(name);
+  return r->spec;
+}
+
+StatusOr<Graph> TryLoadDataset(const std::string& name) {
+  const Registration* r = Find(name);
+  if (r == nullptr) return UnknownDatasetError(name);
   return r->make();
 }
 

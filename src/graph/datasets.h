@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/status.h"
 
 namespace gputc {
 
@@ -32,6 +33,11 @@ DatasetSpec GetDatasetSpec(const std::string& name);
 /// Materializes the stand-in graph. Deterministic: repeated calls return
 /// identical graphs. Aborts on unknown names.
 Graph LoadDataset(const std::string& name);
+
+/// Fallible variants for user-supplied names (CLI, config files): kNotFound
+/// with the list of registered names instead of aborting.
+StatusOr<DatasetSpec> TryGetDatasetSpec(const std::string& name);
+StatusOr<Graph> TryLoadDataset(const std::string& name);
 
 /// True if `name` is registered.
 bool HasDataset(const std::string& name);

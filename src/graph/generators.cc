@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <unordered_set>
 
+#include "graph/validate.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -254,6 +256,110 @@ Graph CompleteBipartiteGraph(VertexId a, VertexId b) {
     for (VertexId v = 0; v < b; ++v) list.Add(u, a + v);
   }
   return Graph::FromEdgeList(std::move(list));
+}
+
+namespace {
+
+/// Shared size gate for the Try* generators: a mistyped CLI size should
+/// come back as a Status, not as an out-of-memory kill.
+Status CheckGeneratorSize(uint64_t num_vertices, uint64_t num_edges) {
+  return GraphDoctor().CheckCounts(num_vertices, num_edges);
+}
+
+}  // namespace
+
+StatusOr<Graph> TryGenerateErdosRenyi(VertexId num_vertices,
+                                      EdgeCount num_edges, uint64_t seed) {
+  if (num_vertices < 2) {
+    return InvalidArgumentError("Erdos-Renyi needs at least 2 vertices, got " +
+                                std::to_string(num_vertices));
+  }
+  if (num_edges < 0) {
+    return InvalidArgumentError("edge count must be non-negative, got " +
+                                std::to_string(num_edges));
+  }
+  const EdgeCount max_edges = static_cast<EdgeCount>(num_vertices) *
+                              (static_cast<EdgeCount>(num_vertices) - 1) / 2;
+  if (num_edges > max_edges) {
+    return InvalidArgumentError(
+        std::to_string(num_edges) + " edges exceed the " +
+        std::to_string(max_edges) + " possible on " +
+        std::to_string(num_vertices) + " vertices");
+  }
+  GPUTC_RETURN_IF_ERROR(CheckGeneratorSize(
+      num_vertices, static_cast<uint64_t>(num_edges)));
+  return GenerateErdosRenyi(num_vertices, num_edges, seed);
+}
+
+StatusOr<Graph> TryGenerateWattsStrogatz(VertexId num_vertices, int k,
+                                         double beta, uint64_t seed) {
+  if (k < 2 || k % 2 != 0) {
+    return InvalidArgumentError(
+        "Watts-Strogatz degree k must be even and >= 2, got " +
+        std::to_string(k));
+  }
+  if (num_vertices <= static_cast<VertexId>(k)) {
+    return InvalidArgumentError("need more than k = " + std::to_string(k) +
+                                " vertices, got " +
+                                std::to_string(num_vertices));
+  }
+  if (beta < 0.0 || beta > 1.0) {
+    return InvalidArgumentError("rewiring probability beta must be in [0, 1]");
+  }
+  GPUTC_RETURN_IF_ERROR(CheckGeneratorSize(
+      num_vertices,
+      static_cast<uint64_t>(num_vertices) * static_cast<uint64_t>(k) / 2));
+  return GenerateWattsStrogatz(num_vertices, k, beta, seed);
+}
+
+StatusOr<Graph> TryGeneratePowerLawConfiguration(VertexId num_vertices,
+                                                 double gamma,
+                                                 EdgeCount min_degree,
+                                                 EdgeCount max_degree,
+                                                 uint64_t seed) {
+  if (num_vertices < 2) {
+    return InvalidArgumentError("need at least 2 vertices, got " +
+                                std::to_string(num_vertices));
+  }
+  if (gamma <= 1.0) {
+    return InvalidArgumentError("power-law exponent gamma must be > 1");
+  }
+  if (min_degree < 1 || max_degree < min_degree) {
+    return InvalidArgumentError(
+        "need 1 <= min-degree <= max-degree, got min " +
+        std::to_string(min_degree) + ", max " + std::to_string(max_degree));
+  }
+  if (max_degree >= static_cast<EdgeCount>(num_vertices)) {
+    return InvalidArgumentError("max-degree " + std::to_string(max_degree) +
+                                " does not fit a simple graph on " +
+                                std::to_string(num_vertices) + " vertices");
+  }
+  GPUTC_RETURN_IF_ERROR(CheckGeneratorSize(
+      num_vertices,
+      static_cast<uint64_t>(num_vertices) *
+          static_cast<uint64_t>(max_degree) / 2));
+  return GeneratePowerLawConfiguration(num_vertices, gamma, min_degree,
+                                       max_degree, seed);
+}
+
+StatusOr<Graph> TryGenerateRmat(int scale, int edge_factor, uint64_t seed,
+                                double a, double b, double c) {
+  if (scale < 1 || scale > 30) {
+    return InvalidArgumentError("R-MAT scale must be in [1, 30], got " +
+                                std::to_string(scale));
+  }
+  if (edge_factor < 1) {
+    return InvalidArgumentError("edge factor must be >= 1, got " +
+                                std::to_string(edge_factor));
+  }
+  if (a <= 0.0 || b < 0.0 || c < 0.0 || a + b + c >= 1.0) {
+    return InvalidArgumentError(
+        "R-MAT probabilities need a > 0, b, c >= 0, a + b + c < 1");
+  }
+  const uint64_t n = 1ull << scale;
+  GPUTC_RETURN_IF_ERROR(
+      CheckGeneratorSize(n, static_cast<uint64_t>(edge_factor) * n));
+  return GenerateRmat(scale, edge_factor, seed, a, b, c);
 }
 
 }  // namespace gputc

@@ -6,6 +6,7 @@
 
 #include "graph/graph.h"
 #include "graph/types.h"
+#include "util/status.h"
 
 namespace gputc {
 
@@ -41,6 +42,25 @@ Graph GeneratePowerLawConfiguration(VertexId num_vertices, double gamma,
 /// datasets.
 Graph GenerateRmat(int scale, int edge_factor, uint64_t seed,
                    double a = 0.57, double b = 0.19, double c = 0.19);
+
+// Validated variants for parameters that come from users (CLI flags, config
+// files) rather than code: they return kInvalidArgument describing the
+// violated constraint instead of aborting the process, and enforce the
+// GraphDoctor ingestion caps so a typo'd size cannot trigger a runaway
+// allocation.
+
+StatusOr<Graph> TryGenerateErdosRenyi(VertexId num_vertices,
+                                      EdgeCount num_edges, uint64_t seed);
+StatusOr<Graph> TryGenerateWattsStrogatz(VertexId num_vertices, int k,
+                                         double beta, uint64_t seed);
+StatusOr<Graph> TryGeneratePowerLawConfiguration(VertexId num_vertices,
+                                                 double gamma,
+                                                 EdgeCount min_degree,
+                                                 EdgeCount max_degree,
+                                                 uint64_t seed);
+StatusOr<Graph> TryGenerateRmat(int scale, int edge_factor, uint64_t seed,
+                                double a = 0.57, double b = 0.19,
+                                double c = 0.19);
 
 /// Samples a power-law degree sequence (exposed for tests and the Figure 7
 /// approximation-ratio sweep).

@@ -5,15 +5,48 @@
 #include <sstream>
 #include <string>
 #include <unordered_map>
+#include <vector>
+
+#include "graph/validate.h"
 
 namespace gputc {
 namespace {
 
 constexpr uint64_t kBinaryMagic = 0x43545550'47525048ull;  // "GPUTCGRPH"-ish.
+constexpr uint64_t kHeaderBytes = 3 * sizeof(uint64_t);    // magic, n, m.
+
+std::string Truncate(const std::string& s, size_t limit = 60) {
+  if (s.size() <= limit) return s;
+  return s.substr(0, limit) + "...";
+}
+
+std::string HexU64(uint64_t v) {
+  std::ostringstream out;
+  out << "0x" << std::hex << v;
+  return out.str();
+}
+
+/// Reads `count` elements into `out`, reporting how many bytes were missing
+/// on short reads. The caller has already verified the physical file size,
+/// so a failure here means the file changed underfoot or the stream broke.
+template <typename T>
+Status ReadArray(std::istream& in, std::vector<T>& out, size_t count,
+                 const char* what) {
+  out.resize(count);
+  in.read(reinterpret_cast<char*>(out.data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  if (!in) {
+    std::ostringstream msg;
+    msg << "short read in " << what << ": wanted " << count * sizeof(T)
+        << " bytes, got " << in.gcount();
+    return DataLossError(msg.str());
+  }
+  return OkStatus();
+}
 
 }  // namespace
 
-std::optional<Graph> ReadSnapText(std::istream& in) {
+StatusOr<EdgeList> ReadSnapEdgeList(std::istream& in) {
   EdgeList list;
   std::unordered_map<uint64_t, VertexId> remap;
   auto dense_id = [&remap](uint64_t raw) {
@@ -22,22 +55,49 @@ std::optional<Graph> ReadSnapText(std::istream& in) {
     (void)inserted;
     return it->second;
   };
+  const GraphDoctor doctor;
   std::string line;
+  int64_t line_number = 0;
   while (std::getline(in, line)) {
+    ++line_number;
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
     std::istringstream ls(line);
     uint64_t a = 0, b = 0;
-    if (!(ls >> a >> b)) return std::nullopt;
-    list.Add(dense_id(a), dense_id(b));
+    if (!(ls >> a >> b)) {
+      std::ostringstream msg;
+      msg << "line " << line_number << ": expected 'u v' pair, got \""
+          << Truncate(line) << "\"";
+      return DataLossError(msg.str());
+    }
+    // Sequence the two lookups explicitly: argument evaluation order is
+    // unspecified, and first-seen-order remapping must be deterministic.
+    const VertexId u = dense_id(a);
+    const VertexId v = dense_id(b);
+    list.Add(u, v);
+    if (remap.size() > doctor.options().max_vertices ||
+        list.num_edges() > doctor.options().max_edges) {
+      std::ostringstream msg;
+      msg << "line " << line_number << ": graph exceeds the ingestion caps ("
+          << remap.size() << " vertices, " << list.num_edges() << " edges)";
+      return ResourceExhaustedError(msg.str());
+    }
   }
+  if (in.bad()) return DataLossError("stream failed while reading edge list");
   list.set_num_vertices(static_cast<VertexId>(remap.size()));
+  return list;
+}
+
+StatusOr<Graph> ReadSnapText(std::istream& in) {
+  GPUTC_ASSIGN_OR_RETURN(EdgeList list, ReadSnapEdgeList(in));
   return Graph::FromEdgeList(std::move(list));
 }
 
-std::optional<Graph> LoadSnapText(const std::string& path) {
+StatusOr<Graph> LoadSnapText(const std::string& path) {
   std::ifstream in(path);
-  if (!in) return std::nullopt;
-  return ReadSnapText(in);
+  if (!in) return NotFoundError("cannot open '" + path + "'");
+  StatusOr<Graph> g = ReadSnapText(in);
+  if (!g.ok()) return g.status().WithContext("LoadSnapText('" + path + "')");
+  return g;
 }
 
 void WriteSnapText(const Graph& g, std::ostream& out) {
@@ -75,35 +135,116 @@ bool SaveBinary(const Graph& g, const std::string& path) {
   return static_cast<bool>(out);
 }
 
-std::optional<Graph> LoadBinary(const std::string& path) {
+StatusOr<EdgeList> LoadBinaryEdgeList(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
+  if (!in) return NotFoundError("cannot open '" + path + "'");
+  const std::string ctx = "LoadBinary('" + path + "')";
+
+  in.seekg(0, std::ios::end);
+  const auto end_pos = in.tellg();
+  in.seekg(0, std::ios::beg);
+  if (end_pos < 0) {
+    return DataLossError("cannot determine file size").WithContext(ctx);
+  }
+  const uint64_t file_size = static_cast<uint64_t>(end_pos);
+  if (file_size < kHeaderBytes) {
+    std::ostringstream msg;
+    msg << "truncated header: file is " << file_size << " bytes, need "
+        << kHeaderBytes;
+    return DataLossError(msg.str()).WithContext(ctx);
+  }
+
   uint64_t magic = 0, n = 0, m = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
   in.read(reinterpret_cast<char*>(&m), sizeof(m));
-  if (!in || magic != kBinaryMagic) return std::nullopt;
-  std::vector<EdgeCount> offsets(n + 1);
-  std::vector<VertexId> adj(2 * m);
-  in.read(reinterpret_cast<char*>(offsets.data()),
-          static_cast<std::streamsize>(offsets.size() * sizeof(EdgeCount)));
-  in.read(reinterpret_cast<char*>(adj.data()),
-          static_cast<std::streamsize>(adj.size() * sizeof(VertexId)));
-  if (!in) return std::nullopt;
-  // Reassemble through the edge list so all Graph invariants are re-checked
-  // even for hand-crafted files.
+  if (!in) return DataLossError("cannot read header").WithContext(ctx);
+  if (magic != kBinaryMagic) {
+    std::ostringstream msg;
+    msg << "bad magic " << HexU64(magic) << ", want " << HexU64(kBinaryMagic);
+    return DataLossError(msg.str()).WithContext(ctx);
+  }
+
+  // Validate the header counts and the implied payload size against the
+  // physical file *before* allocating anything the header controls. The caps
+  // bound n and m, so the byte arithmetic below cannot overflow uint64.
+  const GraphDoctor doctor;
+  const Status counts = doctor.CheckCounts(n, m);
+  if (!counts.ok()) return counts.WithContext(ctx + ": header");
+  const uint64_t expected_size =
+      kHeaderBytes + (n + 1) * sizeof(EdgeCount) + 2 * m * sizeof(VertexId);
+  if (file_size != expected_size) {
+    std::ostringstream msg;
+    msg << "header claims n = " << n << ", m = " << m << " implying "
+        << expected_size << " bytes, but the file is " << file_size
+        << " bytes";
+    return DataLossError(msg.str()).WithContext(ctx);
+  }
+
+  std::vector<EdgeCount> offsets;
+  std::vector<VertexId> adj;
+  GPUTC_RETURN_IF_ERROR(
+      ReadArray(in, offsets, static_cast<size_t>(n) + 1, "CSR offsets")
+          .WithContext(ctx));
+  GPUTC_RETURN_IF_ERROR(
+      ReadArray(in, adj, static_cast<size_t>(2 * m), "CSR adjacency")
+          .WithContext(ctx));
+  GPUTC_RETURN_IF_ERROR(GraphDoctor::CheckCsr(n, m, offsets, adj)
+                            .WithContext(ctx));
+
+  // Structurally sound: lift into the staging edge list, preserving self
+  // loops and duplicate entries for GraphDoctor to judge. Upper-triangle
+  // entries carry the edges; lower-triangle entries are the mirrors.
   EdgeList list(static_cast<VertexId>(n));
   for (VertexId u = 0; u < n; ++u) {
     for (EdgeCount i = offsets[u]; i < offsets[u + 1]; ++i) {
       const VertexId v = adj[static_cast<size_t>(i)];
-      if (v >= n) return std::nullopt;
-      if (u < v) list.Add(u, v);
+      if (u <= v) list.Add(u, v);
     }
   }
   list.set_num_vertices(static_cast<VertexId>(n));
+  return list;
+}
+
+StatusOr<Graph> LoadBinary(const std::string& path) {
+  GPUTC_ASSIGN_OR_RETURN(EdgeList list, LoadBinaryEdgeList(path));
+  const uint64_t m = static_cast<uint64_t>(list.num_edges());
   Graph g = Graph::FromEdgeList(std::move(list));
-  if (static_cast<uint64_t>(g.num_edges()) != m) return std::nullopt;
+  // A canonical CSR reassembles to exactly the header's edge count. Any
+  // difference means self loops, duplicates, or asymmetric rows survived the
+  // structural checks — repairable defects the strict loader refuses.
+  if (static_cast<uint64_t>(g.num_edges()) != m) {
+    std::ostringstream msg;
+    msg << "adjacency is not canonical: reassembly kept " << g.num_edges()
+        << " of " << m
+        << " edges (self loops, duplicates, or asymmetric rows); run "
+        << "'gputc doctor --repair' to fix";
+    return DataLossError(msg.str())
+        .WithContext("LoadBinary('" + path + "')");
+  }
   return g;
+}
+
+StatusOr<Graph> LoadGraph(const std::string& path) {
+  return path.ends_with(".bin") ? LoadBinary(path) : LoadSnapText(path);
+}
+
+StatusOr<EdgeList> LoadEdgeList(const std::string& path) {
+  if (path.ends_with(".bin")) return LoadBinaryEdgeList(path);
+  std::ifstream in(path);
+  if (!in) return NotFoundError("cannot open '" + path + "'");
+  StatusOr<EdgeList> list = ReadSnapEdgeList(in);
+  if (!list.ok()) {
+    return list.status().WithContext("LoadEdgeList('" + path + "')");
+  }
+  return list;
+}
+
+Status SaveGraph(const Graph& g, const std::string& path) {
+  const bool ok =
+      path.ends_with(".bin") ? SaveBinary(g, path) : SaveSnapText(g, path);
+  if (!ok) return Status(StatusCode::kInternal, "cannot write '" + path + "'");
+  return OkStatus();
 }
 
 }  // namespace gputc

@@ -2,23 +2,36 @@
 #define GPUTC_GRAPH_IO_H_
 
 #include <iosfwd>
-#include <optional>
 #include <string>
 
+#include "graph/edge_list.h"
 #include "graph/graph.h"
+#include "util/status.h"
 
 namespace gputc {
 
-// SNAP-style text format: '#' comment lines, then one "u<ws>v" pair per
+// All loaders return StatusOr so every failure carries a code and a
+// context-bearing message (file, line or byte offset, expected vs actual).
+// StatusOr mirrors std::optional's accessors, so legacy optional-style call
+// sites (`has_value()`, `*`, `->`) keep working; new code should branch on
+// ok() and report status().message().
+
+// SNAP-style text format: '#'/'%' comment lines, then one "u<ws>v" pair per
 // line. Vertex ids are remapped to a dense [0, n) range in first-seen order,
 // matching how the paper's datasets are consumed.
 
-/// Parses a SNAP edge-list stream. Returns std::nullopt on malformed input.
-std::optional<Graph> ReadSnapText(std::istream& in);
+/// Parses a SNAP edge-list stream into a normalized Graph. Self loops and
+/// duplicate pairs are silently canonicalized away (use ReadSnapEdgeList +
+/// GraphDoctor to detect them). Errors name the offending line.
+StatusOr<Graph> ReadSnapText(std::istream& in);
 
-/// Loads a SNAP edge-list file. Returns std::nullopt if the file cannot be
-/// opened or parsed.
-std::optional<Graph> LoadSnapText(const std::string& path);
+/// Loads a SNAP edge-list file. kNotFound if the file cannot be opened;
+/// parse errors are annotated with the path.
+StatusOr<Graph> LoadSnapText(const std::string& path);
+
+/// Parses a SNAP stream into the raw staging EdgeList, *preserving* self
+/// loops and duplicate edges so GraphDoctor can report or repair them.
+StatusOr<EdgeList> ReadSnapEdgeList(std::istream& in);
 
 /// Writes a graph in SNAP text format (one undirected edge per line, u < v).
 void WriteSnapText(const Graph& g, std::ostream& out);
@@ -30,9 +43,29 @@ bool SaveSnapText(const Graph& g, const std::string& path);
 /// Saves in the native binary format. Returns false on I/O error.
 bool SaveBinary(const Graph& g, const std::string& path);
 
-/// Loads the native binary format. Returns std::nullopt on error or if the
-/// file is not a gputc binary graph.
-std::optional<Graph> LoadBinary(const std::string& path);
+/// Loads the native binary format with full structural validation: the
+/// header is checked against the physical file size and allocation caps
+/// *before* any payload-sized buffer is allocated, offsets must be monotonic
+/// with offsets[n] == 2m, and every adjacency id must be in range. The CSR
+/// must be canonical (symmetric, no self loops or duplicates); use
+/// LoadBinaryEdgeList + GraphDoctor for repairable inputs.
+StatusOr<Graph> LoadBinary(const std::string& path);
+
+/// Binary loader that stops after structural validation and returns the raw
+/// edge list (self loops and in-row duplicates preserved) for GraphDoctor.
+StatusOr<EdgeList> LoadBinaryEdgeList(const std::string& path);
+
+// Extension-dispatching conveniences used by the CLI: ".bin" selects the
+// binary format, anything else SNAP text.
+
+/// Loads a graph from `path` by extension.
+StatusOr<Graph> LoadGraph(const std::string& path);
+
+/// Loads the raw edge list from `path` by extension.
+StatusOr<EdgeList> LoadEdgeList(const std::string& path);
+
+/// Saves `g` to `path` by extension, reporting failures as Status.
+Status SaveGraph(const Graph& g, const std::string& path);
 
 }  // namespace gputc
 

@@ -1,0 +1,153 @@
+#ifndef GPUTC_UTIL_STATUS_H_
+#define GPUTC_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace gputc {
+
+/// Machine-readable failure category carried by every Status. The codes
+/// deliberately mirror the exit-code contract of the CLI (see README,
+/// "Error handling & exit codes"): argument problems map to exit 2 and
+/// input-data problems to exit 3.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     // Caller passed a bad parameter or flag value.
+  kNotFound,            // Named resource (file, dataset) does not exist.
+  kOutOfRange,          // A value lies outside its documented domain.
+  kFailedPrecondition,  // Operation needs state the input does not satisfy.
+  kDataLoss,            // Input bytes are corrupt, truncated, or inconsistent.
+  kResourceExhausted,   // An allocation or size cap would be exceeded.
+  kUnimplemented,       // Requested variant is not built in this binary.
+  kInternal,            // Invariant violation inside the library itself.
+};
+
+/// Stable upper-case name, e.g. "DATA_LOSS". Never returns null.
+const char* StatusCodeName(StatusCode code);
+
+/// Error code plus human-readable message plus a context chain.
+///
+/// A default-constructed Status is OK. Failure paths build a leaf Status
+/// (`DataLossError("offsets[3] = 9 > offsets[4] = 7")`) and every layer the
+/// error propagates through prepends its own frame with WithContext, so the
+/// user-facing message reads outermost-first:
+///
+///   DATA_LOSS: LoadBinary('g.bin'): CSR offsets: offsets[3] = 9 > ...
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Returns a copy with `context` prepended ("context: message"). No-op on
+  /// an OK status.
+  Status WithContext(std::string_view context) const;
+
+  /// "CODE_NAME: message" ("OK" when ok()).
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status(); }
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status DataLossError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+
+/// Either a value or a non-OK Status — the return type of every fallible
+/// loader and pipeline entry point.
+///
+/// The accessor surface is a superset of std::optional (has_value,
+/// operator*, operator->), so call sites written against the historical
+/// optional-returning loaders keep compiling; new call sites should branch on
+/// ok() and surface status().message().
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from a value: `return graph;`.
+  StatusOr(T value) : value_(std::move(value)) {}
+  /// Implicit from a non-OK status: `return DataLossError(...);`. Passing an
+  /// OK status here is a programming error.
+  StatusOr(Status status) : status_(std::move(status)) {
+    GPUTC_CHECK(!status_.ok())
+        << "StatusOr constructed from OK status with no value";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  bool has_value() const { return ok(); }
+  explicit operator bool() const { return ok(); }
+
+  /// OkStatus() when a value is present.
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    GPUTC_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    GPUTC_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    GPUTC_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  template <typename U>
+  T value_or(U&& fallback) const& {
+    return ok() ? *value_ : static_cast<T>(std::forward<U>(fallback));
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace gputc
+
+/// Propagates a non-OK Status to the caller: `GPUTC_RETURN_IF_ERROR(Check());`
+#define GPUTC_RETURN_IF_ERROR(expr)                        \
+  do {                                                     \
+    ::gputc::Status gputc_status_tmp_ = (expr);            \
+    if (!gputc_status_tmp_.ok()) return gputc_status_tmp_; \
+  } while (false)
+
+#define GPUTC_STATUS_CONCAT_INNER_(a, b) a##b
+#define GPUTC_STATUS_CONCAT_(a, b) GPUTC_STATUS_CONCAT_INNER_(a, b)
+
+/// Unwraps a StatusOr into `lhs` or propagates its error:
+///   GPUTC_ASSIGN_OR_RETURN(Graph g, LoadBinary(path));
+#define GPUTC_ASSIGN_OR_RETURN(lhs, expr)                              \
+  auto GPUTC_STATUS_CONCAT_(gputc_statusor_, __LINE__) = (expr);       \
+  if (!GPUTC_STATUS_CONCAT_(gputc_statusor_, __LINE__).ok())           \
+    return GPUTC_STATUS_CONCAT_(gputc_statusor_, __LINE__).status();   \
+  lhs = *std::move(GPUTC_STATUS_CONCAT_(gputc_statusor_, __LINE__))
+
+#endif  // GPUTC_UTIL_STATUS_H_

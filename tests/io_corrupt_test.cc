@@ -1,0 +1,270 @@
+// Corpus-style tests feeding crafted, corrupt, and adversarial inputs
+// through the Status-returning loaders. Every case asserts a precise error
+// code and a context-bearing message — and, run under ASan/UBSan, that no
+// crafted header can cause an out-of-bounds access or runaway allocation.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/validate.h"
+
+namespace gputc {
+namespace {
+
+constexpr uint64_t kMagic = 0x43545550'47525048ull;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Writes a crafted binary graph file from raw parts.
+void WriteCrafted(const std::string& path, uint64_t magic, uint64_t n,
+                  uint64_t m, const std::vector<EdgeCount>& offsets,
+                  const std::vector<VertexId>& adj,
+                  const std::string& trailing = "") {
+  std::ofstream out(path, std::ios::binary);
+  ASSERT_TRUE(out);
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&m), sizeof(m));
+  out.write(reinterpret_cast<const char*>(offsets.data()),
+            static_cast<std::streamsize>(offsets.size() * sizeof(EdgeCount)));
+  out.write(reinterpret_cast<const char*>(adj.data()),
+            static_cast<std::streamsize>(adj.size() * sizeof(VertexId)));
+  out << trailing;
+}
+
+class CorruptFileTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const std::string& p : cleanup_) std::remove(p.c_str());
+  }
+  std::string Path(const std::string& name) {
+    const std::string p = TempPath(name);
+    cleanup_.push_back(p);
+    return p;
+  }
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(CorruptFileTest, TruncatedHeader) {
+  const std::string path = Path("trunc_header.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "GPUT";  // 4 bytes, header needs 24.
+  }
+  const StatusOr<Graph> g = LoadBinary(path);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(g.status().message().find("truncated header"), std::string::npos);
+  EXPECT_NE(g.status().message().find(path), std::string::npos);
+}
+
+TEST_F(CorruptFileTest, BadMagic) {
+  const std::string path = Path("bad_magic.bin");
+  WriteCrafted(path, /*magic=*/0xDEADBEEFull, 2, 1, {0, 1, 2}, {1, 0});
+  const StatusOr<Graph> g = LoadBinary(path);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(g.status().message().find("bad magic"), std::string::npos);
+  EXPECT_NE(g.status().message().find("0xdeadbeef"), std::string::npos);
+}
+
+TEST_F(CorruptFileTest, HugeVertexCountRejectedBeforeAllocation) {
+  // A 24-byte file claiming 2^40 vertices would imply an 8 TiB offsets
+  // allocation; the loader must reject on the header alone.
+  const std::string path = Path("huge_n.bin");
+  WriteCrafted(path, kMagic, /*n=*/1ull << 40, /*m=*/1, {}, {});
+  const StatusOr<Graph> g = LoadBinary(path);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(g.status().message().find("vertex count"), std::string::npos);
+}
+
+TEST_F(CorruptFileTest, HugeEdgeCountRejectedBeforeAllocation) {
+  const std::string path = Path("huge_m.bin");
+  WriteCrafted(path, kMagic, /*n=*/2, /*m=*/1ull << 60, {}, {});
+  const StatusOr<Graph> g = LoadBinary(path);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(g.status().message().find("edge count"), std::string::npos);
+}
+
+TEST_F(CorruptFileTest, PayloadShorterThanHeaderImplies) {
+  const std::string path = Path("short_payload.bin");
+  // Header says n=4, m=10 but carries a payload for a much smaller graph.
+  WriteCrafted(path, kMagic, /*n=*/4, /*m=*/10, {0, 1, 2}, {1, 0});
+  const StatusOr<Graph> g = LoadBinary(path);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(g.status().message().find("but the file is"), std::string::npos);
+}
+
+TEST_F(CorruptFileTest, TrailingGarbageRejected) {
+  const std::string path = Path("trailing.bin");
+  WriteCrafted(path, kMagic, /*n=*/2, /*m=*/1, {0, 1, 2}, {1, 0},
+               /*trailing=*/"extra");
+  const StatusOr<Graph> g = LoadBinary(path);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(CorruptFileTest, NonMonotonicOffsets) {
+  const std::string path = Path("nonmono.bin");
+  WriteCrafted(path, kMagic, /*n=*/3, /*m=*/2, {0, 3, 2, 4}, {1, 2, 0, 0});
+  const StatusOr<Graph> g = LoadBinary(path);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(g.status().message().find("not monotonic"), std::string::npos);
+}
+
+TEST_F(CorruptFileTest, OffsetsTotalDisagreesWithEdgeCount) {
+  const std::string path = Path("bad_total.bin");
+  // offsets[n] = 3 but the header promises 2*m = 4 adjacency entries. The
+  // adjacency array still has 4 entries so the file size matches the header
+  // and only the offsets check can catch it.
+  WriteCrafted(path, kMagic, /*n=*/3, /*m=*/2, {0, 1, 2, 3}, {1, 0, 1, 0});
+  const StatusOr<Graph> g = LoadBinary(path);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(g.status().message().find("2*m"), std::string::npos);
+}
+
+TEST_F(CorruptFileTest, NegativeOffsetRejected) {
+  const std::string path = Path("neg_offset.bin");
+  WriteCrafted(path, kMagic, /*n=*/2, /*m=*/1, {-4, 1, 2}, {1, 0});
+  const StatusOr<Graph> g = LoadBinary(path);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(g.status().message().find("offsets[0]"), std::string::npos);
+}
+
+TEST_F(CorruptFileTest, OutOfRangeVertexId) {
+  const std::string path = Path("oob_adj.bin");
+  // Would have been an out-of-bounds CSR indexing crash in the unhardened
+  // loader: vertex id 999 in a 3-vertex graph.
+  WriteCrafted(path, kMagic, /*n=*/3, /*m=*/2, {0, 2, 3, 4}, {1, 999, 0, 0});
+  const StatusOr<Graph> g = LoadBinary(path);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(g.status().message().find("adjacency[1]"), std::string::npos);
+  EXPECT_NE(g.status().message().find("999"), std::string::npos);
+}
+
+TEST_F(CorruptFileTest, NonCanonicalCsrRejectedStrictButRepairable) {
+  const std::string path = Path("self_loop.bin");
+  // Structurally sound CSR containing a doubled self loop: row 0 = [0, 0],
+  // row 1 = [2], row 2 = [1]. Strict load refuses; the doctor flow repairs.
+  WriteCrafted(path, kMagic, /*n=*/3, /*m=*/2, {0, 2, 3, 4}, {0, 0, 2, 1});
+  const StatusOr<Graph> strict = LoadBinary(path);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(strict.status().message().find("not canonical"),
+            std::string::npos);
+
+  StatusOr<EdgeList> raw = LoadBinaryEdgeList(path);
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  const GraphDoctor doctor;
+  const ValidationReport report = doctor.Examine(*raw);
+  EXPECT_FALSE(report.clean());
+  const StatusOr<Graph> repaired =
+      doctor.BuildGraph(*std::move(raw), RepairPolicy::kRepair);
+  ASSERT_TRUE(repaired.ok()) << repaired.status().ToString();
+  EXPECT_EQ(repaired->num_vertices(), 3u);
+  EXPECT_EQ(repaired->num_edges(), 1);  // Only (1, 2) survives.
+}
+
+TEST_F(CorruptFileTest, ValidFileStillRoundTrips) {
+  const Graph g = GenerateErdosRenyi(60, 150, /*seed=*/7);
+  const std::string path = Path("valid.bin");
+  ASSERT_TRUE(SaveBinary(g, path));
+  const StatusOr<Graph> h = LoadBinary(path);
+  ASSERT_TRUE(h.ok()) << h.status().ToString();
+  EXPECT_EQ(h->offsets(), g.offsets());
+  EXPECT_EQ(h->adjacency(), g.adjacency());
+}
+
+TEST_F(CorruptFileTest, MissingBinaryIsNotFound) {
+  const StatusOr<Graph> g = LoadBinary("/nonexistent/graph.bin");
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(g.status().message().find("/nonexistent/graph.bin"),
+            std::string::npos);
+}
+
+TEST(CorruptSnapTest, MalformedLineNamesTheLine) {
+  std::istringstream in("# header\n0 1\nnot numbers\n");
+  const StatusOr<Graph> g = ReadSnapText(in);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(g.status().message().find("line 3"), std::string::npos);
+  EXPECT_NE(g.status().message().find("not numbers"), std::string::npos);
+}
+
+TEST(CorruptSnapTest, MissingSecondEndpoint) {
+  std::istringstream in("0 1\n17\n");
+  const StatusOr<Graph> g = ReadSnapText(in);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(g.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CorruptSnapTest, OverflowingVertexToken) {
+  std::istringstream in("0 1\n99999999999999999999999999 1\n");
+  const StatusOr<Graph> g = ReadSnapText(in);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(g.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CorruptSnapTest, MissingFileIsNotFoundWithPath) {
+  const StatusOr<Graph> g = LoadSnapText("/nonexistent/path/graph.txt");
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(g.status().message().find("/nonexistent/path/graph.txt"),
+            std::string::npos);
+}
+
+TEST(CorruptSnapTest, ParseErrorCarriesFileContext) {
+  const std::string path = TempPath("bad_line.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\ngarbage here\n";
+  }
+  const StatusOr<Graph> g = LoadSnapText(path);
+  ASSERT_FALSE(g.ok());
+  EXPECT_NE(g.status().message().find(path), std::string::npos);
+  EXPECT_NE(g.status().message().find("line 2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CorruptSnapTest, RawEdgeListPreservesDefectsForDoctor) {
+  std::istringstream in("0 0\n1 2\n2 1\n");
+  StatusOr<EdgeList> list = ReadSnapEdgeList(in);
+  ASSERT_TRUE(list.ok()) << list.status().ToString();
+  EXPECT_EQ(list->num_edges(), 3);  // Loop and both duplicates kept.
+  const ValidationReport report = GraphDoctor().Examine(*list);
+  EXPECT_FALSE(report.clean());
+  EXPECT_NE(report.Summary().find("self-loop"), std::string::npos);
+  EXPECT_NE(report.Summary().find("duplicate-edge"), std::string::npos);
+}
+
+TEST(LoadGraphDispatchTest, ErrorsOnEitherFormatCarryContext) {
+  const StatusOr<Graph> bin = LoadGraph("/nonexistent/g.bin");
+  ASSERT_FALSE(bin.ok());
+  EXPECT_EQ(bin.status().code(), StatusCode::kNotFound);
+  const StatusOr<Graph> txt = LoadGraph("/nonexistent/g.txt");
+  ASSERT_FALSE(txt.ok());
+  EXPECT_EQ(txt.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace gputc

@@ -1,0 +1,112 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+namespace gputc {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_EQ(s, OkStatus());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = DataLossError("truncated header");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(s.message(), "truncated header");
+  EXPECT_EQ(s.ToString(), "DATA_LOSS: truncated header");
+}
+
+TEST(StatusTest, EveryHelperMapsToItsCode) {
+  EXPECT_EQ(InvalidArgumentError("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(DataLossError("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, WithContextPrependsOutermostFirst) {
+  const Status leaf = DataLossError("offsets[3] = 9 > offsets[4] = 7");
+  const Status mid = leaf.WithContext("CSR offsets");
+  const Status top = mid.WithContext("LoadBinary('g.bin')");
+  EXPECT_EQ(top.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(top.message(),
+            "LoadBinary('g.bin'): CSR offsets: offsets[3] = 9 > offsets[4] = "
+            "7");
+}
+
+TEST(StatusTest, WithContextOnOkIsNoOp) {
+  EXPECT_EQ(OkStatus().WithContext("ignored"), OkStatus());
+}
+
+TEST(StatusCodeNameTest, StableNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDataLoss), "DATA_LOSS");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v.has_value());  // optional-compatible accessor
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  const StatusOr<int> v = NotFoundError("no such file");
+  EXPECT_FALSE(v.ok());
+  EXPECT_FALSE(v.has_value());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(v.status().message(), "no such file");
+  EXPECT_EQ(v.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, ArrowAndMoveAccess) {
+  StatusOr<std::string> v = std::string("hello");
+  EXPECT_EQ(v->size(), 5u);
+  const std::string moved = *std::move(v);
+  EXPECT_EQ(moved, "hello");
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return InvalidArgumentError("must be positive");
+  return x;
+}
+
+Status UseMacros(int x, int* out) {
+  GPUTC_ASSIGN_OR_RETURN(const int parsed, ParsePositive(x));
+  GPUTC_RETURN_IF_ERROR(OkStatus());
+  *out = parsed * 2;
+  return OkStatus();
+}
+
+TEST(StatusMacrosTest, AssignOrReturnUnwraps) {
+  int out = 0;
+  EXPECT_TRUE(UseMacros(21, &out).ok());
+  EXPECT_EQ(out, 42);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnPropagates) {
+  int out = 0;
+  const Status s = UseMacros(-1, &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(out, 0);
+}
+
+}  // namespace
+}  // namespace gputc

@@ -1,0 +1,201 @@
+#include "graph/validate.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/generators.h"
+
+namespace gputc {
+namespace {
+
+bool HasKind(const ValidationReport& report, FindingKind kind) {
+  return std::any_of(report.findings.begin(), report.findings.end(),
+                     [kind](const Finding& f) { return f.kind == kind; });
+}
+
+const Finding& Get(const ValidationReport& report, FindingKind kind) {
+  for (const Finding& f : report.findings) {
+    if (f.kind == kind) return f;
+  }
+  ADD_FAILURE() << "finding " << FindingKindName(kind) << " not present in: "
+                << report.Summary();
+  static const Finding kMissing{};
+  return kMissing;
+}
+
+TEST(GraphDoctorTest, CleanEdgeListIsClean) {
+  EdgeList list;
+  list.Add(0, 1);
+  list.Add(0, 2);
+  list.Add(1, 2);
+  const ValidationReport report = GraphDoctor().Examine(list);
+  EXPECT_TRUE(report.clean()) << report.Summary();
+  EXPECT_TRUE(report.ToStatus().ok());
+  EXPECT_EQ(report.Summary(), "no defects found");
+}
+
+TEST(GraphDoctorTest, DetectsSelfLoops) {
+  EdgeList list;
+  list.Add(0, 1);
+  list.Add(2, 2);
+  list.Add(3, 3);
+  const ValidationReport report = GraphDoctor().Examine(list);
+  const Finding& f = Get(report, FindingKind::kSelfLoop);
+  EXPECT_EQ(f.count, 2);
+  EXPECT_NE(f.detail.find("edge 1"), std::string::npos);
+  EXPECT_NE(f.detail.find("(2, 2)"), std::string::npos);
+  EXPECT_TRUE(FindingIsRepairable(FindingKind::kSelfLoop));
+  EXPECT_FALSE(report.HasStructuralDamage());
+}
+
+TEST(GraphDoctorTest, DetectsDuplicatesIncludingReversed) {
+  EdgeList list;
+  list.Add(0, 1);
+  list.Add(1, 0);  // Same undirected edge, reversed.
+  list.Add(0, 1);  // Exact repeat.
+  const ValidationReport report = GraphDoctor().Examine(list);
+  EXPECT_EQ(Get(report, FindingKind::kDuplicateEdge).count, 2);
+  EXPECT_TRUE(HasKind(report, FindingKind::kUnsortedEdges));
+  EXPECT_FALSE(report.HasStructuralDamage());
+  EXPECT_EQ(report.ToStatus().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphDoctorTest, DetectsEndpointBeyondDeclaredUniverse) {
+  EdgeList list;
+  list.Add(0, 1);
+  // Tamper directly: the normal API grows the universe, a corrupt loader
+  // might not.
+  list.mutable_edges().push_back(Edge{0, 7});
+  const ValidationReport report = GraphDoctor().Examine(list);
+  const Finding& f = Get(report, FindingKind::kEndpointOutOfRange);
+  EXPECT_EQ(f.count, 1);
+  EXPECT_NE(f.detail.find("(0, 7)"), std::string::npos);
+  EXPECT_TRUE(report.HasStructuralDamage());
+  EXPECT_EQ(report.ToStatus().code(), StatusCode::kDataLoss);
+}
+
+TEST(GraphDoctorTest, CapsFlagOversizedEdgeLists) {
+  GraphDoctor::Options options;
+  options.max_edges = 2;
+  const GraphDoctor doctor(options);
+  EdgeList list;
+  list.Add(0, 1);
+  list.Add(1, 2);
+  list.Add(2, 3);
+  const ValidationReport report = doctor.Examine(list);
+  EXPECT_TRUE(HasKind(report, FindingKind::kEdgeCountOverflow));
+  EXPECT_TRUE(report.HasStructuralDamage());
+}
+
+TEST(GraphDoctorTest, CheckCountsRejectsHugeHeaders) {
+  const GraphDoctor doctor;
+  EXPECT_TRUE(doctor.CheckCounts(100, 100).ok());
+  const Status huge_n = doctor.CheckCounts(1ull << 40, 10);
+  EXPECT_EQ(huge_n.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(huge_n.message().find("vertex count"), std::string::npos);
+  const Status huge_m = doctor.CheckCounts(10, 1ull << 40);
+  EXPECT_EQ(huge_m.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(huge_m.message().find("edge count"), std::string::npos);
+}
+
+TEST(GraphDoctorTest, CheckCsrAcceptsRealGraph) {
+  const Graph g = GenerateErdosRenyi(50, 120, /*seed=*/3);
+  EXPECT_TRUE(GraphDoctor::CheckCsr(g.num_vertices(),
+                                    static_cast<uint64_t>(g.num_edges()),
+                                    g.offsets(), g.adjacency())
+                  .ok());
+}
+
+TEST(GraphDoctorTest, CheckCsrRejectsNonMonotonicOffsets) {
+  const std::vector<EdgeCount> offsets = {0, 3, 2, 4};
+  const std::vector<VertexId> adj = {1, 2, 0, 0};
+  const Status s = GraphDoctor::CheckCsr(3, 2, offsets, adj);
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_NE(s.message().find("not monotonic"), std::string::npos);
+  EXPECT_NE(s.message().find("offsets[2]"), std::string::npos);
+}
+
+TEST(GraphDoctorTest, CheckCsrRejectsBadTotal) {
+  const std::vector<EdgeCount> offsets = {0, 1, 2, 3};  // offsets[n] != 2m.
+  const std::vector<VertexId> adj = {1, 0, 1};
+  const Status s = GraphDoctor::CheckCsr(3, 2, offsets, adj);
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_NE(s.message().find("2*m"), std::string::npos);
+}
+
+TEST(GraphDoctorTest, CheckCsrRejectsOutOfRangeNeighbor) {
+  const std::vector<EdgeCount> offsets = {0, 1, 2};
+  const std::vector<VertexId> adj = {1, 9};
+  const Status s = GraphDoctor::CheckCsr(2, 1, offsets, adj);
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_NE(s.message().find("adjacency[1]"), std::string::npos);
+}
+
+TEST(GraphDoctorTest, ExamineGraphCleanOnLibraryOutput) {
+  const Graph g = GenerateRmat(8, 4, /*seed=*/5);
+  const ValidationReport report = GraphDoctor().Examine(g);
+  EXPECT_TRUE(report.clean()) << report.Summary();
+}
+
+TEST(GraphDoctorTest, BuildGraphRejectPolicyFailsOnLoops) {
+  EdgeList list;
+  list.Add(0, 1);
+  list.Add(1, 1);
+  const StatusOr<Graph> g =
+      GraphDoctor().BuildGraph(list, RepairPolicy::kReject);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(g.status().message().find("self-loop"), std::string::npos);
+}
+
+TEST(GraphDoctorTest, BuildGraphRepairPolicyNormalizes) {
+  EdgeList list;
+  list.Add(0, 1);
+  list.Add(1, 0);  // Duplicate of (0, 1).
+  list.Add(1, 1);  // Self loop.
+  list.Add(1, 2);
+  ValidationReport report;
+  const StatusOr<Graph> g =
+      GraphDoctor().BuildGraph(list, RepairPolicy::kRepair, &report);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->num_vertices(), 3u);
+  EXPECT_EQ(g->num_edges(), 2);  // (0,1) and (1,2).
+  EXPECT_TRUE(HasKind(report, FindingKind::kSelfLoop));
+  EXPECT_TRUE(HasKind(report, FindingKind::kDuplicateEdge));
+}
+
+TEST(GraphDoctorTest, BuildGraphRepairCannotFixStructuralDamage) {
+  EdgeList list;
+  list.Add(0, 1);
+  list.mutable_edges().push_back(Edge{0, 9});  // Beyond the universe.
+  const StatusOr<Graph> g =
+      GraphDoctor().BuildGraph(list, RepairPolicy::kRepair);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(GraphDoctorTest, BuildGraphCleanInputPassesRejectPolicy) {
+  EdgeList list;
+  list.Add(0, 1);
+  list.Add(0, 2);
+  const StatusOr<Graph> g =
+      GraphDoctor().BuildGraph(list, RepairPolicy::kReject);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->num_edges(), 2);
+}
+
+TEST(ValidationReportTest, SummaryNamesEveryFinding) {
+  EdgeList list;
+  list.Add(0, 0);
+  list.Add(1, 2);
+  list.Add(2, 1);
+  const ValidationReport report = GraphDoctor().Examine(list);
+  const std::string summary = report.Summary();
+  EXPECT_NE(summary.find("self-loop"), std::string::npos);
+  EXPECT_NE(summary.find("duplicate-edge"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gputc

@@ -6,9 +6,17 @@
 //   gputc convert --in g.txt --out g.bin
 //   gputc count --dataset gowalla [--algorithm Hu] [--direction A-direction]
 //               [--ordering A-order] [--profile]
+//   gputc doctor --in g.txt [--repair --out fixed.bin]
 //   gputc calibrate                      print the Section 5.3 calibration
+//
+// Exit codes (documented contract, also in README.md):
+//   0  success
+//   1  runtime failure (cannot write output, internal error)
+//   2  usage error (unknown command/flag value, missing required flag)
+//   3  invalid input (missing/corrupt/rejected input file or dataset)
 
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "core/pipeline.h"
@@ -16,46 +24,65 @@
 #include "graph/generators.h"
 #include "graph/graph_stats.h"
 #include "graph/io.h"
+#include "graph/validate.h"
 #include "order/calibration.h"
 #include "sim/profiler.h"
 #include "util/flags.h"
+#include "util/status.h"
 #include "util/table.h"
 
 namespace gputc {
 namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitRuntime = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitBadInput = 3;
 
 int Usage() {
   std::cerr
       << "usage: gputc <command> [flags]\n"
          "commands:\n"
          "  datasets   list bundled dataset stand-ins\n"
-         "  info       --dataset NAME | --in FILE: structural statistics\n"
+         "  info       --dataset NAME | --in FILE [--strict]: structural "
+         "statistics\n"
          "  generate   --family rmat|powerlaw|er|ws --out FILE [...]\n"
-         "  convert    --in FILE --out FILE (.txt <-> .bin by extension)\n"
-         "  count      --dataset NAME [--algorithm A] [--direction D]\n"
-         "             [--ordering O] [--profile]\n"
-         "  calibrate  print BW(d), p_c(d) and lambda for the device model\n";
-  return 2;
+         "  convert    --in FILE --out FILE [--strict] (.txt <-> .bin by "
+         "extension)\n"
+         "  count      --dataset NAME | --in FILE [--algorithm A]\n"
+         "             [--direction D] [--ordering O] [--strict] [--profile]\n"
+         "  doctor     --in FILE [--repair --out FILE]: scan for (and "
+         "optionally\n"
+         "             repair) self loops, duplicates, and structural damage\n"
+         "  calibrate  print BW(d), p_c(d) and lambda for the device model\n"
+         "exit codes: 0 ok, 1 runtime failure, 2 usage, 3 invalid input\n";
+  return kExitUsage;
 }
 
-std::optional<Graph> LoadAny(const FlagParser& flags) {
+/// Loads the graph named by --dataset or --in. `strict` routes file input
+/// through GraphDoctor with the reject policy, so inputs that need repair
+/// fail with exit 3 instead of being silently normalized.
+StatusOr<Graph> LoadAny(const FlagParser& flags, bool strict) {
   if (flags.Has("dataset")) {
-    const std::string name = flags.GetString("dataset", "");
-    if (!HasDataset(name)) {
-      std::cerr << "unknown dataset '" << name << "'\n";
-      return std::nullopt;
-    }
-    return LoadDataset(name);
+    return TryLoadDataset(flags.GetString("dataset", ""));
   }
   if (flags.Has("in")) {
     const std::string path = flags.GetString("in", "");
-    std::optional<Graph> g = path.ends_with(".bin") ? LoadBinary(path)
-                                                    : LoadSnapText(path);
-    if (!g.has_value()) std::cerr << "cannot load '" << path << "'\n";
+    if (!strict) return LoadGraph(path);
+    StatusOr<EdgeList> list = LoadEdgeList(path);
+    if (!list.ok()) return list.status();
+    StatusOr<Graph> g =
+        GraphDoctor().BuildGraph(*std::move(list), RepairPolicy::kReject);
+    if (!g.ok()) return g.status().WithContext("--strict on '" + path + "'");
     return g;
   }
-  std::cerr << "need --dataset or --in\n";
-  return std::nullopt;
+  return InvalidArgumentError("need --dataset NAME or --in FILE");
+}
+
+/// Reports a load/validation failure and picks the matching exit code.
+int ReportInputError(const Status& status) {
+  std::cerr << "error: " << status.ToString() << "\n";
+  return kExitBadInput;
 }
 
 int CmdDatasets() {
@@ -65,14 +92,14 @@ int CmdDatasets() {
     table.AddRow({spec.name, spec.family, spec.provenance});
   }
   table.Print(std::cout);
-  return 0;
+  return kExitOk;
 }
 
 int CmdInfo(const FlagParser& flags) {
-  const auto g = LoadAny(flags);
-  if (!g.has_value()) return 1;
+  const StatusOr<Graph> g = LoadAny(flags, flags.GetBool("strict", false));
+  if (!g.ok()) return ReportInputError(g.status());
   std::cout << FormatGraphStats(ComputeGraphStats(*g));
-  return 0;
+  return kExitOk;
 }
 
 int CmdGenerate(const FlagParser& flags) {
@@ -80,104 +107,131 @@ int CmdGenerate(const FlagParser& flags) {
   const std::string out = flags.GetString("out", "");
   if (out.empty()) {
     std::cerr << "need --out FILE\n";
-    return 1;
+    return kExitUsage;
   }
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
-  Graph g;
+  StatusOr<Graph> g = InvalidArgumentError("unset");
   if (family == "rmat") {
-    g = GenerateRmat(static_cast<int>(flags.GetInt("scale", 12)),
-                     static_cast<int>(flags.GetInt("edge-factor", 8)), seed);
+    g = TryGenerateRmat(static_cast<int>(flags.GetInt("scale", 12)),
+                        static_cast<int>(flags.GetInt("edge-factor", 8)),
+                        seed);
   } else if (family == "powerlaw") {
-    g = GeneratePowerLawConfiguration(
+    g = TryGeneratePowerLawConfiguration(
         static_cast<VertexId>(flags.GetInt("nodes", 10000)),
         flags.GetDouble("gamma", 2.1), flags.GetInt("min-degree", 2),
         flags.GetInt("max-degree", 1000), seed);
   } else if (family == "er") {
-    g = GenerateErdosRenyi(static_cast<VertexId>(flags.GetInt("nodes", 10000)),
-                           flags.GetInt("edges", 50000), seed);
+    g = TryGenerateErdosRenyi(
+        static_cast<VertexId>(flags.GetInt("nodes", 10000)),
+        flags.GetInt("edges", 50000), seed);
   } else if (family == "ws") {
-    g = GenerateWattsStrogatz(
+    g = TryGenerateWattsStrogatz(
         static_cast<VertexId>(flags.GetInt("nodes", 10000)),
         static_cast<int>(flags.GetInt("k", 4)), flags.GetDouble("beta", 0.05),
         seed);
   } else {
     std::cerr << "unknown family '" << family
-              << "' (rmat|powerlaw|er|ws)\n";
-    return 1;
+              << "'; valid choices: rmat powerlaw er ws\n";
+    return kExitUsage;
   }
-  const bool ok = out.ends_with(".bin") ? SaveBinary(g, out)
-                                        : SaveSnapText(g, out);
-  if (!ok) {
-    std::cerr << "cannot write '" << out << "'\n";
-    return 1;
+  if (!g.ok()) {
+    // Generator parameters are flag values, so rejection is a usage error.
+    std::cerr << "error: " << g.status().ToString() << "\n";
+    return kExitUsage;
   }
-  std::cout << "wrote " << g.num_vertices() << " vertices, " << g.num_edges()
-            << " edges to " << out << "\n";
-  return 0;
+  const Status saved = SaveGraph(*g, out);
+  if (!saved.ok()) {
+    std::cerr << "error: " << saved.ToString() << "\n";
+    return kExitRuntime;
+  }
+  std::cout << "wrote " << g->num_vertices() << " vertices, "
+            << g->num_edges() << " edges to " << out << "\n";
+  return kExitOk;
 }
 
 int CmdConvert(const FlagParser& flags) {
-  const auto g = LoadAny(flags);
-  if (!g.has_value()) return 1;
+  const StatusOr<Graph> g = LoadAny(flags, flags.GetBool("strict", false));
+  if (!g.ok()) return ReportInputError(g.status());
   const std::string out = flags.GetString("out", "");
   if (out.empty()) {
     std::cerr << "need --out FILE\n";
-    return 1;
+    return kExitUsage;
   }
-  const bool ok = out.ends_with(".bin") ? SaveBinary(*g, out)
-                                        : SaveSnapText(*g, out);
-  if (!ok) {
-    std::cerr << "cannot write '" << out << "'\n";
-    return 1;
+  const Status saved = SaveGraph(*g, out);
+  if (!saved.ok()) {
+    std::cerr << "error: " << saved.ToString() << "\n";
+    return kExitRuntime;
   }
   std::cout << "wrote " << out << "\n";
-  return 0;
+  return kExitOk;
 }
 
-DirectionStrategy ParseDirection(const std::string& name) {
+std::optional<DirectionStrategy> ParseDirection(const std::string& name) {
   for (DirectionStrategy s : AllDirectionStrategies()) {
     if (ToString(s) == name) return s;
   }
-  std::cerr << "unknown direction '" << name << "', using A-direction\n";
-  return DirectionStrategy::kADirection;
+  std::cerr << "unknown direction '" << name << "'; valid choices:";
+  for (DirectionStrategy s : AllDirectionStrategies()) {
+    std::cerr << " " << ToString(s);
+  }
+  std::cerr << "\n";
+  return std::nullopt;
 }
 
-OrderingStrategy ParseOrdering(const std::string& name) {
-  for (OrderingStrategy s :
-       {OrderingStrategy::kOriginal, OrderingStrategy::kDegree,
-        OrderingStrategy::kAOrder, OrderingStrategy::kDfs,
-        OrderingStrategy::kBfsR, OrderingStrategy::kSlashBurn,
-        OrderingStrategy::kGro, OrderingStrategy::kBfs,
-        OrderingStrategy::kRcm, OrderingStrategy::kRandom}) {
+std::optional<OrderingStrategy> ParseOrdering(const std::string& name) {
+  constexpr OrderingStrategy kAll[] = {
+      OrderingStrategy::kOriginal, OrderingStrategy::kDegree,
+      OrderingStrategy::kAOrder,   OrderingStrategy::kDfs,
+      OrderingStrategy::kBfsR,     OrderingStrategy::kSlashBurn,
+      OrderingStrategy::kGro,      OrderingStrategy::kBfs,
+      OrderingStrategy::kRcm,      OrderingStrategy::kRandom};
+  for (OrderingStrategy s : kAll) {
     if (ToString(s) == name) return s;
   }
-  std::cerr << "unknown ordering '" << name << "', using A-order\n";
-  return OrderingStrategy::kAOrder;
+  std::cerr << "unknown ordering '" << name << "'; valid choices:";
+  for (OrderingStrategy s : kAll) std::cerr << " " << ToString(s);
+  std::cerr << "\n";
+  return std::nullopt;
 }
 
-TcAlgorithm ParseAlgorithm(const std::string& name) {
-  for (TcAlgorithm a :
-       {TcAlgorithm::kGunrockBinarySearch, TcAlgorithm::kGunrockSortMerge,
-        TcAlgorithm::kTriCore, TcAlgorithm::kFox, TcAlgorithm::kBisson,
-        TcAlgorithm::kHu, TcAlgorithm::kPolak}) {
+std::optional<TcAlgorithm> ParseAlgorithm(const std::string& name) {
+  constexpr TcAlgorithm kAll[] = {
+      TcAlgorithm::kGunrockBinarySearch, TcAlgorithm::kGunrockSortMerge,
+      TcAlgorithm::kTriCore,             TcAlgorithm::kFox,
+      TcAlgorithm::kBisson,              TcAlgorithm::kHu,
+      TcAlgorithm::kPolak};
+  for (TcAlgorithm a : kAll) {
     if (ToString(a) == name) return a;
   }
-  std::cerr << "unknown algorithm '" << name << "', using Hu\n";
-  return TcAlgorithm::kHu;
+  std::cerr << "unknown algorithm '" << name << "'; valid choices:";
+  for (TcAlgorithm a : kAll) std::cerr << " " << ToString(a);
+  std::cerr << "\n";
+  return std::nullopt;
 }
 
 int CmdCount(const FlagParser& flags) {
-  const auto g = LoadAny(flags);
-  if (!g.has_value()) return 1;
-  PreprocessOptions options;
-  options.direction =
+  // Validate flag values before touching the (possibly slow) input load, so
+  // usage errors are reported instantly and unambiguously.
+  const auto direction =
       ParseDirection(flags.GetString("direction", "A-direction"));
-  options.ordering = ParseOrdering(flags.GetString("ordering", "A-order"));
-  const TcAlgorithm algorithm =
-      ParseAlgorithm(flags.GetString("algorithm", "Hu"));
+  if (!direction.has_value()) return kExitUsage;
+  const auto ordering = ParseOrdering(flags.GetString("ordering", "A-order"));
+  if (!ordering.has_value()) return kExitUsage;
+  const auto algorithm = ParseAlgorithm(flags.GetString("algorithm", "Hu"));
+  if (!algorithm.has_value()) return kExitUsage;
+
+  const StatusOr<Graph> g = LoadAny(flags, flags.GetBool("strict", false));
+  if (!g.ok()) return ReportInputError(g.status());
+
+  PreprocessOptions options;
+  options.direction = *direction;
+  options.ordering = *ordering;
   const DeviceSpec spec = DeviceSpec::TitanXpLike();
-  const RunResult r = RunTriangleCount(*g, algorithm, spec, options);
-  std::cout << "algorithm:     " << ToString(algorithm) << "\n"
+  const StatusOr<RunResult> run =
+      TryRunTriangleCount(*g, *algorithm, spec, options);
+  if (!run.ok()) return ReportInputError(run.status());
+  const RunResult& r = *run;
+  std::cout << "algorithm:     " << ToString(*algorithm) << "\n"
             << "direction:     " << ToString(options.direction)
             << " (Eq.1 cost " << Fmt(r.preprocess.direction_cost, 0) << ")\n"
             << "ordering:      " << ToString(options.ordering)
@@ -190,7 +244,54 @@ int CmdCount(const FlagParser& flags) {
   if (flags.GetBool("profile", false)) {
     std::cout << "\n" << FormatKernelReport(r.kernel);
   }
-  return 0;
+  return kExitOk;
+}
+
+int CmdDoctor(const FlagParser& flags) {
+  if (!flags.Has("in")) {
+    std::cerr << "need --in FILE\n";
+    return kExitUsage;
+  }
+  const std::string path = flags.GetString("in", "");
+  StatusOr<EdgeList> list = LoadEdgeList(path);
+  if (!list.ok()) return ReportInputError(list.status());
+
+  const GraphDoctor doctor;
+  const ValidationReport report = doctor.Examine(*list);
+  std::cout << "examined '" << path << "': " << list->num_vertices()
+            << " vertices, " << list->num_edges() << " raw edges\n";
+  if (report.clean()) {
+    std::cout << "no defects found\n";
+  } else {
+    TablePrinter table({"finding", "count", "repairable", "first instance"});
+    for (const Finding& f : report.findings) {
+      table.AddRow({FindingKindName(f.kind), FmtCount(f.count),
+                    FindingIsRepairable(f.kind) ? "yes" : "no", f.detail});
+    }
+    table.Print(std::cout);
+  }
+
+  if (!flags.GetBool("repair", false)) {
+    return report.clean() ? kExitOk : kExitBadInput;
+  }
+
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::cerr << "--repair needs --out FILE\n";
+    return kExitUsage;
+  }
+  StatusOr<Graph> repaired =
+      doctor.BuildGraph(*std::move(list), RepairPolicy::kRepair);
+  if (!repaired.ok()) return ReportInputError(repaired.status());
+  const Status saved = SaveGraph(*repaired, out);
+  if (!saved.ok()) {
+    std::cerr << "error: " << saved.ToString() << "\n";
+    return kExitRuntime;
+  }
+  std::cout << "repaired graph written to '" << out << "': "
+            << repaired->num_vertices() << " vertices, "
+            << repaired->num_edges() << " edges\n";
+  return kExitOk;
 }
 
 int CmdCalibrate() {
@@ -205,7 +306,7 @@ int CmdCalibrate() {
   std::cout << "lambda = " << Fmt(r.lambda, 3)
             << "   (figure-9 fit: slope " << Fmt(r.fit.slope, 3)
             << ", r^2 " << Fmt(r.fit.r_squared, 3) << ")\n";
-  return 0;
+  return kExitOk;
 }
 
 int Main(int argc, char** argv) {
@@ -217,7 +318,9 @@ int Main(int argc, char** argv) {
   if (command == "generate") return CmdGenerate(flags);
   if (command == "convert") return CmdConvert(flags);
   if (command == "count") return CmdCount(flags);
+  if (command == "doctor") return CmdDoctor(flags);
   if (command == "calibrate") return CmdCalibrate();
+  std::cerr << "unknown command '" << command << "'\n";
   return Usage();
 }
 
