@@ -1,11 +1,28 @@
 #include "apps/clustering.h"
 
+#include <utility>
+
 #include "direction/direction.h"
 #include "graph/directed_graph.h"
+#include "graph/validate.h"
+#include "util/checked_math.h"
+#include "util/logging.h"
 
 namespace gputc {
 
 std::vector<int64_t> PerVertexTriangleCounts(const Graph& g) {
+  StatusOr<std::vector<int64_t>> counts = TryPerVertexTriangleCounts(g);
+  GPUTC_CHECK(counts.ok()) << "PerVertexTriangleCounts failed: "
+                           << counts.status().ToString();
+  return *std::move(counts);
+}
+
+StatusOr<std::vector<int64_t>> TryPerVertexTriangleCounts(const Graph& g) {
+  const ValidationReport report = GraphDoctor().Examine(g);
+  if (!report.clean()) {
+    return report.ToStatus().WithContext(
+        "TryPerVertexTriangleCounts: input graph failed validation");
+  }
   const DirectedGraph d = Orient(g, DirectionStrategy::kDegreeBased);
   std::vector<int64_t> count(g.num_vertices(), 0);
   for (VertexId u = 0; u < d.num_vertices(); ++u) {
@@ -46,16 +63,32 @@ std::vector<double> LocalClusteringCoefficients(const Graph& g) {
 }
 
 double GlobalClusteringCoefficient(const Graph& g) {
-  const std::vector<int64_t> triangles = PerVertexTriangleCounts(g);
-  int64_t triple_triangles = 0;  // Sum over corners == 3 * #triangles.
-  int64_t wedges = 0;
+  StatusOr<double> coefficient = TryGlobalClusteringCoefficient(g);
+  GPUTC_CHECK(coefficient.ok()) << "GlobalClusteringCoefficient failed: "
+                                << coefficient.status().ToString();
+  return *coefficient;
+}
+
+StatusOr<double> TryGlobalClusteringCoefficient(const Graph& g) {
+  GPUTC_ASSIGN_OR_RETURN(const std::vector<int64_t> triangles,
+                         TryPerVertexTriangleCounts(g));
+  CheckedInt64 triple_triangles;  // Sum over corners == 3 * #triangles.
+  CheckedInt64 wedges;
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    triple_triangles += triangles[v];
+    triple_triangles.Add(triangles[v]);
     const int64_t d = g.degree(v);
-    wedges += d * (d - 1) / 2;
+    // C(d, 2) itself can exceed int64 for degrees near 2^32.
+    if (MulWouldOverflow(d, d - 1)) {
+      return OutOfRangeError("wedge count C(" + std::to_string(d) +
+                             ", 2) exceeds the int64 range");
+    }
+    wedges.Add(d * (d - 1) / 2);
   }
-  if (wedges == 0) return 0.0;
-  return static_cast<double>(triple_triangles) / static_cast<double>(wedges);
+  GPUTC_RETURN_IF_ERROR(wedges.ToStatus("total wedge count"));
+  GPUTC_RETURN_IF_ERROR(triple_triangles.ToStatus("corner triangle sum"));
+  if (wedges.value() == 0) return 0.0;
+  return static_cast<double>(triple_triangles.value()) /
+         static_cast<double>(wedges.value());
 }
 
 double AverageClusteringCoefficient(const Graph& g) {

@@ -2,13 +2,27 @@
 
 #include <algorithm>
 #include <deque>
+#include <utility>
 
+#include "graph/validate.h"
 #include "tc/intersect.h"
 #include "util/logging.h"
 
 namespace gputc {
 
 TrussDecompositionResult DecomposeTruss(const Graph& g) {
+  StatusOr<TrussDecompositionResult> result = TryDecomposeTruss(g);
+  GPUTC_CHECK(result.ok()) << "DecomposeTruss failed: "
+                           << result.status().ToString();
+  return *std::move(result);
+}
+
+StatusOr<TrussDecompositionResult> TryDecomposeTruss(const Graph& g) {
+  const ValidationReport report = GraphDoctor().Examine(g);
+  if (!report.clean()) {
+    return report.ToStatus().WithContext(
+        "TryDecomposeTruss: input graph failed validation");
+  }
   TrussDecompositionResult result;
   result.edges = g.ToEdgeList();
   const auto& list = result.edges.edges();
@@ -26,12 +40,14 @@ TrussDecompositionResult DecomposeTruss(const Graph& g) {
                : -1;
   };
 
-  // Initial support: triangles through each edge.
-  std::vector<int> support(m, 0);
-  int max_support = 0;
+  // Initial support: triangles through each edge. Support is an edge count
+  // (int64), stored untruncated — the historical int cast silently wrapped
+  // on hub-heavy graphs.
+  std::vector<int64_t> support(m, 0);
+  int64_t max_support = 0;
   for (size_t e = 0; e < m; ++e) {
-    support[e] = static_cast<int>(SortedIntersectionSize(
-        g.neighbors(list[e].u), g.neighbors(list[e].v)));
+    support[e] = SortedIntersectionSize(g.neighbors(list[e].u),
+                                        g.neighbors(list[e].v));
     max_support = std::max(max_support, support[e]);
   }
 
@@ -44,7 +60,7 @@ TrussDecompositionResult DecomposeTruss(const Graph& g) {
   }
   std::vector<bool> removed(m, false);
   size_t processed = 0;
-  for (int level = 0; level <= max_support && processed < m; ++level) {
+  for (int64_t level = 0; level <= max_support && processed < m; ++level) {
     std::deque<size_t> queue(buckets[static_cast<size_t>(level)].begin(),
                              buckets[static_cast<size_t>(level)].end());
     while (!queue.empty()) {
@@ -53,8 +69,9 @@ TrussDecompositionResult DecomposeTruss(const Graph& g) {
       if (removed[e] || support[e] > level) continue;
       removed[e] = true;
       ++processed;
-      result.trussness[e] = level + 2;
-      result.max_trussness = std::max(result.max_trussness, level + 2);
+      result.trussness[e] = static_cast<int>(level) + 2;
+      result.max_trussness =
+          std::max(result.max_trussness, static_cast<int>(level) + 2);
       const VertexId u = list[e].u;
       const VertexId v = list[e].v;
       const auto nu = g.neighbors(u);
@@ -69,12 +86,17 @@ TrussDecompositionResult DecomposeTruss(const Graph& g) {
           const VertexId w = nu[i];
           const int64_t e1 = edge_index(u, w);
           const int64_t e2 = edge_index(v, w);
-          GPUTC_CHECK_GE(e1, 0);
-          GPUTC_CHECK_GE(e2, 0);
+          if (e1 < 0 || e2 < 0) {
+            // Unreachable on a validated graph; a miss here means the
+            // adjacency and edge list disagree.
+            return InternalError(
+                "k-truss peeling found a triangle edge missing from the "
+                "edge list — graph structure is inconsistent");
+          }
           if (!removed[static_cast<size_t>(e1)] &&
               !removed[static_cast<size_t>(e2)]) {
             for (int64_t other : {e1, e2}) {
-              int& s = support[static_cast<size_t>(other)];
+              int64_t& s = support[static_cast<size_t>(other)];
               if (s > 0) --s;
               if (s <= level) {
                 queue.push_back(static_cast<size_t>(other));

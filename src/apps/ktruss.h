@@ -7,6 +7,7 @@
 
 #include "graph/edge_list.h"
 #include "graph/graph.h"
+#include "util/status.h"
 
 namespace gputc {
 
@@ -26,8 +27,15 @@ struct TrussDecompositionResult {
 };
 
 /// Computes the trussness of every edge by support peeling.
-/// O(m^(3/2) + m log m).
+/// O(m^(3/2) + m log m). Validates `g` first (see TryDecomposeTruss) and
+/// fatally aborts on a graph that fails validation.
 TrussDecompositionResult DecomposeTruss(const Graph& g);
+
+/// DecomposeTruss behind the validated front door: GraphDoctor examines `g`
+/// (CSR integrity, symmetry, self loops) and a damaged graph — e.g. a
+/// hand-assembled CSR with asymmetric adjacency, which would previously
+/// crash the peeling loop — is refused with a context-bearing Status.
+StatusOr<TrussDecompositionResult> TryDecomposeTruss(const Graph& g);
 
 /// The subgraph formed by edges with trussness >= k (same vertex ids,
 /// non-truss edges removed).

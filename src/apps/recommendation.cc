@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <tuple>
+#include <utility>
 
+#include "graph/validate.h"
 #include "tc/intersect.h"
+#include "util/logging.h"
 
 namespace gputc {
 
@@ -14,6 +17,19 @@ int64_t CommonNeighborScore(const Graph& g, VertexId u, VertexId v) {
 
 std::vector<Recommendation> RecommendLinks(
     const Graph& g, const RecommendationOptions& options) {
+  StatusOr<std::vector<Recommendation>> links = TryRecommendLinks(g, options);
+  GPUTC_CHECK(links.ok()) << "RecommendLinks failed: "
+                          << links.status().ToString();
+  return *std::move(links);
+}
+
+StatusOr<std::vector<Recommendation>> TryRecommendLinks(
+    const Graph& g, const RecommendationOptions& options) {
+  const ValidationReport report = GraphDoctor().Examine(g);
+  if (!report.clean()) {
+    return report.ToStatus().WithContext(
+        "TryRecommendLinks: input graph failed validation");
+  }
   std::vector<Recommendation> candidates;
 
   // Scan wedge centers, highest degree first: hubs connect the candidate

@@ -6,6 +6,7 @@
 
 #include "graph/graph.h"
 #include "graph/types.h"
+#include "util/status.h"
 
 namespace gputc {
 
@@ -35,8 +36,14 @@ struct RecommendationOptions {
 };
 
 /// Returns the top-k non-adjacent pairs with the highest common-neighbor
-/// count, deduplicated, sorted by (score desc, pair asc).
+/// count, deduplicated, sorted by (score desc, pair asc). Fatally aborts on
+/// a graph that fails validation.
 std::vector<Recommendation> RecommendLinks(
+    const Graph& g, const RecommendationOptions& options = {});
+
+/// RecommendLinks behind the validated front door: GraphDoctor refuses
+/// damaged CSRs with a Status instead of scoring garbage neighborhoods.
+StatusOr<std::vector<Recommendation>> TryRecommendLinks(
     const Graph& g, const RecommendationOptions& options = {});
 
 /// Common-neighbor score of one candidate pair (0 for adjacent or invalid

@@ -1,0 +1,270 @@
+#include "core/executor.h"
+
+#include <algorithm>
+#include <cctype>
+#include <utility>
+
+#include "graph/validate.h"
+#include "tc/cpu_counters.h"
+#include "util/failpoint.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace gputc {
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string lower(s);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return lower;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+constexpr TcAlgorithm kAllAlgorithms[] = {
+    TcAlgorithm::kGunrockBinarySearch, TcAlgorithm::kGunrockSortMerge,
+    TcAlgorithm::kTriCore,             TcAlgorithm::kFox,
+    TcAlgorithm::kBisson,              TcAlgorithm::kHu,
+    TcAlgorithm::kPolak};
+
+std::string ValidStageNames() {
+  std::string names;
+  for (TcAlgorithm a : kAllAlgorithms) {
+    names += ToString(a);
+    names += ' ';
+  }
+  names += "cpu";
+  return names;
+}
+
+/// The degradation ladder of one stage. Variant 0 is the caller's options;
+/// each further variant gives up one analytic optimization, trading kernel
+/// balance for a simpler preprocessing path that avoids whatever failed.
+PreprocessOptions DegradedOptions(const PreprocessOptions& base, int variant) {
+  PreprocessOptions options = base;
+  if (variant >= 1) options.ordering = OrderingStrategy::kOriginal;
+  if (variant >= 2) {
+    options.direction = DirectionStrategy::kDegreeBased;
+    options.calibrate = false;
+  }
+  return options;
+}
+
+const char* VariantName(int variant) {
+  switch (variant) {
+    case 0:
+      return "base";
+    case 1:
+      return "no-aorder";
+    default:
+      return "no-adirection";
+  }
+}
+
+bool IsStopError(const Status& status) {
+  return status.code() == StatusCode::kDeadlineExceeded ||
+         status.code() == StatusCode::kCancelled;
+}
+
+}  // namespace
+
+std::string FallbackStage::name() const {
+  return is_cpu ? "cpu" : ToString(algorithm);
+}
+
+StatusOr<std::vector<FallbackStage>> ParseFallbackChain(
+    std::string_view spec) {
+  std::vector<FallbackStage> chain;
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    size_t end = spec.find(',', begin);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view entry = Trim(spec.substr(begin, end - begin));
+    begin = end + 1;
+    if (entry.empty()) continue;
+    const std::string lower = ToLower(entry);
+    FallbackStage stage;
+    if (lower == "cpu") {
+      stage.is_cpu = true;
+      chain.push_back(stage);
+      continue;
+    }
+    bool found = false;
+    for (TcAlgorithm a : kAllAlgorithms) {
+      if (lower == ToLower(ToString(a))) {
+        stage.algorithm = a;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return InvalidArgumentError("unknown fallback stage '" +
+                                  std::string(entry) +
+                                  "'; valid choices: " + ValidStageNames());
+    }
+    chain.push_back(stage);
+  }
+  if (chain.empty()) {
+    return InvalidArgumentError("fallback chain is empty; valid stages: " +
+                                ValidStageNames());
+  }
+  return chain;
+}
+
+std::string ExecutionTrace::Summary() const {
+  std::string out;
+  for (size_t i = 0; i < attempts.size(); ++i) {
+    const AttemptRecord& a = attempts[i];
+    out += "attempt " + std::to_string(i + 1) + ": " + a.stage + "/" +
+           a.variant + " -> " +
+           (a.status.ok() ? "OK" : a.status.ToString()) + " (" +
+           std::to_string(a.elapsed_ms) + " ms host";
+    if (a.model_ms > 0.0) {
+      out += ", " + std::to_string(a.model_ms) + " ms modelled";
+    }
+    out += ")\n";
+  }
+  return out;
+}
+
+int64_t EstimateHostBytes(const Graph& g) {
+  const int64_t n = static_cast<int64_t>(g.num_vertices());
+  const int64_t m = g.num_edges();
+  const int64_t offsets = (n + 1) * static_cast<int64_t>(sizeof(EdgeCount));
+  const int64_t undirected_adj =
+      2 * m * static_cast<int64_t>(sizeof(VertexId));
+  const int64_t directed_adj = m * static_cast<int64_t>(sizeof(VertexId));
+  const int64_t perms = 2 * n * static_cast<int64_t>(sizeof(VertexId));
+  // Input CSR + oriented copy + relabeled copy (each with offsets) + the
+  // direction rank and ordering permutations.
+  return (offsets + undirected_adj) + 2 * (offsets + directed_adj) + perms;
+}
+
+StatusOr<ExecutionResult> ExecuteResilient(
+    const Graph& g, const DeviceSpec& spec, const ExecutionPolicy& policy,
+    const std::vector<FallbackStage>& chain,
+    const PreprocessOptions& base_options, ExecutionTrace* trace_out) {
+  if (chain.empty()) {
+    return InvalidArgumentError("fallback chain is empty");
+  }
+
+  // Validate once up front: every stage would see the same corrupt CSR, so
+  // invalid input is terminal, not a fallback trigger.
+  const ValidationReport report = GraphDoctor().Examine(g);
+  if (!report.clean()) {
+    return report.ToStatus().WithContext(
+        "ExecuteResilient: input graph failed validation");
+  }
+
+  if (policy.mem_budget_bytes > 0) {
+    const int64_t needed = EstimateHostBytes(g);
+    if (needed > policy.mem_budget_bytes) {
+      return ResourceExhaustedError(
+          "graph needs ~" + std::to_string(needed) +
+          " bytes of host memory, over the budget of " +
+          std::to_string(policy.mem_budget_bytes));
+    }
+  }
+
+  ExecContext ctx;
+  if (policy.timeout_ms > 0.0) {
+    ctx.deadline = Deadline::AfterMillis(policy.timeout_ms);
+  }
+  ctx.count_limit = policy.count_limit;
+
+  // Injections only land while the executor drives the pipeline: code that
+  // never opted into recovery never sees an armed fail point.
+  FailPointScope scope;
+
+  ExecutionTrace local_trace;
+  ExecutionTrace& trace = trace_out != nullptr ? *trace_out : local_trace;
+  trace.attempts.clear();
+
+  const int variants_per_stage =
+      1 + std::clamp(policy.max_retries_per_stage, 0, 2);
+  Status last_error;
+
+  for (const FallbackStage& stage : chain) {
+    const int stage_variants = stage.is_cpu ? 1 : variants_per_stage;
+    for (int variant = 0; variant < stage_variants; ++variant) {
+      AttemptRecord record;
+      record.stage = stage.name();
+      record.variant = stage.is_cpu ? "base" : VariantName(variant);
+
+      // An expired deadline ends the chain before burning another attempt.
+      Status may_continue = ctx.CheckContinue("executor");
+      if (!may_continue.ok()) {
+        record.status = may_continue;
+        trace.attempts.push_back(std::move(record));
+        return may_continue.WithContext("execution stopped after " +
+                                        std::to_string(trace.attempts.size()) +
+                                        " attempt(s)");
+      }
+
+      Timer attempt_timer;
+      StatusOr<RunResult> run = [&]() -> StatusOr<RunResult> {
+        if (stage.is_cpu) {
+          GPUTC_ASSIGN_OR_RETURN(const int64_t triangles,
+                                 TryCountTrianglesForward(g, ctx));
+          RunResult result;
+          result.triangles = triangles;
+          return result;
+        }
+        return RunTriangleCountWithContext(g, stage.algorithm, spec,
+                                           DegradedOptions(base_options, variant),
+                                           ctx);
+      }();
+      record.elapsed_ms = attempt_timer.ElapsedMillis();
+
+      if (run.ok()) {
+        record.model_ms = run->kernel_ms();
+        if (policy.max_model_ms > 0.0 &&
+            run->kernel_ms() > policy.max_model_ms) {
+          // The count is correct but the modelled device would miss its
+          // budget; treat as a failed attempt and keep degrading.
+          record.status = ResourceExhaustedError(
+              "modelled kernel time " + std::to_string(run->kernel_ms()) +
+              " ms exceeds the ceiling of " +
+              std::to_string(policy.max_model_ms) + " ms");
+          last_error = record.status;
+          trace.attempts.push_back(std::move(record));
+          continue;
+        }
+        record.status = OkStatus();
+        ExecutionResult result;
+        result.run = *std::move(run);
+        result.stage = record.stage;
+        result.variant = record.variant;
+        trace.attempts.push_back(std::move(record));
+        return result;
+      }
+
+      record.status = run.status();
+      const bool stop = IsStopError(run.status());
+      last_error = run.status();
+      trace.attempts.push_back(std::move(record));
+      if (stop) {
+        return last_error.WithContext(
+            "execution stopped after " +
+            std::to_string(trace.attempts.size()) + " attempt(s)");
+      }
+    }
+  }
+
+  Status exhausted = ResourceExhaustedError(
+      "all " + std::to_string(trace.attempts.size()) +
+      " fallback attempt(s) failed; last error: " + last_error.ToString());
+  return exhausted;
+}
+
+}  // namespace gputc

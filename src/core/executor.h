@@ -1,0 +1,114 @@
+#ifndef GPUTC_CORE_EXECUTOR_H_
+#define GPUTC_CORE_EXECUTOR_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "graph/graph.h"
+#include "sim/device.h"
+#include "tc/registry.h"
+#include "util/deadline.h"
+#include "util/status.h"
+
+namespace gputc {
+
+// The resilient front door of the library: wraps preprocess + count in an
+// execution policy (deadline, modelled-cost ceiling, host memory budget)
+// and a fallback chain, so a failure anywhere in the pipeline — an injected
+// fault, a deadline expiry, a budget breach, a simulated-cost blowup, a
+// triangle-count overflow — degrades the attempt or moves to the next
+// algorithm instead of crashing, and every attempt leaves a trace record.
+
+/// Resource limits of one execution. Zero/negative limits mean "none".
+struct ExecutionPolicy {
+  /// Wall-clock budget for the whole execution (all stages together).
+  double timeout_ms = 0.0;
+  /// Ceiling on the *modelled* kernel time of an accepted result: a run
+  /// whose simulated cost blows past this is treated as a failed attempt.
+  double max_model_ms = 0.0;
+  /// Host memory budget; checked against EstimateHostBytes(g) up front.
+  int64_t mem_budget_bytes = 0;
+  /// Degraded retries per stage after its base attempt, walking the ladder
+  /// base -> drop A-order -> drop A-direction (and calibration).
+  int max_retries_per_stage = 2;
+  /// Triangle accumulator ceiling (ExecContext::count_limit). Production
+  /// leaves it at int64 max; tests lower it to exercise overflow handling.
+  int64_t count_limit = std::numeric_limits<int64_t>::max();
+};
+
+/// One stage of the fallback chain: a simulated GPU algorithm, or the exact
+/// host-side forward counter as the last resort.
+struct FallbackStage {
+  bool is_cpu = false;
+  TcAlgorithm algorithm = TcAlgorithm::kHu;  // Ignored when is_cpu.
+
+  std::string name() const;
+};
+
+/// Parses a comma-separated chain like "hu,polak,cpu" (names
+/// case-insensitive, matching `gputc count --algorithm` plus "cpu").
+/// InvalidArgument with the valid choices on an unknown name or empty chain.
+StatusOr<std::vector<FallbackStage>> ParseFallbackChain(std::string_view spec);
+
+/// What happened to one attempt (stage x degradation variant).
+struct AttemptRecord {
+  std::string stage;    // FallbackStage::name().
+  std::string variant;  // "base", "no-aorder", "no-adirection".
+  Status status;        // OkStatus when this attempt produced the result.
+  double elapsed_ms = 0.0;  // Host wall-clock of the attempt.
+  double model_ms = 0.0;    // Modelled kernel ms (0 when it never counted).
+};
+
+/// Chronological record of an execution, one entry per attempt.
+struct ExecutionTrace {
+  std::vector<AttemptRecord> attempts;
+
+  /// Human-readable multi-line summary ("attempt 1: Hu/base -> INTERNAL:
+  /// ...").
+  std::string Summary() const;
+};
+
+/// A successful execution: the run plus which attempt produced it.
+struct ExecutionResult {
+  RunResult run;
+  std::string stage;
+  std::string variant;
+};
+
+/// Bytes of host memory the pipeline peaks at for `g`: the undirected CSR,
+/// the oriented copy, the relabeled copy and the permutation arrays. An
+/// estimate (helper vectors are excluded), but a faithful lower bound —
+/// the quantity ExecutionPolicy::mem_budget_bytes is checked against.
+int64_t EstimateHostBytes(const Graph& g);
+
+/// Runs the fallback chain over `g` under `policy`.
+///
+/// Semantics:
+///  - The graph is validated once up front (GraphDoctor); invalid input
+///    fails immediately — no fallback can fix a corrupt CSR.
+///  - Every attempt runs inside a FailPointScope, so armed fail points
+///    (GPUTC_FAILPOINTS) inject into it but not into unsuspecting callers.
+///  - A stage's base attempt uses `base_options`; degraded retries first
+///    drop A-order, then A-direction + calibration.
+///  - DeadlineExceeded and Cancelled stop the whole chain (retrying cannot
+///    beat an expired clock); any other failure moves down the ladder.
+///  - A result whose modelled kernel time exceeds max_model_ms is recorded
+///    as ResourceExhausted and the chain continues.
+///
+/// On success returns the first accepted run; otherwise the last attempt's
+/// error (deadline/cancel) or ResourceExhausted naming the exhausted chain.
+/// `trace_out` (optional) receives the full attempt log either way.
+StatusOr<ExecutionResult> ExecuteResilient(const Graph& g,
+                                           const DeviceSpec& spec,
+                                           const ExecutionPolicy& policy,
+                                           const std::vector<FallbackStage>& chain,
+                                           const PreprocessOptions& base_options,
+                                           ExecutionTrace* trace_out = nullptr);
+
+}  // namespace gputc
+
+#endif  // GPUTC_CORE_EXECUTOR_H_

@@ -1,7 +1,10 @@
 #include "core/pipeline.h"
 
+#include <utility>
+
 #include "order/calibration.h"
 #include "tc/fox.h"
+#include "util/logging.h"
 #include "util/timer.h"
 
 namespace gputc {
@@ -9,6 +12,18 @@ namespace gputc {
 RunResult RunTriangleCount(const Graph& g, TcAlgorithm algorithm,
                            const DeviceSpec& spec,
                            const PreprocessOptions& options) {
+  StatusOr<RunResult> result =
+      RunTriangleCountWithContext(g, algorithm, spec, options, ExecContext{});
+  GPUTC_CHECK(result.ok()) << "RunTriangleCount failed: "
+                           << result.status().ToString();
+  return *std::move(result);
+}
+
+StatusOr<RunResult> RunTriangleCountWithContext(const Graph& g,
+                                                TcAlgorithm algorithm,
+                                                const DeviceSpec& spec,
+                                                const PreprocessOptions& options,
+                                                const ExecContext& ctx) {
   RunResult result;
   if (algorithm == TcAlgorithm::kFox &&
       options.ordering == OrderingStrategy::kAOrder) {
@@ -16,29 +31,35 @@ RunResult RunTriangleCount(const Graph& g, TcAlgorithm algorithm,
     // hand the kernel an A-ordered arc sequence.
     PreprocessOptions vertex_options = options;
     vertex_options.ordering = OrderingStrategy::kOriginal;
-    result.preprocess = Preprocess(g, spec, vertex_options);
+    GPUTC_ASSIGN_OR_RETURN(result.preprocess,
+                           TryPreprocess(g, spec, vertex_options, ctx));
 
-    const ResourceModel model =
-        options.calibrate ? CalibratedResourceModel(spec)
-                          : ResourceModel::Default();
+    ResourceModel model = ResourceModel::Default();
+    if (options.calibrate) {
+      GPUTC_ASSIGN_OR_RETURN(model, TryCalibratedResourceModel(spec));
+    }
     Timer edge_timer;
     const FoxCounter fox_for_order;
     const std::vector<int64_t> edge_order =
         fox_for_order.AOrderedEdgeOrder(result.preprocess.graph, model, spec);
+    GPUTC_RETURN_IF_ERROR(ctx.CheckContinue("pipeline.edge_order"));
     result.preprocess.ordering_ms = edge_timer.ElapsedMillis();
     result.preprocess.total_ms =
         result.preprocess.direction_ms + result.preprocess.ordering_ms;
 
-    const TcResult tc = fox_for_order.CountWithEdgeOrder(
-        result.preprocess.graph, spec, edge_order);
+    GPUTC_ASSIGN_OR_RETURN(const TcResult tc,
+                           fox_for_order.TryCountWithEdgeOrder(
+                               result.preprocess.graph, spec, edge_order, ctx));
     result.triangles = tc.triangles;
     result.kernel = tc.kernel;
     return result;
   }
 
-  result.preprocess = Preprocess(g, spec, options);
-  const TcResult tc =
-      MakeCounter(algorithm)->Count(result.preprocess.graph, spec);
+  GPUTC_ASSIGN_OR_RETURN(result.preprocess,
+                         TryPreprocess(g, spec, options, ctx));
+  GPUTC_ASSIGN_OR_RETURN(
+      const TcResult tc,
+      MakeCounter(algorithm)->TryCount(result.preprocess.graph, spec, ctx));
   result.triangles = tc.triangles;
   result.kernel = tc.kernel;
   return result;
@@ -52,12 +73,16 @@ StatusOr<RunResult> TryRunTriangleCount(const Graph& g, TcAlgorithm algorithm,
     return report.ToStatus().WithContext(
         "TryRunTriangleCount: input graph failed validation");
   }
-  return RunTriangleCount(g, algorithm, spec, options);
+  return RunTriangleCountWithContext(g, algorithm, spec, options,
+                                     ExecContext{});
 }
 
 int64_t CountTriangles(const Graph& g) {
-  return RunTriangleCount(g, TcAlgorithm::kHu, DeviceSpec::TitanXpLike())
-      .triangles;
+  StatusOr<RunResult> result =
+      TryRunTriangleCount(g, TcAlgorithm::kHu, DeviceSpec::TitanXpLike());
+  GPUTC_CHECK(result.ok()) << "CountTriangles failed: "
+                           << result.status().ToString();
+  return result->triangles;
 }
 
 }  // namespace gputc

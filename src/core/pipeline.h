@@ -35,6 +35,16 @@ RunResult RunTriangleCount(const Graph& g, TcAlgorithm algorithm,
                            const DeviceSpec& spec,
                            const PreprocessOptions& options = {});
 
+/// The pipeline engine under an execution envelope: preprocessing and the
+/// counter both poll `ctx` and pass every fail-point site, so deadlines,
+/// cancellations, injected faults and count-limit overflows surface as
+/// Status. Does NOT validate `g` — the executor (and TryRunTriangleCount)
+/// validate once up front; calling this directly with an untrusted graph is
+/// undefined exactly like RunTriangleCount.
+StatusOr<RunResult> RunTriangleCountWithContext(
+    const Graph& g, TcAlgorithm algorithm, const DeviceSpec& spec,
+    const PreprocessOptions& options, const ExecContext& ctx);
+
 /// Validated front door for untrusted graphs: runs GraphDoctor over `g`
 /// first (CSR integrity, self loops, symmetry, triangle-count overflow risk)
 /// and refuses with a context-bearing Status instead of feeding a damaged
@@ -46,6 +56,10 @@ StatusOr<RunResult> TryRunTriangleCount(const Graph& g, TcAlgorithm algorithm,
 
 /// Convenience facade: preprocess with the paper's defaults (A-direction +
 /// A-order) and count with Hu's algorithm; returns just the triangle count.
+/// Routes through the validated front door: a graph that fails GraphDoctor
+/// (hand-assembled CSRs with broken offsets, self loops, asymmetry, ...)
+/// fatally aborts with the validation report instead of corrupting the
+/// kernels. Callers that need to recover use TryRunTriangleCount.
 int64_t CountTriangles(const Graph& g);
 
 }  // namespace gputc

@@ -2,8 +2,11 @@
 
 #include <numeric>
 
+#include <utility>
+
 #include "direction/cost_model.h"
 #include "order/calibration.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -11,11 +14,25 @@ namespace gputc {
 
 PreprocessResult Preprocess(const Graph& g, const DeviceSpec& spec,
                             const PreprocessOptions& options) {
+  StatusOr<PreprocessResult> result =
+      TryPreprocess(g, spec, options, ExecContext{});
+  GPUTC_CHECK(result.ok()) << "Preprocess failed: "
+                           << result.status().ToString();
+  return *std::move(result);
+}
+
+StatusOr<PreprocessResult> TryPreprocess(const Graph& g,
+                                         const DeviceSpec& spec,
+                                         const PreprocessOptions& options,
+                                         const ExecContext& ctx) {
+  GPUTC_INJECT_FAULT("preprocess");
+  GPUTC_RETURN_IF_ERROR(ctx.CheckContinue("preprocess"));
   PreprocessResult result;
 
-  const ResourceModel model = options.calibrate
-                                  ? CalibratedResourceModel(spec)
-                                  : ResourceModel::Default();
+  ResourceModel model = ResourceModel::Default();
+  if (options.calibrate) {
+    GPUTC_ASSIGN_OR_RETURN(model, TryCalibratedResourceModel(spec));
+  }
   result.lambda = model.lambda();
 
   Timer direction_timer;
@@ -28,8 +45,12 @@ PreprocessResult Preprocess(const Graph& g, const DeviceSpec& spec,
   Timer ordering_timer;
   AOrderOptions aorder = options.aorder;
   if (aorder.bucket_size <= 0) aorder.bucket_size = spec.threads_per_block();
+  aorder.exec = &ctx;
   result.vertex_perm = ComputeOrdering(g, directed, options.ordering, model,
                                        aorder, options.seed);
+  // A-order packing polls ctx and returns a valid-but-unoptimized
+  // permutation when it aborts; surface the stop instead of using it.
+  GPUTC_RETURN_IF_ERROR(ctx.CheckContinue("preprocess.ordering"));
   result.graph = ApplyPermutation(directed, result.vertex_perm);
   result.ordering_ms = ordering_timer.ElapsedMillis();
   result.total_ms = result.direction_ms + result.ordering_ms;
@@ -41,7 +62,8 @@ PreprocessResult Preprocess(const Graph& g, const DeviceSpec& spec,
 
 std::vector<int64_t> ComputeEdgeAOrder(const DirectedGraph& g,
                                        const ResourceModel& model,
-                                       int bucket_size) {
+                                       int bucket_size,
+                                       const ExecContext* exec) {
   // Each arc (u, v)'s resource profile is driven by the length of the list
   // it searches, d~(u) — the direct analogue of a vertex's out-degree in
   // vertex A-order (Section 6.4: "Memory intensive and computing intensive
@@ -57,6 +79,7 @@ std::vector<int64_t> ComputeEdgeAOrder(const DirectedGraph& g,
       << "edge A-order limited to 2^32 arcs";
   AOrderOptions options;
   options.bucket_size = bucket_size;
+  options.exec = exec;
   const AOrderResult aorder = AOrder(search_lengths, model, options);
   // aorder.perm maps arc index -> position; invert to a processing order.
   std::vector<int64_t> order(search_lengths.size());

@@ -11,6 +11,8 @@
 #include "order/ordering.h"
 #include "order/resource_model.h"
 #include "sim/device.h"
+#include "util/deadline.h"
+#include "util/status.h"
 
 namespace gputc {
 
@@ -49,12 +51,23 @@ struct PreprocessResult {
 PreprocessResult Preprocess(const Graph& g, const DeviceSpec& spec,
                             const PreprocessOptions& options = {});
 
+/// Preprocess under an execution envelope: calibration goes through the
+/// "sim.memory" fail point, "preprocess" injects at entry, and A-order's
+/// bucket packing polls `ctx`. A deadline expiry or cancellation observed
+/// anywhere inside surfaces as the corresponding Status.
+StatusOr<PreprocessResult> TryPreprocess(const Graph& g,
+                                         const DeviceSpec& spec,
+                                         const PreprocessOptions& options,
+                                         const ExecContext& ctx);
+
 /// Edge-unit A-order for Fox's algorithm (Section 6.4, Figure 15): balances
 /// per-arc search-list lengths across blocks. Returns the processing order
-/// of arc indices (CSR order in `g`).
+/// of arc indices (CSR order in `g`). `exec` (optional, not owned) is polled
+/// during bucket packing.
 std::vector<int64_t> ComputeEdgeAOrder(const DirectedGraph& g,
                                        const ResourceModel& model,
-                                       int bucket_size);
+                                       int bucket_size,
+                                       const ExecContext* exec = nullptr);
 
 }  // namespace gputc
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "graph/validate.h"
+#include "util/failpoint.h"
 
 namespace gputc {
 namespace {
@@ -226,10 +227,12 @@ StatusOr<Graph> LoadBinary(const std::string& path) {
 }
 
 StatusOr<Graph> LoadGraph(const std::string& path) {
+  GPUTC_INJECT_FAULT("io.load");
   return path.ends_with(".bin") ? LoadBinary(path) : LoadSnapText(path);
 }
 
 StatusOr<EdgeList> LoadEdgeList(const std::string& path) {
+  GPUTC_INJECT_FAULT("io.load");
   if (path.ends_with(".bin")) return LoadBinaryEdgeList(path);
   std::ifstream in(path);
   if (!in) return NotFoundError("cannot open '" + path + "'");

@@ -64,6 +64,16 @@ AOrderResult AOrder(const std::vector<EdgeCount>& out_degrees,
 
   std::vector<std::vector<VertexId>> buckets(num_buckets);
   std::vector<double> bucket_sup(num_buckets, 0.0);
+  std::vector<char> placed(n, 0);
+
+  // Stop polling at placement granularity: the deadline/cancellation
+  // contract for bucket packing, mirroring the counters' per-block polls.
+  int64_t dispatched = 0;
+  auto stop_requested = [&options, &dispatched]() {
+    constexpr int64_t kPollStride = 1024;
+    return options.exec != nullptr && dispatched++ % kPollStride == 0 &&
+           options.exec->stop_requested();
+  };
 
   // Phase 1 (Lines 5-9): memory-dominated vertices into the bucket with the
   // least accumulated memory superiority.
@@ -73,10 +83,15 @@ AOrderResult AOrder(const std::vector<EdgeCount>& out_degrees,
       heap.push(HeapEntry{0.0, static_cast<int>(b)});
     }
     for (VertexId v : mem_dominated) {
+      if (stop_requested()) {
+        result.aborted = true;
+        break;
+      }
       HeapEntry top = heap.top();
       heap.pop();
       auto& bucket = buckets[static_cast<size_t>(top.bucket)];
       bucket.push_back(v);
+      placed[v] = 1;
       bucket_sup[static_cast<size_t>(top.bucket)] += superiority[v];
       if (bucket.size() < bucket_size) {
         heap.push(
@@ -87,7 +102,7 @@ AOrderResult AOrder(const std::vector<EdgeCount>& out_degrees,
 
   // Phase 2 (Lines 10-15): compute-dominated vertices into the bucket with
   // the largest accumulated memory superiority.
-  {
+  if (!result.aborted) {
     std::priority_queue<HeapEntry, std::vector<HeapEntry>, MaxFirst> heap;
     for (size_t b = 0; b < num_buckets; ++b) {
       if (buckets[b].size() < bucket_size) {
@@ -95,11 +110,16 @@ AOrderResult AOrder(const std::vector<EdgeCount>& out_degrees,
       }
     }
     for (VertexId v : comp_dominated) {
+      if (stop_requested()) {
+        result.aborted = true;
+        break;
+      }
       GPUTC_CHECK(!heap.empty());
       HeapEntry top = heap.top();
       heap.pop();
       auto& bucket = buckets[static_cast<size_t>(top.bucket)];
       bucket.push_back(v);
+      placed[v] = 1;
       bucket_sup[static_cast<size_t>(top.bucket)] += superiority[v];
       if (bucket.size() < bucket_size) {
         heap.push(
@@ -113,6 +133,13 @@ AOrderResult AOrder(const std::vector<EdgeCount>& out_degrees,
   sequence.reserve(n);
   for (const auto& bucket : buckets) {
     sequence.insert(sequence.end(), bucket.begin(), bucket.end());
+  }
+  // An aborted run still yields a valid permutation: unplaced vertices are
+  // appended in id order, and the caller decides whether to keep it.
+  if (result.aborted) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (!placed[v]) sequence.push_back(v);
+    }
   }
   GPUTC_CHECK_EQ(sequence.size(), n);
   // Degree-sort each aligned id chunk (the positions one block will fetch):

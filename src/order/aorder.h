@@ -6,6 +6,7 @@
 #include "graph/permutation.h"
 #include "graph/types.h"
 #include "order/resource_model.h"
+#include "util/deadline.h"
 
 namespace gputc {
 
@@ -20,6 +21,10 @@ struct AOrderOptions {
   /// the sort only makes lock-step warps inside a block as uniform as
   /// possible so the balanced mix does not reappear as SIMT divergence.
   bool sort_within_bucket = true;
+
+  /// Optional execution envelope, polled every ~1k placements during bucket
+  /// packing. Not owned; null means unconstrained.
+  const ExecContext* exec = nullptr;
 };
 
 /// Diagnostics of one A-order run.
@@ -29,6 +34,11 @@ struct AOrderResult {
   int64_t num_compute_dominated = 0;
   /// Eq. 3 objective of the produced ordering.
   double imbalance_cost = 0.0;
+  /// True when packing stopped early because options.exec requested a stop.
+  /// The permutation is still valid (unplaced vertices keep relative order
+  /// at the tail) but is not the A-order optimum; callers re-check their
+  /// ExecContext and normally discard it.
+  bool aborted = false;
 };
 
 /// Runs A-order (Algorithm 2): greedily packs memory-dominated vertices into

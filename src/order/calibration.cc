@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sim/memory.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace gputc {
@@ -72,6 +73,12 @@ ResourceModel CalibratedResourceModel(const DeviceSpec& spec,
   const CalibrationResult calibration =
       CalibrateResourceModel(spec, /*max_list_length=*/1 << 20, workload);
   return ResourceModel::ForDevice(spec, calibration.lambda, workload);
+}
+
+StatusOr<ResourceModel> TryCalibratedResourceModel(const DeviceSpec& spec,
+                                                   SearchWorkload workload) {
+  GPUTC_INJECT_FAULT("sim.memory");
+  return CalibratedResourceModel(spec, workload);
 }
 
 }  // namespace gputc

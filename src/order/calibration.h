@@ -7,6 +7,7 @@
 #include "sim/device.h"
 #include "sim/memory.h"
 #include "util/stats.h"
+#include "util/status.h"
 
 namespace gputc {
 
@@ -52,6 +53,14 @@ CalibrationResult CalibrateResourceModel(
 
 /// Convenience: calibrates and builds the ResourceModel for `spec`.
 ResourceModel CalibratedResourceModel(
+    const DeviceSpec& spec,
+    SearchWorkload workload = SearchWorkload::kDistinctLists);
+
+/// CalibratedResourceModel behind the "sim.memory" fail point — the
+/// injectable boundary standing in for the memory-model probing that can
+/// fail on a real device (allocation failure, driver error). The executor's
+/// degraded attempts skip calibration entirely.
+StatusOr<ResourceModel> TryCalibratedResourceModel(
     const DeviceSpec& spec,
     SearchWorkload workload = SearchWorkload::kDistinctLists);
 

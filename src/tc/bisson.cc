@@ -6,12 +6,17 @@
 #include "sim/block_cost.h"
 #include "tc/cost_rules.h"
 #include "tc/intersect.h"
+#include "util/checked_math.h"
+#include "util/failpoint.h"
 
 namespace gputc {
 
-TcResult BissonCounter::Count(const DirectedGraph& g,
-                              const DeviceSpec& spec) const {
+StatusOr<TcResult> BissonCounter::TryCount(const DirectedGraph& g,
+                                           const DeviceSpec& spec,
+                                           const ExecContext& ctx) const {
+  GPUTC_INJECT_FAULT("tc.bisson");
   TcResult result;
+  CheckedInt64 triangles(ctx.count_limit);
   const int threads = spec.threads_per_block();
 
   std::vector<BlockCost> blocks;
@@ -20,6 +25,8 @@ TcResult BissonCounter::Count(const DirectedGraph& g,
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     const auto nbrs = g.out_neighbors(v);
     if (nbrs.empty()) continue;  // The kernel skips leaf blocks immediately.
+    GPUTC_RETURN_IF_ERROR(ctx.CheckContinue("tc.bisson"));
+    GPUTC_INJECT_FAULT("tc.block");
     model.BeginBlock();
 
     // Superstep 0: cooperatively set a bitmap bit per element of N+(v)
@@ -48,14 +55,15 @@ TcResult BissonCounter::Count(const DirectedGraph& g,
             probe.mem_transactions * static_cast<double>(du);
         model.AddThreadWork(static_cast<int>(i - group), work);
 
-        result.triangles +=
-            SortedIntersectionSize(g.out_neighbors(u), nbrs);
+        triangles.Add(SortedIntersectionSize(g.out_neighbors(u), nbrs));
       }
       model.EndSuperstep();
     }
     blocks.push_back(model.Finish());
   }
 
+  GPUTC_RETURN_IF_ERROR(triangles.ToStatus("Bisson triangle count"));
+  result.triangles = triangles.value();
   result.kernel = KernelLauncher(spec).Launch(blocks);
   return result;
 }

@@ -4,10 +4,14 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "graph/directed_graph.h"
 #include "sim/device.h"
 #include "sim/kernel.h"
+#include "util/deadline.h"
+#include "util/logging.h"
+#include "util/status.h"
 
 namespace gputc {
 
@@ -41,9 +45,26 @@ class SimTriangleCounter {
   /// Algorithm name as used in the paper ("Hu", "TriCore", ...).
   virtual std::string name() const = 0;
 
-  /// Counts triangles of `g` on the simulated device.
-  virtual TcResult Count(const DirectedGraph& g,
-                         const DeviceSpec& spec) const = 0;
+  /// Counts triangles of `g` on the simulated device under the execution
+  /// envelope `ctx`. Implementations poll ctx at block granularity, so a
+  /// cancellation or deadline expiry is observed within one block's work;
+  /// a triangle accumulation past ctx.count_limit surfaces as OutOfRange.
+  /// Fail-point sites "tc.<algo>" (entry) and "tc.block" (per block) make
+  /// every counter fault-injectable.
+  virtual StatusOr<TcResult> TryCount(const DirectedGraph& g,
+                                      const DeviceSpec& spec,
+                                      const ExecContext& ctx) const = 0;
+
+  /// Unconstrained convenience entry point: TryCount under an infinite
+  /// context. The benches and oracle tests use this; with no deadline, no
+  /// cancellation and no armed fail points it cannot fail, so an error here
+  /// CHECK-aborts.
+  TcResult Count(const DirectedGraph& g, const DeviceSpec& spec) const {
+    StatusOr<TcResult> result = TryCount(g, spec, ExecContext{});
+    GPUTC_CHECK(result.ok())
+        << name() << "::Count failed: " << result.status().ToString();
+    return *std::move(result);
+  }
 
   /// True if the kernel uses intra-block synchronization — the algorithms
   /// A-direction's BSP analysis applies to (Bisson, Hu).

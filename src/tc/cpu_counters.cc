@@ -7,6 +7,8 @@
 
 #include "direction/direction.h"
 #include "tc/intersect.h"
+#include "util/checked_math.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace gputc {
@@ -43,6 +45,25 @@ int64_t CountTrianglesEdgeIterator(const Graph& g) {
 int64_t CountTrianglesForward(const Graph& g) {
   const DirectedGraph d = Orient(g, DirectionStrategy::kDegreeBased);
   return CountTrianglesDirected(d);
+}
+
+StatusOr<int64_t> TryCountTrianglesForward(const Graph& g,
+                                           const ExecContext& ctx) {
+  GPUTC_INJECT_FAULT("tc.cpu");
+  const DirectedGraph d = Orient(g, DirectionStrategy::kDegreeBased);
+  CheckedInt64 triangles(ctx.count_limit);
+  constexpr VertexId kPollStride = 256;
+  for (VertexId u = 0; u < d.num_vertices(); ++u) {
+    if (u % kPollStride == 0) {
+      GPUTC_RETURN_IF_ERROR(ctx.CheckContinue("tc.cpu"));
+    }
+    for (VertexId v : d.out_neighbors(u)) {
+      triangles.Add(
+          SortedIntersectionSize(d.out_neighbors(u), d.out_neighbors(v)));
+    }
+  }
+  GPUTC_RETURN_IF_ERROR(triangles.ToStatus("forward triangle count"));
+  return triangles.value();
 }
 
 int64_t CountTrianglesDirected(const DirectedGraph& g) {

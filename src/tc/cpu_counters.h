@@ -5,6 +5,8 @@
 
 #include "graph/directed_graph.h"
 #include "graph/graph.h"
+#include "util/deadline.h"
+#include "util/status.h"
 
 namespace gputc {
 
@@ -23,6 +25,12 @@ int64_t CountTrianglesEdgeIterator(const Graph& g);
 /// Forward algorithm [Schank & Wagner]: orient by degree, intersect
 /// out-lists — the standard O(m^(3/2)) counter. Exact.
 int64_t CountTrianglesForward(const Graph& g);
+
+/// Forward algorithm under an execution envelope: polls `ctx` every 256
+/// vertices, injects at fail point "tc.cpu", and counts with checked
+/// accumulation. The executor's last-resort fallback stage.
+StatusOr<int64_t> TryCountTrianglesForward(const Graph& g,
+                                           const ExecContext& ctx);
 
 /// Counts directed wedges closed by an arc on an oriented graph; with an
 /// acyclic orientation this equals the triangle count of the underlying

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <numeric>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "order/aorder.h"
@@ -9,6 +11,8 @@
 #include "sim/memory.h"
 #include "tc/cost_rules.h"
 #include "tc/intersect.h"
+#include "util/checked_math.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace gputc {
@@ -97,19 +101,36 @@ std::vector<int64_t> FoxCounter::AOrderedEdgeOrder(
   return order;
 }
 
-TcResult FoxCounter::Count(const DirectedGraph& g,
-                           const DeviceSpec& spec) const {
+StatusOr<TcResult> FoxCounter::TryCount(const DirectedGraph& g,
+                                        const DeviceSpec& spec,
+                                        const ExecContext& ctx) const {
   std::vector<int64_t> identity(static_cast<size_t>(g.num_edges()));
   std::iota(identity.begin(), identity.end(), int64_t{0});
-  return CountWithEdgeOrder(g, spec, identity);
+  return TryCountWithEdgeOrder(g, spec, identity, ctx);
 }
 
 TcResult FoxCounter::CountWithEdgeOrder(
     const DirectedGraph& g, const DeviceSpec& spec,
     const std::vector<int64_t>& edge_order) const {
+  StatusOr<TcResult> result =
+      TryCountWithEdgeOrder(g, spec, edge_order, ExecContext{});
+  GPUTC_CHECK(result.ok()) << "Fox::CountWithEdgeOrder failed: "
+                           << result.status().ToString();
+  return *std::move(result);
+}
+
+StatusOr<TcResult> FoxCounter::TryCountWithEdgeOrder(
+    const DirectedGraph& g, const DeviceSpec& spec,
+    const std::vector<int64_t>& edge_order, const ExecContext& ctx) const {
+  GPUTC_INJECT_FAULT("tc.fox");
   const std::vector<Arc> arcs = CollectArcs(g);
-  GPUTC_CHECK_EQ(edge_order.size(), arcs.size());
+  if (edge_order.size() != arcs.size()) {
+    return InvalidArgumentError(
+        "edge order has " + std::to_string(edge_order.size()) +
+        " entries but the graph has " + std::to_string(arcs.size()) + " arcs");
+  }
   TcResult result;
+  CheckedInt64 triangles(ctx.count_limit);
   const int lanes = spec.warp_size;
 
   // Stable log-radix binning in the caller's order. Arcs are binned by
@@ -121,8 +142,11 @@ TcResult FoxCounter::CountWithEdgeOrder(
   constexpr int kMaxBins = 48;
   std::vector<std::vector<int64_t>> bins(kMaxBins);
   for (int64_t pos : edge_order) {
-    GPUTC_CHECK_GE(pos, 0);
-    GPUTC_CHECK_LT(pos, static_cast<int64_t>(arcs.size()));
+    if (pos < 0 || pos >= static_cast<int64_t>(arcs.size())) {
+      return InvalidArgumentError("edge order entry " + std::to_string(pos) +
+                                  " is outside [0, " +
+                                  std::to_string(arcs.size()) + ")");
+    }
     const int64_t volume =
         g.out_degree(arcs[static_cast<size_t>(pos)].v) + 1;
     bins[static_cast<size_t>(std::min(kMaxBins - 1, RadixBin(volume)))]
@@ -144,6 +168,8 @@ TcResult FoxCounter::CountWithEdgeOrder(
                      : static_cast<size_t>(spec.threads_per_block());
     for (size_t block_start = 0; block_start < bin.size();
          block_start += tasks_per_block) {
+      GPUTC_RETURN_IF_ERROR(ctx.CheckContinue("tc.fox"));
+      GPUTC_INJECT_FAULT("tc.block");
       model.BeginBlock();
       const size_t block_end =
           std::min(bin.size(), block_start + tasks_per_block);
@@ -179,13 +205,15 @@ TcResult FoxCounter::CountWithEdgeOrder(
           work += BinarySearchBatch(dv, du, /*shared=*/false, spec);
           model.AddThreadWork(task, work);
         }
-        result.triangles += SortedIntersectionSize(g.out_neighbors(arc.u),
-                                                   g.out_neighbors(arc.v));
+        triangles.Add(SortedIntersectionSize(g.out_neighbors(arc.u),
+                                             g.out_neighbors(arc.v)));
       }
       blocks.push_back(model.Finish());
     }
   }
 
+  GPUTC_RETURN_IF_ERROR(triangles.ToStatus("Fox triangle count"));
+  result.triangles = triangles.value();
   result.kernel = KernelLauncher(spec).Launch(blocks);
   return result;
 }

@@ -28,11 +28,19 @@ class FoxCounter : public SimTriangleCounter {
   std::string name() const override { return "Fox"; }
 
   /// Counts with arcs in CSR order.
-  TcResult Count(const DirectedGraph& g, const DeviceSpec& spec) const override;
+  StatusOr<TcResult> TryCount(const DirectedGraph& g, const DeviceSpec& spec,
+                              const ExecContext& ctx) const override;
 
   /// Counts with arcs processed in `edge_order` (a permutation of arc
   /// indices in CSR order; position i is processed i-th). Radix binning is
   /// stable, so the given order fixes block composition within each bin.
+  /// An edge_order that is not a permutation of [0, num_edges) is
+  /// InvalidArgument.
+  StatusOr<TcResult> TryCountWithEdgeOrder(
+      const DirectedGraph& g, const DeviceSpec& spec,
+      const std::vector<int64_t>& edge_order, const ExecContext& ctx) const;
+
+  /// Unconstrained TryCountWithEdgeOrder; CHECK-aborts on error.
   TcResult CountWithEdgeOrder(const DirectedGraph& g, const DeviceSpec& spec,
                               const std::vector<int64_t>& edge_order) const;
 

@@ -27,7 +27,8 @@ class GunrockCounter : public SimTriangleCounter {
     return strategy_ == IntersectStrategy::kBinarySearch ? "Gunrock-bs"
                                                          : "Gunrock-sm";
   }
-  TcResult Count(const DirectedGraph& g, const DeviceSpec& spec) const override;
+  StatusOr<TcResult> TryCount(const DirectedGraph& g, const DeviceSpec& spec,
+                              const ExecContext& ctx) const override;
   bool uses_intra_block_sync() const override { return false; }
   bool uses_binary_search() const override {
     return strategy_ == IntersectStrategy::kBinarySearch;

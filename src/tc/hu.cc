@@ -7,13 +7,18 @@
 #include "tc/cost_rules.h"
 #include "tc/intersect.h"
 #include "tc/work_partition.h"
+#include "util/checked_math.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace gputc {
 
-TcResult HuCounter::Count(const DirectedGraph& g,
-                          const DeviceSpec& spec) const {
+StatusOr<TcResult> HuCounter::TryCount(const DirectedGraph& g,
+                                       const DeviceSpec& spec,
+                                       const ExecContext& ctx) const {
+  GPUTC_INJECT_FAULT("tc.hu");
   TcResult result;
+  CheckedInt64 triangles(ctx.count_limit);
   const int threads = spec.threads_per_block();
   const int64_t arcs_per_superstep = threads;
 
@@ -29,6 +34,8 @@ TcResult HuCounter::Count(const DirectedGraph& g,
       blocks.push_back(BlockCost{});
       continue;
     }
+    GPUTC_RETURN_IF_ERROR(ctx.CheckContinue("tc.hu"));
+    GPUTC_INJECT_FAULT("tc.block");
     model.BeginBlock();
     for (int64_t step_start = range.begin; step_start < range.end;
          step_start += arcs_per_superstep) {
@@ -67,14 +74,16 @@ TcResult HuCounter::Count(const DirectedGraph& g,
         work += BinarySearchBatch(dv, du, /*shared=*/true, spec);
         model.AddThreadWork(static_cast<int>(i - step_start), work);
 
-        result.triangles +=
-            SortedIntersectionSize(g.out_neighbors(u), g.out_neighbors(v));
+        triangles.Add(
+            SortedIntersectionSize(g.out_neighbors(u), g.out_neighbors(v)));
       }
       model.EndSuperstep();
     }
     blocks.push_back(model.Finish());
   }
 
+  GPUTC_RETURN_IF_ERROR(triangles.ToStatus("Hu triangle count"));
+  result.triangles = triangles.value();
   result.kernel = KernelLauncher(spec).Launch(blocks);
   return result;
 }

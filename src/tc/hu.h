@@ -34,7 +34,8 @@ class HuCounter : public SimTriangleCounter {
       : vertices_per_block_(vertices_per_block) {}
 
   std::string name() const override { return "Hu"; }
-  TcResult Count(const DirectedGraph& g, const DeviceSpec& spec) const override;
+  StatusOr<TcResult> TryCount(const DirectedGraph& g, const DeviceSpec& spec,
+                              const ExecContext& ctx) const override;
   bool uses_intra_block_sync() const override { return true; }
   bool uses_binary_search() const override { return true; }
 

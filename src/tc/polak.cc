@@ -7,12 +7,17 @@
 #include "tc/cost_rules.h"
 #include "tc/intersect.h"
 #include "tc/work_partition.h"
+#include "util/checked_math.h"
+#include "util/failpoint.h"
 
 namespace gputc {
 
-TcResult PolakCounter::Count(const DirectedGraph& g,
-                             const DeviceSpec& spec) const {
+StatusOr<TcResult> PolakCounter::TryCount(const DirectedGraph& g,
+                                          const DeviceSpec& spec,
+                                          const ExecContext& ctx) const {
+  GPUTC_INJECT_FAULT("tc.polak");
   TcResult result;
+  CheckedInt64 triangles(ctx.count_limit);
   const int threads = spec.threads_per_block();
 
   const std::vector<VertexId> sources = ArcSources(g);
@@ -27,6 +32,8 @@ TcResult PolakCounter::Count(const DirectedGraph& g,
       blocks.push_back(BlockCost{});
       continue;
     }
+    GPUTC_RETURN_IF_ERROR(ctx.CheckContinue("tc.polak"));
+    GPUTC_INJECT_FAULT("tc.block");
     model.BeginBlock();
     // Grid-stride within the block: thread t handles arcs t, t+T, t+2T, ...
     for (int64_t i = range.begin; i < range.end; ++i) {
@@ -38,12 +45,14 @@ TcResult PolakCounter::Count(const DirectedGraph& g,
       work += BinarySearchBatch(dv, du, /*shared=*/false, spec);
       model.AddThreadWork(static_cast<int>((i - range.begin) % threads), work);
 
-      result.triangles +=
-          SortedIntersectionSize(g.out_neighbors(u), g.out_neighbors(v));
+      triangles.Add(
+          SortedIntersectionSize(g.out_neighbors(u), g.out_neighbors(v)));
     }
     blocks.push_back(model.Finish());
   }
 
+  GPUTC_RETURN_IF_ERROR(triangles.ToStatus("Polak triangle count"));
+  result.triangles = triangles.value();
   result.kernel = KernelLauncher(spec).Launch(blocks);
   return result;
 }

@@ -7,12 +7,17 @@
 #include "tc/cost_rules.h"
 #include "tc/intersect.h"
 #include "tc/work_partition.h"
+#include "util/checked_math.h"
+#include "util/failpoint.h"
 
 namespace gputc {
 
-TcResult TriCoreCounter::Count(const DirectedGraph& g,
-                               const DeviceSpec& spec) const {
+StatusOr<TcResult> TriCoreCounter::TryCount(const DirectedGraph& g,
+                                            const DeviceSpec& spec,
+                                            const ExecContext& ctx) const {
+  GPUTC_INJECT_FAULT("tc.tricore");
   TcResult result;
+  CheckedInt64 triangles(ctx.count_limit);
   const int lanes = spec.warp_size;
 
   const std::vector<VertexId> sources = ArcSources(g);
@@ -27,6 +32,8 @@ TcResult TriCoreCounter::Count(const DirectedGraph& g,
       blocks.push_back(BlockCost{});
       continue;
     }
+    GPUTC_RETURN_IF_ERROR(ctx.CheckContinue("tc.tricore"));
+    GPUTC_INJECT_FAULT("tc.block");
     model.BeginBlock();
     // Grid-stride over the block's arcs: warp w takes arcs w, w+W, ...
     for (int64_t i = range.begin; i < range.end; ++i) {
@@ -49,8 +56,8 @@ TcResult TriCoreCounter::Count(const DirectedGraph& g,
             model.AddThreadWork(warp * lanes + lane, lane_work);
           }
         }
-        result.triangles +=
-            SortedIntersectionSize(g.out_neighbors(u), g.out_neighbors(v));
+        triangles.Add(
+            SortedIntersectionSize(g.out_neighbors(u), g.out_neighbors(v)));
         continue;
       }
       // Keys are streamed from N+(v) in chunks of `lanes`; each active lane
@@ -77,12 +84,14 @@ TcResult TriCoreCounter::Count(const DirectedGraph& g,
           model.AddThreadWork(warp * lanes + lane, lane_work);
         }
       }
-      result.triangles +=
-          SortedIntersectionSize(g.out_neighbors(u), g.out_neighbors(v));
+      triangles.Add(
+          SortedIntersectionSize(g.out_neighbors(u), g.out_neighbors(v)));
     }
     blocks.push_back(model.Finish());
   }
 
+  GPUTC_RETURN_IF_ERROR(triangles.ToStatus("TriCore triangle count"));
+  result.triangles = triangles.value();
   result.kernel = KernelLauncher(spec).Launch(blocks);
   return result;
 }

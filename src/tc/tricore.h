@@ -30,7 +30,8 @@ class TriCoreCounter : public SimTriangleCounter {
     return strategy_ == IntersectStrategy::kBinarySearch ? "TriCore-bs"
                                                          : "TriCore-sm";
   }
-  TcResult Count(const DirectedGraph& g, const DeviceSpec& spec) const override;
+  StatusOr<TcResult> TryCount(const DirectedGraph& g, const DeviceSpec& spec,
+                              const ExecContext& ctx) const override;
   bool uses_intra_block_sync() const override { return false; }
   bool uses_binary_search() const override {
     return strategy_ == IntersectStrategy::kBinarySearch;

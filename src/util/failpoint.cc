@@ -1,0 +1,251 @@
+#include "util/failpoint.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace gputc {
+namespace {
+
+thread_local int g_scope_depth = 0;
+
+/// xorshift64* — the same generator family as util/random.h, local so the
+/// registry stays self-contained.
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return x * 0x2545F4914F6CDD1DULL;
+}
+
+std::optional<StatusCode> ParseCode(std::string_view name) {
+  struct Entry {
+    std::string_view name;
+    StatusCode code;
+  };
+  static constexpr Entry kCodes[] = {
+      {"internal", StatusCode::kInternal},
+      {"data_loss", StatusCode::kDataLoss},
+      {"resource_exhausted", StatusCode::kResourceExhausted},
+      {"deadline_exceeded", StatusCode::kDeadlineExceeded},
+      {"cancelled", StatusCode::kCancelled},
+      {"invalid_argument", StatusCode::kInvalidArgument},
+      {"out_of_range", StatusCode::kOutOfRange},
+      {"failed_precondition", StatusCode::kFailedPrecondition},
+      {"unimplemented", StatusCode::kUnimplemented},
+      {"not_found", StatusCode::kNotFound},
+  };
+  for (const Entry& e : kCodes) {
+    if (e.name == name) return e.code;
+  }
+  return std::nullopt;
+}
+
+/// Parses one "site=code[@count][%prob][$seed]" entry.
+Status ParseEntry(std::string_view entry, std::string* site,
+                  FailPointSpec* spec) {
+  const size_t eq = entry.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    return InvalidArgumentError("fail-point entry '" + std::string(entry) +
+                                "' is not of the form site=code");
+  }
+  *site = std::string(entry.substr(0, eq));
+  std::string_view rest = entry.substr(eq + 1);
+
+  // Split off the optional suffixes right-to-left; each marker appears at
+  // most once and they compose in any order.
+  *spec = FailPointSpec{};
+  while (true) {
+    const size_t marker = rest.find_last_of("@%$");
+    if (marker == std::string_view::npos) break;
+    const char kind = rest[marker];
+    const std::string value(rest.substr(marker + 1));
+    rest = rest.substr(0, marker);
+    char* end = nullptr;
+    if (kind == '@') {
+      spec->count = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || spec->count < 0) {
+        return InvalidArgumentError("fail-point count '@" + value +
+                                    "' is not a non-negative integer");
+      }
+    } else if (kind == '%') {
+      spec->probability = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || spec->probability < 0.0 ||
+          spec->probability > 1.0) {
+        return InvalidArgumentError("fail-point probability '%" + value +
+                                    "' is not in [0, 1]");
+      }
+    } else {  // '$'
+      spec->seed = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return InvalidArgumentError("fail-point seed '$" + value +
+                                    "' is not an integer");
+      }
+    }
+  }
+
+  const std::optional<StatusCode> code = ParseCode(rest);
+  if (!code.has_value()) {
+    return InvalidArgumentError(
+        "unknown fail-point error code '" + std::string(rest) +
+        "'; valid codes: internal data_loss resource_exhausted "
+        "deadline_exceeded cancelled invalid_argument out_of_range "
+        "failed_precondition unimplemented not_found");
+  }
+  spec->code = *code;
+  return OkStatus();
+}
+
+}  // namespace
+
+struct FailPointRegistry::Impl {
+  struct ArmedPoint {
+    FailPointSpec spec;
+    int64_t fired = 0;       // Times this point has injected an error.
+    uint64_t rng_state = 1;  // Seeded from spec.seed; 0 is invalid.
+  };
+
+  mutable std::mutex mu;
+  std::map<std::string, ArmedPoint, std::less<>> armed;
+  std::map<std::string, std::function<void(int64_t)>, std::less<>> observers;
+  std::map<std::string, int64_t, std::less<>> hit_counts;
+};
+
+FailPointRegistry::FailPointRegistry() : impl_(new Impl) {
+  const char* env = std::getenv("GPUTC_FAILPOINTS");
+  if (env != nullptr && env[0] != '\0') {
+    const Status armed = ArmFromString(env);
+    if (!armed.ok()) {
+      GPUTC_LOG(Warning) << "ignoring GPUTC_FAILPOINTS: "
+                         << armed.ToString();
+    }
+  }
+}
+
+FailPointRegistry& FailPointRegistry::Instance() {
+  static FailPointRegistry* registry = new FailPointRegistry();
+  return *registry;
+}
+
+void FailPointRegistry::Arm(std::string site, FailPointSpec spec) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  Impl::ArmedPoint point;
+  point.spec = spec;
+  point.rng_state = spec.seed == 0 ? 1 : spec.seed;
+  impl_->armed[std::move(site)] = std::move(point);
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void FailPointRegistry::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->armed.erase(site);
+  active_.store(!impl_->armed.empty() || !impl_->observers.empty(),
+                std::memory_order_relaxed);
+}
+
+Status FailPointRegistry::ArmFromString(std::string_view schedule) {
+  // Parse everything first so a bad trailing entry cannot leave a
+  // half-armed schedule.
+  std::vector<std::pair<std::string, FailPointSpec>> parsed;
+  size_t begin = 0;
+  while (begin <= schedule.size()) {
+    size_t end = schedule.find(';', begin);
+    if (end == std::string_view::npos) end = schedule.size();
+    const std::string_view entry = schedule.substr(begin, end - begin);
+    begin = end + 1;
+    if (entry.empty()) continue;
+    std::string site;
+    FailPointSpec spec;
+    GPUTC_RETURN_IF_ERROR(ParseEntry(entry, &site, &spec));
+    parsed.emplace_back(std::move(site), spec);
+  }
+  for (auto& [site, spec] : parsed) Arm(std::move(site), spec);
+  return OkStatus();
+}
+
+void FailPointRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->armed.clear();
+  impl_->observers.clear();
+  impl_->hit_counts.clear();
+  active_.store(false, std::memory_order_relaxed);
+}
+
+void FailPointRegistry::SetObserver(std::string site,
+                                    std::function<void(int64_t)> observer) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->observers[std::move(site)] = std::move(observer);
+  active_.store(true, std::memory_order_relaxed);
+}
+
+int64_t FailPointRegistry::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->hit_counts.find(site);
+  return it == impl_->hit_counts.end() ? 0 : it->second;
+}
+
+std::vector<std::string> FailPointRegistry::ArmedSites() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<std::string> sites;
+  sites.reserve(impl_->armed.size());
+  for (const auto& [site, point] : impl_->armed) sites.push_back(site);
+  return sites;
+}
+
+Status FailPointRegistry::Evaluate(std::string_view site) {
+  std::function<void(int64_t)> observer;
+  int64_t hit = 0;
+  Status injected = OkStatus();
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    const auto armed_it = impl_->armed.find(site);
+    const auto observer_it = impl_->observers.find(site);
+    if (armed_it == impl_->armed.end() &&
+        observer_it == impl_->observers.end()) {
+      return OkStatus();
+    }
+    hit = ++impl_->hit_counts[std::string(site)];
+    if (observer_it != impl_->observers.end()) observer = observer_it->second;
+    if (armed_it != impl_->armed.end()) {
+      Impl::ArmedPoint& point = armed_it->second;
+      const bool budget_left =
+          point.spec.count < 0 || point.fired < point.spec.count;
+      bool fires = budget_left;
+      if (fires && point.spec.probability < 1.0) {
+        const double draw =
+            static_cast<double>(NextRandom(&point.rng_state) >> 11) /
+            static_cast<double>(uint64_t{1} << 53);
+        fires = draw < point.spec.probability;
+      }
+      if (fires) {
+        ++point.fired;
+        injected = Status(point.spec.code,
+                          "fail point '" + std::string(site) + "' fired (hit " +
+                              std::to_string(hit) + ")");
+      }
+    }
+  }
+  // Observers run outside the lock so they may cancel tokens, arm other
+  // points, or query the registry without deadlocking.
+  if (observer) observer(hit);
+  return injected;
+}
+
+FailPointScope::FailPointScope() { ++g_scope_depth; }
+FailPointScope::~FailPointScope() { --g_scope_depth; }
+bool FailPointScope::active() { return g_scope_depth > 0; }
+
+Status CheckFailPoint(std::string_view site) {
+  FailPointRegistry& registry = FailPointRegistry::Instance();
+  if (!registry.has_armed_or_observed()) return OkStatus();
+  if (!FailPointScope::active()) return OkStatus();
+  return registry.Evaluate(site);
+}
+
+}  // namespace gputc

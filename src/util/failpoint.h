@@ -1,0 +1,119 @@
+#ifndef GPUTC_UTIL_FAILPOINT_H_
+#define GPUTC_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gputc {
+
+// RocksDB-style named fail points for fault-injection testing.
+//
+// Sites are compiled into production binaries at the failure boundaries the
+// executor must recover from (io, preprocessing, the counters, the sim
+// memory model). Evaluation is double-gated so a site costs one relaxed
+// atomic load when idle: the process-wide registry must have at least one
+// armed point or observer, AND the calling thread must be inside a
+// FailPointScope — the executor opens one around every run, so injections
+// land on resilient paths instead of failing oracle code that has no
+// recovery story.
+//
+// Arming is programmatic (Arm / ArmFromString) or via the GPUTC_FAILPOINTS
+// environment variable, read once at first registry use. The format is a
+// ';'-separated list of
+//
+//   site=code[@count][%prob][$seed]
+//
+//   code    error to inject: internal, data_loss, resource_exhausted,
+//           deadline_exceeded, cancelled, invalid_argument, out_of_range,
+//           failed_precondition, unimplemented, not_found
+//   @count  fire only on the first `count` hits (default: every hit)
+//   %prob   fire with probability `prob` per hit (seeded xorshift, $seed)
+//
+// e.g. GPUTC_FAILPOINTS="tc.hu=internal@2;io.load=data_loss%0.01$7"
+
+/// What happens at an armed site.
+struct FailPointSpec {
+  StatusCode code = StatusCode::kInternal;
+  /// Fire on the first `count` hits only; -1 fires on every hit.
+  int64_t count = -1;
+  /// Per-hit firing probability in [0, 1], drawn from a seeded xorshift.
+  double probability = 1.0;
+  uint64_t seed = 1;
+};
+
+class FailPointRegistry {
+ public:
+  /// Process-wide registry. The first call parses GPUTC_FAILPOINTS
+  /// (malformed entries are skipped with a warning).
+  static FailPointRegistry& Instance();
+
+  void Arm(std::string site, FailPointSpec spec);
+  void Disarm(const std::string& site);
+
+  /// Arms every entry of a "site=code[@count][%prob][$seed];..." schedule.
+  /// Invalid entries make the whole call fail without arming anything.
+  Status ArmFromString(std::string_view schedule);
+
+  /// Removes all armed points, observers, and hit counters. Tests call this
+  /// first so an ambient GPUTC_FAILPOINTS cannot perturb their schedule.
+  void Reset();
+
+  /// Observer invoked on every in-scope hit of `site` (1-based hit number),
+  /// whether or not the site is armed to fail — the hook the cancellation
+  /// tests use to cancel deterministically mid-kernel.
+  void SetObserver(std::string site, std::function<void(int64_t)> observer);
+
+  /// In-scope hits of `site` since the last Reset. Only armed or observed
+  /// sites are counted.
+  int64_t hits(const std::string& site) const;
+
+  std::vector<std::string> ArmedSites() const;
+
+  /// Evaluates one hit of `site`: bumps counters, runs the observer, and
+  /// returns the injected error when the site fires. Called via
+  /// CheckFailPoint, which applies the fast-path and scope gates.
+  Status Evaluate(std::string_view site);
+
+  bool has_armed_or_observed() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  FailPointRegistry();
+
+  struct Impl;
+  Impl* impl_;  // Intentionally leaked; the registry lives forever.
+  /// Fast-path gate: true while any point is armed or observed.
+  std::atomic<bool> active_{false};
+};
+
+/// RAII gate enabling fail-point evaluation on the current thread. Nestable.
+class FailPointScope {
+ public:
+  FailPointScope();
+  ~FailPointScope();
+  FailPointScope(const FailPointScope&) = delete;
+  FailPointScope& operator=(const FailPointScope&) = delete;
+
+  /// True when the calling thread is inside at least one scope.
+  static bool active();
+};
+
+/// OkStatus, or the injected error when `site` is armed, and the calling
+/// thread is inside a FailPointScope. ~1 relaxed atomic load when idle.
+Status CheckFailPoint(std::string_view site);
+
+}  // namespace gputc
+
+/// Early-return injection site; place at the failure boundary under test.
+/// Usable in functions returning Status or StatusOr<T>.
+#define GPUTC_INJECT_FAULT(site) \
+  GPUTC_RETURN_IF_ERROR(::gputc::CheckFailPoint(site))
+
+#endif  // GPUTC_UTIL_FAILPOINT_H_

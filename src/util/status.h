@@ -24,6 +24,8 @@ enum class StatusCode {
   kResourceExhausted,   // An allocation or size cap would be exceeded.
   kUnimplemented,       // Requested variant is not built in this binary.
   kInternal,            // Invariant violation inside the library itself.
+  kDeadlineExceeded,    // A wall-clock or modelled-cost deadline expired.
+  kCancelled,           // The operation was cancelled by its caller.
 };
 
 /// Stable upper-case name, e.g. "DATA_LOSS". Never returns null.
@@ -74,6 +76,8 @@ Status DataLossError(std::string message);
 Status ResourceExhaustedError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status CancelledError(std::string message);
 
 /// Either a value or a non-OK Status — the return type of every fallible
 /// loader and pipeline entry point.

@@ -5,7 +5,9 @@
 //   gputc generate --family rmat --scale 12 --out g.txt
 //   gputc convert --in g.txt --out g.bin
 //   gputc count --dataset gowalla [--algorithm Hu] [--direction A-direction]
-//               [--ordering A-order] [--profile]
+//               [--ordering A-order] [--profile] [--timeout-ms N]
+//               [--max-model-ms N] [--mem-budget-mb N] [--fallback Hu,cpu]
+//               [--trace]
 //   gputc doctor --in g.txt [--repair --out fixed.bin]
 //   gputc calibrate                      print the Section 5.3 calibration
 //
@@ -14,11 +16,14 @@
 //   1  runtime failure (cannot write output, internal error)
 //   2  usage error (unknown command/flag value, missing required flag)
 //   3  invalid input (missing/corrupt/rejected input file or dataset)
+//   4  exhausted (deadline, memory budget or every fallback stage spent)
 
+#include <cstdlib>
 #include <iostream>
 #include <optional>
 #include <string>
 
+#include "core/executor.h"
 #include "core/pipeline.h"
 #include "graph/datasets.h"
 #include "graph/generators.h"
@@ -38,6 +43,7 @@ constexpr int kExitOk = 0;
 constexpr int kExitRuntime = 1;
 constexpr int kExitUsage = 2;
 constexpr int kExitBadInput = 3;
+constexpr int kExitExhausted = 4;
 
 int Usage() {
   std::cerr
@@ -51,11 +57,15 @@ int Usage() {
          "extension)\n"
          "  count      --dataset NAME | --in FILE [--algorithm A]\n"
          "             [--direction D] [--ordering O] [--strict] [--profile]\n"
+         "             [--timeout-ms N] [--max-model-ms N] [--mem-budget-mb N]\n"
+         "             [--fallback A1,A2,...,cpu] [--trace]\n"
          "  doctor     --in FILE [--repair --out FILE]: scan for (and "
          "optionally\n"
          "             repair) self loops, duplicates, and structural damage\n"
          "  calibrate  print BW(d), p_c(d) and lambda for the device model\n"
-         "exit codes: 0 ok, 1 runtime failure, 2 usage, 3 invalid input\n";
+         "exit codes: 0 ok, 1 runtime failure, 2 usage, 3 invalid input,\n"
+         "            4 exhausted (deadline/budget spent after all "
+         "fallbacks)\n";
   return kExitUsage;
 }
 
@@ -209,6 +219,43 @@ std::optional<TcAlgorithm> ParseAlgorithm(const std::string& name) {
   return std::nullopt;
 }
 
+/// Strict numeric flag parsing: FlagParser::GetDouble aborts the process on
+/// malformed values, but a typo on the command line is a usage error (exit
+/// 2), so policy flags are parsed by hand.
+std::optional<double> ParseNumericFlag(const FlagParser& flags,
+                                       const std::string& name,
+                                       double fallback) {
+  if (!flags.Has(name)) return fallback;
+  const std::string raw = flags.GetString(name, "");
+  char* end = nullptr;
+  const double value = std::strtod(raw.c_str(), &end);
+  if (raw.empty() || end == raw.c_str() || *end != '\0') {
+    std::cerr << "invalid value for --" << name << ": '" << raw
+              << "' (expected a number)\n";
+    return std::nullopt;
+  }
+  return value;
+}
+
+/// Exit code for a failed resilient execution: exhausted budgets/deadlines
+/// are the documented exit 4; rejected input stays exit 3.
+int ExecutorExitCode(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kCancelled:
+    case StatusCode::kResourceExhausted:
+      return kExitExhausted;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kDataLoss:
+    case StatusCode::kNotFound:
+    case StatusCode::kOutOfRange:
+      return kExitBadInput;
+    default:
+      return kExitRuntime;
+  }
+}
+
 int CmdCount(const FlagParser& flags) {
   // Validate flag values before touching the (possibly slow) input load, so
   // usage errors are reported instantly and unambiguously.
@@ -220,6 +267,26 @@ int CmdCount(const FlagParser& flags) {
   const auto algorithm = ParseAlgorithm(flags.GetString("algorithm", "Hu"));
   if (!algorithm.has_value()) return kExitUsage;
 
+  const auto timeout_ms = ParseNumericFlag(flags, "timeout-ms", 0.0);
+  if (!timeout_ms.has_value()) return kExitUsage;
+  const auto max_model_ms = ParseNumericFlag(flags, "max-model-ms", 0.0);
+  if (!max_model_ms.has_value()) return kExitUsage;
+  const auto mem_budget_mb = ParseNumericFlag(flags, "mem-budget-mb", 0.0);
+  if (!mem_budget_mb.has_value()) return kExitUsage;
+
+  // The fallback chain defaults to just --algorithm, so runs without
+  // --fallback behave exactly as before the executor existed.
+  std::vector<FallbackStage> chain = {{/*is_cpu=*/false, *algorithm}};
+  if (flags.Has("fallback")) {
+    StatusOr<std::vector<FallbackStage>> parsed =
+        ParseFallbackChain(flags.GetString("fallback", ""));
+    if (!parsed.ok()) {
+      std::cerr << parsed.status().message() << "\n";
+      return kExitUsage;
+    }
+    chain = *std::move(parsed);
+  }
+
   const StatusOr<Graph> g = LoadAny(flags, flags.GetBool("strict", false));
   if (!g.ok()) return ReportInputError(g.status());
 
@@ -227,14 +294,42 @@ int CmdCount(const FlagParser& flags) {
   options.direction = *direction;
   options.ordering = *ordering;
   const DeviceSpec spec = DeviceSpec::TitanXpLike();
-  const StatusOr<RunResult> run =
-      TryRunTriangleCount(*g, *algorithm, spec, options);
-  if (!run.ok()) return ReportInputError(run.status());
-  const RunResult& r = *run;
-  std::cout << "algorithm:     " << ToString(*algorithm) << "\n"
-            << "direction:     " << ToString(options.direction)
+
+  ExecutionPolicy policy;
+  policy.timeout_ms = *timeout_ms;
+  policy.max_model_ms = *max_model_ms;
+  policy.mem_budget_bytes =
+      static_cast<int64_t>(*mem_budget_mb * 1024.0 * 1024.0);
+
+  ExecutionTrace trace;
+  const StatusOr<ExecutionResult> executed =
+      ExecuteResilient(*g, spec, policy, chain, options, &trace);
+  if (flags.GetBool("trace", false) && !trace.attempts.empty()) {
+    std::cerr << trace.Summary();
+  }
+  if (!executed.ok()) {
+    std::cerr << "error: " << executed.status().ToString() << "\n";
+    return ExecutorExitCode(executed.status());
+  }
+  const RunResult& r = executed->run;
+  // Degraded attempts drop A-order, then A-direction; report what actually
+  // ran, not what was asked for.
+  PreprocessOptions effective = options;
+  if (executed->variant != "base") {
+    effective.ordering = OrderingStrategy::kOriginal;
+  }
+  if (executed->variant == "no-adirection") {
+    effective.direction = DirectionStrategy::kDegreeBased;
+  }
+  std::cout << "algorithm:     " << executed->stage;
+  if (executed->variant != "base" || trace.attempts.size() > 1) {
+    std::cout << " (variant " << executed->variant << ", attempt "
+              << trace.attempts.size() << ")";
+  }
+  std::cout << "\n"
+            << "direction:     " << ToString(effective.direction)
             << " (Eq.1 cost " << Fmt(r.preprocess.direction_cost, 0) << ")\n"
-            << "ordering:      " << ToString(options.ordering)
+            << "ordering:      " << ToString(effective.ordering)
             << " (Eq.3 cost " << Fmt(r.preprocess.ordering_cost, 0) << ")\n"
             << "triangles:     " << FmtCount(r.triangles) << "\n"
             << "preprocess:    " << Fmt(r.preprocess.total_ms, 2)
