@@ -1,0 +1,131 @@
+// Batch-service throughput: the same manifest of generated graphs pushed
+// through the concurrent BatchService at jobs = 1, 4, 8. Reports requests/sec
+// and per-request latency percentiles, and writes the machine-readable
+// BENCH_service.json for trend tracking. There is no paper figure for this —
+// the service layer is infrastructure around the paper's counting pipeline —
+// so the interesting shape is simply that throughput scales with jobs while
+// the p99 latency stays bounded.
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "service/batch_service.h"
+#include "util/stats.h"
+
+namespace gputc {
+namespace bench {
+namespace {
+
+struct JobsResult {
+  int jobs = 0;
+  int requests = 0;
+  double wall_ms = 0.0;
+  double requests_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// The bench workload: a spread of generated graphs, each a few thousand
+/// vertices so one request costs a handful of milliseconds.
+std::vector<BatchRequest> MakeWorkload(int count) {
+  std::vector<BatchRequest> requests;
+  requests.reserve(static_cast<size_t>(count));
+  const char* families[] = {"rmat", "er", "ws"};
+  for (int i = 0; i < count; ++i) {
+    BatchRequest request;
+    const std::string family = families[i % 3];
+    request.id = std::to_string(i) + ":gen:" + family;
+    request.source = "gen:" + family + ":seed=" + std::to_string(i);
+    request.kind = BatchRequest::Kind::kGenerate;
+    request.target = family;
+    const std::string seed = std::to_string(i + 1);
+    if (family == "rmat") {
+      request.params = {{"scale", "11"}, {"edge-factor", "12"}, {"seed", seed}};
+    } else if (family == "er") {
+      request.params = {{"nodes", "3000"}, {"edges", "24000"}, {"seed", seed}};
+    } else {
+      request.params = {{"nodes", "3000"}, {"k", "8"}, {"seed", seed}};
+    }
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+JobsResult RunAtConcurrency(int jobs, int request_count) {
+  BatchServiceOptions options;
+  options.jobs = jobs;
+  options.queue_depth = static_cast<size_t>(request_count);
+  BatchService service(options);
+
+  LatencyRecorder latencies;
+  service.set_on_report([&latencies](const RequestReport& report) {
+    latencies.Record(report.exec_ms);
+  });
+
+  const auto started = std::chrono::steady_clock::now();
+  service.Start();
+  for (BatchRequest& request : MakeWorkload(request_count)) {
+    service.Submit(std::move(request));
+  }
+  const BatchSummary summary = service.Finish();
+  const auto finished = std::chrono::steady_clock::now();
+
+  JobsResult result;
+  result.jobs = jobs;
+  result.requests = static_cast<int>(summary.reports.size());
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(finished - started).count();
+  result.requests_per_sec =
+      result.wall_ms > 0.0 ? 1000.0 * result.requests / result.wall_ms : 0.0;
+  result.p50_ms = latencies.PercentileValue(50.0);
+  result.p99_ms = latencies.PercentileValue(99.0);
+  if (!summary.AllSucceeded()) {
+    std::cerr << "warning: " << summary.CountOutcome(RequestOutcome::kFailed)
+              << " failed / " << summary.CountOutcome(RequestOutcome::kRejected)
+              << " rejected requests perturb this measurement\n";
+  }
+  return result;
+}
+
+void Main() {
+  PrintHeader("Service throughput",
+              "BatchService requests/sec and latency percentiles vs worker "
+              "count (generated workload; no paper counterpart)");
+  constexpr int kRequests = 24;
+  std::vector<JobsResult> results;
+  for (int jobs : {1, 4, 8}) {
+    results.push_back(RunAtConcurrency(jobs, kRequests));
+  }
+
+  TablePrinter table(
+      {"jobs", "requests", "wall ms", "req/s", "p50 ms", "p99 ms"});
+  for (const JobsResult& r : results) {
+    table.AddRow({std::to_string(r.jobs), std::to_string(r.requests),
+                  Fmt(r.wall_ms, 1), Fmt(r.requests_per_sec, 1),
+                  Fmt(r.p50_ms, 2), Fmt(r.p99_ms, 2)});
+  }
+  table.Print(std::cout);
+
+  std::ofstream json("BENCH_service.json");
+  json << "{\n  \"bench\": \"service_throughput\",\n  \"requests\": "
+       << kRequests << ",\n  \"configs\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const JobsResult& r = results[i];
+    json << "    {\"jobs\": " << r.jobs << ", \"requests_per_sec\": "
+         << r.requests_per_sec << ", \"wall_ms\": " << r.wall_ms
+         << ", \"p50_ms\": " << r.p50_ms << ", \"p99_ms\": " << r.p99_ms
+         << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "\nwrote BENCH_service.json\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gputc
+
+int main() { gputc::bench::Main(); }

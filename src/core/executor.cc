@@ -96,21 +96,28 @@ StatusOr<std::vector<FallbackStage>> ParseFallbackChain(
     FallbackStage stage;
     if (lower == "cpu") {
       stage.is_cpu = true;
-      chain.push_back(stage);
-      continue;
-    }
-    bool found = false;
-    for (TcAlgorithm a : kAllAlgorithms) {
-      if (lower == ToLower(ToString(a))) {
-        stage.algorithm = a;
-        found = true;
-        break;
+    } else {
+      bool found = false;
+      for (TcAlgorithm a : kAllAlgorithms) {
+        if (lower == ToLower(ToString(a))) {
+          stage.algorithm = a;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return InvalidArgumentError("unknown fallback stage '" +
+                                    std::string(entry) +
+                                    "'; valid choices: " + ValidStageNames());
       }
     }
-    if (!found) {
-      return InvalidArgumentError("unknown fallback stage '" +
-                                  std::string(entry) +
-                                  "'; valid choices: " + ValidStageNames());
+    for (const FallbackStage& existing : chain) {
+      if (existing.is_cpu == stage.is_cpu &&
+          (stage.is_cpu || existing.algorithm == stage.algorithm)) {
+        return InvalidArgumentError(
+            "duplicate fallback stage '" + stage.name() +
+            "'; each backend may appear in the chain at most once");
+      }
     }
     chain.push_back(stage);
   }
@@ -181,6 +188,7 @@ StatusOr<ExecutionResult> ExecuteResilient(
     ctx.deadline = Deadline::AfterMillis(policy.timeout_ms);
   }
   ctx.count_limit = policy.count_limit;
+  ctx.cancel = policy.cancel;
 
   // Injections only land while the executor drives the pipeline: code that
   // never opted into recovery never sees an armed fail point.

@@ -38,6 +38,11 @@ struct ExecutionPolicy {
   /// Triangle accumulator ceiling (ExecContext::count_limit). Production
   /// leaves it at int64 max; tests lower it to exercise overflow handling.
   int64_t count_limit = std::numeric_limits<int64_t>::max();
+  /// External cancellation handle threaded into the execution context.
+  /// Copies share one flag, so a caller (the batch service's watchdog, a
+  /// signal handler's drain path) can stop the run from another thread; a
+  /// default-constructed token never fires.
+  CancelToken cancel;
 };
 
 /// One stage of the fallback chain: a simulated GPU algorithm, or the exact
@@ -51,7 +56,9 @@ struct FallbackStage {
 
 /// Parses a comma-separated chain like "hu,polak,cpu" (names
 /// case-insensitive, matching `gputc count --algorithm` plus "cpu").
-/// InvalidArgument with the valid choices on an unknown name or empty chain.
+/// InvalidArgument with the valid choices on an unknown name or empty
+/// chain, and on a duplicate stage — a repeated backend would silently
+/// retry the same failure mode while looking like extra redundancy.
 StatusOr<std::vector<FallbackStage>> ParseFallbackChain(std::string_view spec);
 
 /// What happened to one attempt (stage x degradation variant).

@@ -1,0 +1,449 @@
+#include "service/batch_service.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <utility>
+
+#include "util/failpoint.h"
+#include "util/logging.h"
+
+namespace gputc {
+namespace {
+
+double MillisBetween(std::chrono::steady_clock::time_point from,
+                     std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+/// JSON string escaping for the journal (quotes, backslashes, control
+/// characters; everything else passes through).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Stop errors are the caller's budget expiring, not evidence the backend is
+/// unhealthy — they must not trip its breaker.
+bool IsBackendAttributable(const Status& status) {
+  return status.code() != StatusCode::kCancelled &&
+         status.code() != StatusCode::kDeadlineExceeded;
+}
+
+}  // namespace
+
+const char* RequestOutcomeName(RequestOutcome outcome) {
+  switch (outcome) {
+    case RequestOutcome::kOk:
+      return "ok";
+    case RequestOutcome::kDegraded:
+      return "degraded";
+    case RequestOutcome::kRejected:
+      return "rejected";
+    case RequestOutcome::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+std::string RequestReport::ToJson() const {
+  std::string out = "{";
+  out += "\"id\":\"" + JsonEscape(id) + "\"";
+  out += ",\"source\":\"" + JsonEscape(source) + "\"";
+  out += ",\"outcome\":\"" + std::string(RequestOutcomeName(outcome)) + "\"";
+  out += ",\"code\":\"" + std::string(StatusCodeName(status.code())) + "\"";
+  out += ",\"message\":\"" + JsonEscape(status.message()) + "\"";
+  out += ",\"stage\":\"" + JsonEscape(stage) + "\"";
+  out += ",\"variant\":\"" + JsonEscape(variant) + "\"";
+  out += ",\"triangles\":" + std::to_string(triangles);
+  out += ",\"queue_ms\":" + std::to_string(queue_ms);
+  out += ",\"exec_ms\":" + std::to_string(exec_ms);
+  out += ",\"attempts\":" + std::to_string(attempts);
+  out += ",\"trace\":[";
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + JsonEscape(trace[i]) + "\"";
+  }
+  out += "]}";
+  return out;
+}
+
+int BatchSummary::CountOutcome(RequestOutcome outcome) const {
+  int count = 0;
+  for (const RequestReport& r : reports) {
+    if (r.outcome == outcome) ++count;
+  }
+  return count;
+}
+
+bool BatchSummary::AllSucceeded() const {
+  for (const RequestReport& r : reports) {
+    if (r.outcome == RequestOutcome::kRejected ||
+        r.outcome == RequestOutcome::kFailed) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool BatchSummary::NoneSucceeded() const {
+  for (const RequestReport& r : reports) {
+    if (r.outcome == RequestOutcome::kOk ||
+        r.outcome == RequestOutcome::kDegraded) {
+      return false;
+    }
+  }
+  return true;
+}
+
+BatchService::BatchService(BatchServiceOptions options)
+    : options_(std::move(options)),
+      queue_(options_.queue_depth, options_.shed_policy),
+      admission_(options_.mem_budget_bytes),
+      breakers_(options_.breaker) {
+  GPUTC_CHECK_GT(options_.jobs, 0);
+  GPUTC_CHECK(!options_.chain.empty());
+  slots_.resize(static_cast<size_t>(options_.jobs));
+}
+
+BatchService::~BatchService() {
+  if (started_.load() && !finished_.load()) Finish();
+}
+
+void BatchService::Start() {
+  GPUTC_CHECK(!started_.exchange(true)) << "BatchService started twice";
+  workers_.reserve(static_cast<size_t>(options_.jobs));
+  for (int i = 0; i < options_.jobs; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  watchdog_ = std::thread([this] { WatchdogLoop(); });
+}
+
+void BatchService::Submit(BatchRequest request) {
+  const Clock::time_point now = Clock::now();
+  // The service is a resilient path, so its intake opts into fault
+  // injection: an armed service.enqueue site sheds the request up front.
+  FailPointScope scope;
+  const Status injected = CheckFailPoint("service.enqueue");
+  if (!injected.ok()) {
+    Journal(RejectedReport(request, injected.WithContext("service.enqueue"),
+                           0.0));
+    return;
+  }
+  if (draining()) {
+    Journal(RejectedReport(
+        request,
+        CancelledError("service is draining; request not admitted"), 0.0));
+    return;
+  }
+  QueuedRequest queued{request, now};
+  WorkQueue<QueuedRequest>::PushResult pushed = queue_.Push(std::move(queued));
+  if (pushed.shed.has_value()) {
+    // drop-oldest evicted the head of the queue to make room.
+    Journal(RejectedReport(
+        pushed.shed->request,
+        ResourceExhaustedError(
+            "evicted from a full work queue by shed policy 'drop-oldest'"),
+        MillisBetween(pushed.shed->enqueued_at, Clock::now())));
+  }
+  if (!pushed.status.ok()) {
+    // kReject shed, or the queue closed under us (drain won the race).
+    Journal(RejectedReport(request, pushed.status, 0.0));
+  }
+}
+
+void BatchService::RequestDrain(std::string reason) {
+  if (draining_.exchange(true, std::memory_order_acq_rel)) return;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    drain_reason_ = std::move(reason);
+    drain_deadline_armed_ = true;
+    drain_deadline_ = options_.drain_grace_ms > 0.0
+                          ? Deadline::AfterMillis(options_.drain_grace_ms)
+                          : Deadline::AfterMillis(0.0);
+  }
+  queue_.Close();
+  // Queued-but-unstarted work never executes; journal every entry so the
+  // caller can still account for the whole batch.
+  for (QueuedRequest& flushed : queue_.FlushPending()) {
+    Journal(RejectedReport(
+        flushed.request,
+        CancelledError("service drained before execution started: " +
+                       drain_reason()),
+        MillisBetween(flushed.enqueued_at, Clock::now())));
+  }
+  // Wake admission waiters; in-flight executions run until the grace
+  // deadline, when the watchdog cancels their tokens.
+  admission_.Abort();
+}
+
+BatchSummary BatchService::Finish() {
+  GPUTC_CHECK(started_.load()) << "Finish() before Start()";
+  if (!finished_.exchange(true)) {
+    queue_.Close();
+    for (std::thread& worker : workers_) worker.join();
+    stop_watchdog_.store(true, std::memory_order_release);
+    if (watchdog_.joinable()) watchdog_.join();
+  }
+  BatchSummary summary;
+  {
+    std::lock_guard<std::mutex> lock(journal_mu_);
+    summary.reports = journal_;
+  }
+  summary.drained = draining();
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    summary.drain_reason = drain_reason_;
+  }
+  return summary;
+}
+
+void BatchService::WorkerLoop(int worker_index) {
+  while (true) {
+    std::optional<QueuedRequest> queued = queue_.Pop();
+    if (!queued.has_value()) return;
+    Process(worker_index, *std::move(queued));
+  }
+}
+
+void BatchService::WatchdogLoop() {
+  while (!stop_watchdog_.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      for (InflightSlot& slot : slots_) {
+        if (!slot.active) continue;
+        Deadline effective = slot.deadline;
+        if (drain_deadline_armed_) {
+          effective = Deadline::Earlier(effective, drain_deadline_);
+        }
+        if (effective.expired()) {
+          slot.cancel.Cancel(
+              drain_deadline_armed_ && drain_deadline_.expired()
+                  ? "watchdog: drain grace period expired (" + drain_reason_ +
+                        ")"
+                  : "watchdog: request deadline expired");
+        }
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+void BatchService::Process(int worker_index, QueuedRequest queued) {
+  const Clock::time_point picked_up = Clock::now();
+  const double queue_ms = MillisBetween(queued.enqueued_at, picked_up);
+  const BatchRequest& request = queued.request;
+
+  RequestReport report;
+  report.id = request.id;
+  report.source = request.source;
+  report.queue_ms = queue_ms;
+
+  // Worker processing is a resilient path end to end: materialization,
+  // admission, and execution all see armed fail points.
+  FailPointScope scope;
+
+  const auto finish = [&](RequestOutcome outcome, Status status) {
+    report.outcome = outcome;
+    report.status = std::move(status);
+    report.exec_ms = MillisBetween(picked_up, Clock::now());
+    Journal(std::move(report));
+  };
+
+  const Status worker_fault = CheckFailPoint("service.worker");
+  if (!worker_fault.ok()) {
+    finish(RequestOutcome::kFailed, worker_fault.WithContext("service.worker"));
+    return;
+  }
+
+  // Per-request cancellation handle, registered with the watchdog before any
+  // blocking step so deadlines and drain reach admission waits too.
+  CancelToken cancel;
+  const double timeout_ms = request.timeout_ms >= 0.0
+                                ? request.timeout_ms
+                                : options_.request_timeout_ms;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    InflightSlot& slot = slots_[static_cast<size_t>(worker_index)];
+    slot.active = true;
+    slot.cancel = cancel;
+    slot.deadline = timeout_ms > 0.0 ? Deadline::AfterMillis(timeout_ms)
+                                     : Deadline::Infinite();
+  }
+  const auto unregister = [&] {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    slots_[static_cast<size_t>(worker_index)].active = false;
+  };
+
+  StatusOr<Graph> graph = MaterializeRequest(request);
+  if (!graph.ok()) {
+    unregister();
+    finish(RequestOutcome::kFailed,
+           graph.status().WithContext("materializing '" + request.source +
+                                      "'"));
+    return;
+  }
+
+  // Admission: the injected fault and genuine refusals are both sheds — the
+  // request never started executing.
+  const int64_t estimate = EstimateHostBytes(*graph);
+  Status admitted = CheckFailPoint("service.admit");
+  if (admitted.ok()) admitted = admission_.Admit(estimate, cancel);
+  if (!admitted.ok()) {
+    unregister();
+    // A watchdog cancellation (request deadline) is a per-request failure;
+    // everything else — budget refusal, drain abort — is a shed.
+    const RequestOutcome outcome = cancel.cancelled() && !draining()
+                                       ? RequestOutcome::kFailed
+                                       : RequestOutcome::kRejected;
+    finish(outcome, admitted.WithContext("admission (needs ~" +
+                                         std::to_string(estimate) +
+                                         " bytes)"));
+    return;
+  }
+
+  // Resolve the fallback chain: per-request override, then route around
+  // backends whose breaker is open.
+  std::vector<FallbackStage> chain = options_.chain;
+  if (!request.fallback.empty()) {
+    StatusOr<std::vector<FallbackStage>> parsed =
+        ParseFallbackChain(request.fallback);
+    if (!parsed.ok()) {
+      admission_.Release(estimate);
+      unregister();
+      finish(RequestOutcome::kFailed,
+             parsed.status().WithContext("fallback override"));
+      return;
+    }
+    chain = *std::move(parsed);
+  }
+  std::vector<FallbackStage> allowed;
+  allowed.reserve(chain.size());
+  for (const FallbackStage& stage : chain) {
+    if (breakers_.ForBackend(stage.name()).Allow()) allowed.push_back(stage);
+  }
+  if (allowed.empty()) {
+    admission_.Release(estimate);
+    unregister();
+    finish(RequestOutcome::kRejected,
+           ResourceExhaustedError(
+               "every fallback backend has an open circuit breaker"));
+    return;
+  }
+
+  ExecutionPolicy policy = options_.policy;
+  policy.timeout_ms = 0.0;  // The watchdog owns the clock.
+  policy.cancel = cancel;
+
+  ExecutionTrace trace;
+  StatusOr<ExecutionResult> executed = ExecuteResilient(
+      *graph, options_.spec, policy, allowed, options_.preprocess, &trace);
+
+  FeedBreakers(allowed, trace);
+  admission_.Release(estimate);
+  unregister();
+
+  report.attempts = static_cast<int>(trace.attempts.size());
+  report.trace.reserve(trace.attempts.size());
+  for (const AttemptRecord& attempt : trace.attempts) {
+    report.trace.push_back(attempt.stage + "/" + attempt.variant + " -> " +
+                           (attempt.status.ok() ? "OK"
+                                                : attempt.status.ToString()));
+  }
+
+  if (!executed.ok()) {
+    finish(RequestOutcome::kFailed, executed.status());
+    return;
+  }
+  report.stage = executed->stage;
+  report.variant = executed->variant;
+  report.triangles = executed->run.triangles;
+  const bool base_config = executed->variant == "base" &&
+                           executed->stage == options_.chain.front().name();
+  finish(base_config ? RequestOutcome::kOk : RequestOutcome::kDegraded,
+         OkStatus());
+}
+
+void BatchService::FeedBreakers(const std::vector<FallbackStage>& allowed,
+                                const ExecutionTrace& trace) {
+  // Aggregate per stage: a stage that produced the result is a success, a
+  // stage whose every attempt failed with a backend-attributable error is a
+  // failure, and a granted stage the chain never reached returns its probe.
+  std::set<std::string> succeeded;
+  std::set<std::string> failed;
+  std::set<std::string> attempted;
+  for (const AttemptRecord& attempt : trace.attempts) {
+    attempted.insert(attempt.stage);
+    if (attempt.status.ok()) {
+      succeeded.insert(attempt.stage);
+    } else if (IsBackendAttributable(attempt.status)) {
+      failed.insert(attempt.stage);
+    }
+  }
+  for (const FallbackStage& stage : allowed) {
+    const std::string name = stage.name();
+    CircuitBreaker& breaker = breakers_.ForBackend(name);
+    if (succeeded.count(name) > 0) {
+      breaker.RecordSuccess();
+    } else if (failed.count(name) > 0) {
+      breaker.RecordFailure();
+    } else if (attempted.count(name) == 0) {
+      breaker.CancelProbe();
+    }
+    // Attempted stages that only saw stop errors (deadline/cancel) report
+    // nothing: the backend was neither proven healthy nor unhealthy.
+  }
+}
+
+void BatchService::Journal(RequestReport report) {
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  journal_.push_back(std::move(report));
+  if (on_report_) on_report_(journal_.back());
+}
+
+RequestReport BatchService::RejectedReport(const BatchRequest& request,
+                                           Status reason,
+                                           double queue_ms) const {
+  RequestReport report;
+  report.id = request.id;
+  report.source = request.source;
+  report.outcome = RequestOutcome::kRejected;
+  report.status = std::move(reason);
+  report.queue_ms = queue_ms;
+  return report;
+}
+
+std::string BatchService::drain_reason() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return drain_reason_;
+}
+
+}  // namespace gputc

@@ -1,0 +1,201 @@
+#ifndef GPUTC_SERVICE_BATCH_SERVICE_H_
+#define GPUTC_SERVICE_BATCH_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/executor.h"
+#include "service/admission.h"
+#include "service/circuit_breaker.h"
+#include "service/manifest.h"
+#include "service/work_queue.h"
+#include "sim/device.h"
+#include "util/deadline.h"
+
+namespace gputc {
+
+// The multi-request layer above ExecuteResilient: a thread-pooled batch
+// execution service with production-grade overload protection. One request =
+// one graph counted under the per-request resilience of PR 2; the service
+// adds what a fleet of concurrent requests needs — a bounded work queue with
+// a load-shedding policy, global memory admission control, per-backend
+// circuit breakers, a deadline watchdog, and graceful drain that accounts
+// for every accepted request in a journal.
+
+/// Tuning of one BatchService.
+struct BatchServiceOptions {
+  /// Worker threads executing requests concurrently.
+  int jobs = 4;
+  /// Bounded queue depth between Submit and the workers.
+  size_t queue_depth = 16;
+  /// What Submit does when the queue is full.
+  ShedPolicy shed_policy = ShedPolicy::kBlock;
+  /// Global host-memory budget: the sum of EstimateHostBytes over admitted
+  /// requests stays under this. <= 0 disables the budget.
+  int64_t mem_budget_bytes = 0;
+  /// Per-request wall-clock deadline enforced by the watchdog thread firing
+  /// the request's CancelToken. <= 0 means no deadline. A manifest line's
+  /// timeout-ms override takes precedence.
+  double request_timeout_ms = 0.0;
+  /// On drain, how long in-flight requests may keep running before the
+  /// watchdog cancels them. <= 0 cancels immediately.
+  double drain_grace_ms = 1000.0;
+  /// Template for each request's execution policy. The service owns the
+  /// deadline (watchdog) and the cancel token; timeout_ms here is ignored.
+  ExecutionPolicy policy;
+  /// Default fallback chain (a manifest line's fallback= override wins).
+  std::vector<FallbackStage> chain = {
+      FallbackStage{false, TcAlgorithm::kHu}, FallbackStage{true}};
+  PreprocessOptions preprocess;
+  DeviceSpec spec = DeviceSpec::TitanXpLike();
+  /// Per-backend breaker tuning.
+  CircuitBreakerOptions breaker;
+};
+
+/// Terminal classification of one submitted request. Every Submit produces
+/// exactly one journal entry with one of these outcomes — nothing is dropped
+/// silently.
+enum class RequestOutcome {
+  kOk,        // Counted with the requested (base) configuration.
+  kDegraded,  // Counted, but on a fallback stage or degraded variant.
+  kRejected,  // Shed before execution: queue full, drain, admission refusal,
+              // or every backend's breaker open.
+  kFailed     // Execution started and did not produce a count.
+};
+
+/// Stable lower-case name ("ok", "degraded", "rejected", "failed").
+const char* RequestOutcomeName(RequestOutcome outcome);
+
+/// One journal entry.
+struct RequestReport {
+  std::string id;      // BatchRequest::id.
+  std::string source;  // BatchRequest::source.
+  RequestOutcome outcome = RequestOutcome::kFailed;
+  Status status;            // OK for kOk/kDegraded; the reason otherwise.
+  std::string stage;        // Winning fallback stage ("" when none).
+  std::string variant;      // Winning degradation variant ("" when none).
+  int64_t triangles = 0;
+  double queue_ms = 0.0;    // Submit-to-worker-pickup wait.
+  double exec_ms = 0.0;     // Worker processing time (load + count).
+  int attempts = 0;         // ExecutionTrace length.
+  std::vector<std::string> trace;  // One line per attempt, for the journal.
+
+  /// Single-line JSON object for the machine-readable journal.
+  std::string ToJson() const;
+};
+
+/// Everything Finish returns: the journal (in completion order) plus drain
+/// metadata and outcome tallies.
+struct BatchSummary {
+  std::vector<RequestReport> reports;
+  bool drained = false;
+  std::string drain_reason;
+
+  int CountOutcome(RequestOutcome outcome) const;
+  /// True when every report is kOk or kDegraded.
+  bool AllSucceeded() const;
+  /// True when no report is kOk or kDegraded.
+  bool NoneSucceeded() const;
+};
+
+class BatchService {
+ public:
+  explicit BatchService(BatchServiceOptions options);
+  /// Joins all threads; equivalent to Finish() when still running.
+  ~BatchService();
+
+  BatchService(const BatchService&) = delete;
+  BatchService& operator=(const BatchService&) = delete;
+
+  /// Spawns the worker pool and the watchdog. Call once, before Submit.
+  void Start();
+
+  /// Hands one request to the service. May block under ShedPolicy::kBlock
+  /// when the queue is saturated; under the other policies it returns
+  /// immediately. Shed or refused requests are journaled as kRejected — the
+  /// caller never loses track of a request. Passes the "service.enqueue"
+  /// fail point.
+  void Submit(BatchRequest request);
+
+  /// Graceful drain: stop admitting (queued-but-unstarted work is journaled
+  /// as rejected), let in-flight requests finish within drain_grace_ms, then
+  /// cancel the stragglers. Idempotent; callable from any thread, including
+  /// a signal-watcher. Finish() still must be called to join and collect.
+  void RequestDrain(std::string reason);
+
+  /// Closes intake, runs the queue dry (or drains), joins every thread and
+  /// returns the complete journal. Call once.
+  BatchSummary Finish();
+
+  /// Streaming hook invoked once per journal entry as it is produced, in
+  /// journal order (serialized by the journal lock). Set before Start.
+  void set_on_report(std::function<void(const RequestReport&)> hook) {
+    on_report_ = std::move(hook);
+  }
+
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+  /// The reason passed to RequestDrain ("" while not draining).
+  std::string drain_reason() const;
+  const BatchServiceOptions& options() const { return options_; }
+  /// The per-backend breaker board (exposed for tests and reporting).
+  BreakerBoard& breakers() { return breakers_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct QueuedRequest {
+    BatchRequest request;
+    Clock::time_point enqueued_at;
+  };
+
+  /// One worker's in-flight registration, scanned by the watchdog.
+  struct InflightSlot {
+    bool active = false;
+    CancelToken cancel;
+    Deadline deadline;
+  };
+
+  void WorkerLoop(int worker_index);
+  void WatchdogLoop();
+  void Process(int worker_index, QueuedRequest queued);
+  void Journal(RequestReport report);
+  RequestReport RejectedReport(const BatchRequest& request, Status reason,
+                               double queue_ms) const;
+  /// Applies the per-stage outcomes of one executed request to the breaker
+  /// board and returns unused half-open probe grants.
+  void FeedBreakers(const std::vector<FallbackStage>& allowed,
+                    const ExecutionTrace& trace);
+
+  const BatchServiceOptions options_;
+  WorkQueue<QueuedRequest> queue_;
+  AdmissionController admission_;
+  BreakerBoard breakers_;
+
+  std::vector<std::thread> workers_;
+  std::thread watchdog_;
+  std::atomic<bool> stop_watchdog_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> finished_{false};
+
+  mutable std::mutex journal_mu_;
+  std::vector<RequestReport> journal_;
+  std::function<void(const RequestReport&)> on_report_;
+
+  mutable std::mutex state_mu_;  // Guards slots_, drain metadata.
+  std::vector<InflightSlot> slots_;
+  std::string drain_reason_;
+  bool drain_deadline_armed_ = false;
+  Deadline drain_deadline_;
+};
+
+}  // namespace gputc
+
+#endif  // GPUTC_SERVICE_BATCH_SERVICE_H_

@@ -1,0 +1,115 @@
+#include "service/circuit_breaker.h"
+
+#include <chrono>
+
+namespace gputc {
+namespace {
+
+double SteadyNowMillis() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options,
+                               std::function<double()> now_ms)
+    : options_(options), now_ms_(now_ms ? std::move(now_ms) : SteadyNowMillis) {}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now_ms_() - opened_at_ms_ < options_.open_cooldown_ms) return false;
+      state_ = State::kHalfOpen;
+      probes_outstanding_ = 0;
+      probe_successes_ = 0;
+      [[fallthrough]];
+    case State::kHalfOpen:
+      if (probes_outstanding_ >= options_.half_open_probes) return false;
+      ++probes_outstanding_;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  if (state_ == State::kHalfOpen) {
+    if (probes_outstanding_ > 0) --probes_outstanding_;
+    if (++probe_successes_ >= options_.half_open_probes) {
+      state_ = State::kClosed;
+      probes_outstanding_ = 0;
+      probe_successes_ = 0;
+    }
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++consecutive_failures_;
+  if (state_ == State::kHalfOpen ||
+      (state_ == State::kClosed &&
+       consecutive_failures_ >= options_.failure_threshold)) {
+    state_ = State::kOpen;
+    opened_at_ms_ = now_ms_();
+    probes_outstanding_ = 0;
+    probe_successes_ = 0;
+  }
+}
+
+void CircuitBreaker::CancelProbe() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kHalfOpen && probes_outstanding_ > 0) {
+    --probes_outstanding_;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+int CircuitBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return consecutive_failures_;
+}
+
+const char* BreakerStateName(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+BreakerBoard::BreakerBoard(CircuitBreakerOptions options,
+                           std::function<double()> now_ms)
+    : options_(options), now_ms_(std::move(now_ms)) {}
+
+CircuitBreaker& BreakerBoard::ForBackend(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<CircuitBreaker>& slot = breakers_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<CircuitBreaker>(options_, now_ms_);
+  }
+  return *slot;
+}
+
+std::vector<std::string> BreakerBoard::BackendNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(breakers_.size());
+  for (const auto& [name, breaker] : breakers_) names.push_back(name);
+  return names;
+}
+
+}  // namespace gputc

@@ -1,0 +1,98 @@
+#ifndef GPUTC_SERVICE_CIRCUIT_BREAKER_H_
+#define GPUTC_SERVICE_CIRCUIT_BREAKER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gputc {
+
+/// Tuning of one breaker. The defaults suit the batch service's per-backend
+/// breakers: a backend (counter algorithm) that fails a few requests in a row
+/// is benched briefly instead of burning an attempt of every later request.
+struct CircuitBreakerOptions {
+  /// Consecutive recorded failures that trip the breaker open.
+  int failure_threshold = 3;
+  /// How long an open breaker refuses traffic before letting probes through.
+  double open_cooldown_ms = 250.0;
+  /// Successful half-open probes required to close again. Also caps how many
+  /// probes may be in flight at once, so a half-open backend is trialled by a
+  /// trickle, not a stampede.
+  int half_open_probes = 1;
+};
+
+/// Classic three-state circuit breaker, thread-safe.
+///
+///   closed ──(failure_threshold consecutive failures)──> open
+///   open ──(open_cooldown_ms elapsed, next Allow)──> half-open
+///   half-open ──(half_open_probes successes)──> closed
+///   half-open ──(any failure)──> open (cooldown restarts)
+///
+/// Callers ask Allow() before using the backend and report the outcome with
+/// RecordSuccess/RecordFailure. The clock is injectable so tests drive the
+/// open -> half-open transition deterministically.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(CircuitBreakerOptions options = {},
+                          std::function<double()> now_ms = {});
+
+  /// True when the backend may be tried now. An expired cooldown flips the
+  /// breaker to half-open as a side effect; in half-open, at most
+  /// `half_open_probes` unresolved grants are outstanding at a time.
+  bool Allow();
+
+  /// Reports the outcome of a granted attempt.
+  void RecordSuccess();
+  void RecordFailure();
+
+  /// Returns an Allow() grant that was never exercised (the fallback chain
+  /// succeeded before reaching this backend), so a half-open breaker does
+  /// not leak its probe quota and wedge refusing forever.
+  void CancelProbe();
+
+  State state() const;
+  int consecutive_failures() const;
+
+ private:
+  const CircuitBreakerOptions options_;
+  const std::function<double()> now_ms_;
+
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  double opened_at_ms_ = 0.0;
+  int probes_outstanding_ = 0;
+  int probe_successes_ = 0;
+};
+
+/// Stable lower-case name ("closed", "open", "half-open").
+const char* BreakerStateName(CircuitBreaker::State state);
+
+/// One breaker per backend name, created on first use. References handed out
+/// stay valid for the board's lifetime; the breakers themselves are
+/// thread-safe, so workers share them freely.
+class BreakerBoard {
+ public:
+  explicit BreakerBoard(CircuitBreakerOptions options = {},
+                        std::function<double()> now_ms = {});
+
+  CircuitBreaker& ForBackend(const std::string& name);
+
+  /// Names with a breaker, in lexicographic order (for reporting).
+  std::vector<std::string> BackendNames() const;
+
+ private:
+  const CircuitBreakerOptions options_;
+  const std::function<double()> now_ms_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<CircuitBreaker>> breakers_;
+};
+
+}  // namespace gputc
+
+#endif  // GPUTC_SERVICE_CIRCUIT_BREAKER_H_

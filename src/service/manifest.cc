@@ -1,0 +1,211 @@
+#include "service/manifest.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "util/failpoint.h"
+
+namespace gputc {
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Splits "k1=v1,k2=v2" into a map; InvalidArgument on a malformed pair.
+Status ParseParams(std::string_view spec,
+                   std::map<std::string, std::string>* out) {
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    size_t end = spec.find(',', begin);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view pair = Trim(spec.substr(begin, end - begin));
+    begin = end + 1;
+    if (pair.empty()) continue;
+    const size_t eq = pair.find('=');
+    if (eq == std::string_view::npos || eq == 0 || eq == pair.size() - 1) {
+      return InvalidArgumentError("malformed parameter '" + std::string(pair) +
+                                  "' (expected key=value)");
+    }
+    (*out)[std::string(Trim(pair.substr(0, eq)))] =
+        std::string(Trim(pair.substr(eq + 1)));
+  }
+  return OkStatus();
+}
+
+Status ParseStrictDouble(const std::string& raw, const std::string& what,
+                         double* out) {
+  char* end = nullptr;
+  *out = std::strtod(raw.c_str(), &end);
+  if (raw.empty() || end == raw.c_str() || *end != '\0') {
+    return InvalidArgumentError(what + " value '" + raw +
+                                "' is not a number");
+  }
+  return OkStatus();
+}
+
+/// Parses one non-comment manifest line into a request (sans id).
+Status ParseLine(std::string_view line, BatchRequest* request) {
+  std::istringstream tokens{std::string(line)};
+  std::string source;
+  tokens >> source;
+  request->source = source;
+
+  if (source.rfind("dataset:", 0) == 0) {
+    request->kind = BatchRequest::Kind::kDataset;
+    request->target = source.substr(8);
+  } else if (source.rfind("file:", 0) == 0) {
+    request->kind = BatchRequest::Kind::kFile;
+    request->target = source.substr(5);
+  } else if (source.rfind("gen:", 0) == 0) {
+    request->kind = BatchRequest::Kind::kGenerate;
+    const std::string rest = source.substr(4);
+    const size_t colon = rest.find(':');
+    request->target = rest.substr(0, colon);
+    if (colon != std::string::npos) {
+      GPUTC_RETURN_IF_ERROR(ParseParams(rest.substr(colon + 1),
+                                        &request->params));
+    }
+    if (request->target != "rmat" && request->target != "powerlaw" &&
+        request->target != "er" && request->target != "ws") {
+      return InvalidArgumentError("unknown generator family '" +
+                                  request->target +
+                                  "'; valid choices: rmat powerlaw er ws");
+    }
+  } else if (source.find('/') != std::string::npos ||
+             source.find('.') != std::string::npos) {
+    request->kind = BatchRequest::Kind::kFile;
+    request->target = source;
+  } else {
+    request->kind = BatchRequest::Kind::kDataset;
+    request->target = source;
+  }
+  if (request->target.empty()) {
+    return InvalidArgumentError("empty source in '" + std::string(line) + "'");
+  }
+
+  std::string override_token;
+  while (tokens >> override_token) {
+    const size_t eq = override_token.find('=');
+    if (eq == std::string::npos || eq == 0 || eq == override_token.size() - 1) {
+      return InvalidArgumentError("malformed override '" + override_token +
+                                  "' (expected key=value)");
+    }
+    const std::string key = override_token.substr(0, eq);
+    const std::string value = override_token.substr(eq + 1);
+    if (key == "timeout-ms") {
+      GPUTC_RETURN_IF_ERROR(
+          ParseStrictDouble(value, "timeout-ms", &request->timeout_ms));
+      if (request->timeout_ms < 0.0) {
+        return InvalidArgumentError("timeout-ms must be >= 0, got " + value);
+      }
+    } else if (key == "fallback") {
+      request->fallback = value;
+    } else {
+      return InvalidArgumentError("unknown override key '" + key +
+                                  "'; valid keys: timeout-ms fallback");
+    }
+  }
+  return OkStatus();
+}
+
+int64_t GetIntParam(const std::map<std::string, std::string>& params,
+                    const std::string& key, int64_t def) {
+  const auto it = params.find(key);
+  if (it == params.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double GetDoubleParam(const std::map<std::string, std::string>& params,
+                      const std::string& key, double def) {
+  const auto it = params.find(key);
+  if (it == params.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+}  // namespace
+
+StatusOr<std::vector<BatchRequest>> ParseManifest(std::istream& in) {
+  std::vector<BatchRequest> requests;
+  std::string raw;
+  int line_number = 0;
+  while (std::getline(in, raw)) {
+    ++line_number;
+    const std::string_view line = Trim(raw);
+    if (line.empty() || line.front() == '#' || line.front() == '%') continue;
+    BatchRequest request;
+    const Status parsed = ParseLine(line, &request);
+    if (!parsed.ok()) {
+      return parsed.WithContext("manifest line " + std::to_string(line_number));
+    }
+    request.id = std::to_string(line_number) + ":" + request.source;
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+StatusOr<std::vector<BatchRequest>> LoadManifest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return NotFoundError("cannot open manifest '" + path + "'");
+  }
+  StatusOr<std::vector<BatchRequest>> requests = ParseManifest(in);
+  if (!requests.ok()) {
+    return requests.status().WithContext("manifest '" + path + "'");
+  }
+  return requests;
+}
+
+StatusOr<Graph> MaterializeRequest(const BatchRequest& request) {
+  switch (request.kind) {
+    case BatchRequest::Kind::kDataset:
+      return TryLoadDataset(request.target);
+    case BatchRequest::Kind::kFile:
+      return LoadGraph(request.target);
+    case BatchRequest::Kind::kGenerate:
+      break;
+  }
+  // Generated inputs pass the same "io.load" site as file loads, so one
+  // chaos schedule covers every manifest source kind.
+  GPUTC_INJECT_FAULT("io.load");
+  const std::map<std::string, std::string>& p = request.params;
+  const uint64_t seed = static_cast<uint64_t>(GetIntParam(p, "seed", 1));
+  if (request.target == "rmat") {
+    return TryGenerateRmat(static_cast<int>(GetIntParam(p, "scale", 8)),
+                           static_cast<int>(GetIntParam(p, "edge-factor", 8)),
+                           seed);
+  }
+  if (request.target == "powerlaw") {
+    return TryGeneratePowerLawConfiguration(
+        static_cast<VertexId>(GetIntParam(p, "nodes", 1000)),
+        GetDoubleParam(p, "gamma", 2.1),
+        static_cast<EdgeCount>(GetIntParam(p, "min-degree", 2)),
+        static_cast<EdgeCount>(GetIntParam(p, "max-degree", 100)), seed);
+  }
+  if (request.target == "er") {
+    return TryGenerateErdosRenyi(
+        static_cast<VertexId>(GetIntParam(p, "nodes", 1000)),
+        static_cast<EdgeCount>(GetIntParam(p, "edges", 5000)), seed);
+  }
+  if (request.target == "ws") {
+    return TryGenerateWattsStrogatz(
+        static_cast<VertexId>(GetIntParam(p, "nodes", 1000)),
+        static_cast<int>(GetIntParam(p, "k", 4)),
+        GetDoubleParam(p, "beta", 0.05), seed);
+  }
+  return InvalidArgumentError("unknown generator family '" + request.target +
+                              "'");
+}
+
+}  // namespace gputc

@@ -1,0 +1,70 @@
+#ifndef GPUTC_SERVICE_MANIFEST_H_
+#define GPUTC_SERVICE_MANIFEST_H_
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace gputc {
+
+/// One request of a batch manifest: which graph to count triangles on, plus
+/// optional per-request policy overrides.
+struct BatchRequest {
+  /// Stable journal key: "<line>:<source>" — unique even when the same
+  /// source appears on several manifest lines.
+  std::string id;
+  /// The source token as written in the manifest.
+  std::string source;
+
+  enum class Kind { kDataset, kFile, kGenerate };
+  Kind kind = Kind::kDataset;
+
+  /// Dataset name (kDataset), path (kFile), or family (kGenerate:
+  /// rmat | powerlaw | er | ws).
+  std::string target;
+  /// Generator parameters (kGenerate), e.g. {"scale","9"},{"seed","3"}.
+  std::map<std::string, std::string> params;
+
+  /// Per-request overrides; negative / empty means "use the batch default".
+  double timeout_ms = -1.0;
+  std::string fallback;
+};
+
+// Manifest format: one request per line.
+//
+//   # comment (also '%'), blank lines ignored
+//   dataset:email-Eucore
+//   email-Eucore                     (no ':' and no '/' or '.' -> dataset)
+//   file:graphs/g1.txt
+//   graphs/g2.bin                    (a '/' or '.' -> file path)
+//   gen:rmat:scale=9,edge-factor=8,seed=3
+//   gen:powerlaw:nodes=400,gamma=2.1,min-degree=2,max-degree=60,seed=7
+//   gen:er:nodes=1000,edges=5000,seed=1
+//   gen:ws:nodes=1000,k=4,beta=0.05,seed=1
+//
+// A source may be followed by whitespace-separated per-request overrides:
+//
+//   dataset:gowalla timeout-ms=250 fallback=Hu,cpu
+//
+// Parsing is strict: unknown generator families, malformed key=value pairs,
+// and unknown override keys fail with InvalidArgument naming the line.
+
+/// Parses a manifest stream. The returned requests keep manifest order.
+StatusOr<std::vector<BatchRequest>> ParseManifest(std::istream& in);
+
+/// Loads and parses a manifest file; NotFound when it cannot be opened.
+StatusOr<std::vector<BatchRequest>> LoadManifest(const std::string& path);
+
+/// Loads or generates the graph a request names. Generation parameters are
+/// validated (Try* generators); files go through the standard loaders. The
+/// "io.load" fail point is armed on every path, so batch chaos schedules can
+/// inject load faults per request.
+StatusOr<Graph> MaterializeRequest(const BatchRequest& request);
+
+}  // namespace gputc
+
+#endif  // GPUTC_SERVICE_MANIFEST_H_

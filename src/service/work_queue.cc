@@ -1,0 +1,25 @@
+#include "service/work_queue.h"
+
+namespace gputc {
+
+const char* ShedPolicyName(ShedPolicy policy) {
+  switch (policy) {
+    case ShedPolicy::kBlock:
+      return "block";
+    case ShedPolicy::kReject:
+      return "reject";
+    case ShedPolicy::kDropOldest:
+      return "drop-oldest";
+  }
+  return "unknown";
+}
+
+StatusOr<ShedPolicy> ParseShedPolicy(std::string_view spec) {
+  if (spec == "block") return ShedPolicy::kBlock;
+  if (spec == "reject") return ShedPolicy::kReject;
+  if (spec == "drop-oldest") return ShedPolicy::kDropOldest;
+  return InvalidArgumentError("unknown shed policy '" + std::string(spec) +
+                              "'; valid choices: block reject drop-oldest");
+}
+
+}  // namespace gputc

@@ -1,0 +1,153 @@
+#ifndef GPUTC_SERVICE_WORK_QUEUE_H_
+#define GPUTC_SERVICE_WORK_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gputc {
+
+/// What a full queue does with the next Push: make the producer wait, refuse
+/// the new item, or evict the oldest queued item to make room. The policy the
+/// batch service exposes as --shed-policy.
+enum class ShedPolicy {
+  kBlock,      // Push blocks until a worker frees a slot (backpressure).
+  kReject,     // Push fails fast with ResourceExhausted (load shedding).
+  kDropOldest  // Push succeeds; the oldest queued item is returned as shed.
+};
+
+/// Stable lower-case name ("block", "reject", "drop-oldest").
+const char* ShedPolicyName(ShedPolicy policy);
+
+/// Parses a --shed-policy value; InvalidArgument lists the valid choices.
+StatusOr<ShedPolicy> ParseShedPolicy(std::string_view spec);
+
+/// Bounded multi-producer multi-consumer FIFO with a pluggable overload
+/// policy and drain semantics. All members are thread-safe.
+///
+/// Lifecycle: producers Push until Close() (after which every Push fails with
+/// FailedPrecondition, including producers already blocked in a kBlock wait);
+/// consumers Pop until the queue is closed AND empty, then receive nullopt.
+/// FlushPending hands back whatever never reached a worker so a draining
+/// caller can account for every item it accepted.
+template <typename T>
+class WorkQueue {
+ public:
+  /// Outcome of one Push. `status` is OK when the item was accepted;
+  /// `shed` carries the evicted victim under kDropOldest, which the caller
+  /// must account for (the service journals it as rejected).
+  struct PushResult {
+    Status status;
+    std::optional<T> shed;
+  };
+
+  WorkQueue(size_t capacity, ShedPolicy policy)
+      : capacity_(capacity == 0 ? 1 : capacity), policy_(policy) {}
+
+  WorkQueue(const WorkQueue&) = delete;
+  WorkQueue& operator=(const WorkQueue&) = delete;
+
+  PushResult Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (policy_ == ShedPolicy::kBlock) {
+      not_full_.wait(lock,
+                     [this] { return closed_ || items_.size() < capacity_; });
+    }
+    PushResult result;
+    if (closed_) {
+      result.status = FailedPreconditionError("work queue is closed");
+      return result;
+    }
+    if (items_.size() >= capacity_) {
+      switch (policy_) {
+        case ShedPolicy::kBlock:
+          break;  // Unreachable: the wait above guaranteed a slot.
+        case ShedPolicy::kReject:
+          result.status = ResourceExhaustedError(
+              "work queue is full (" + std::to_string(capacity_) +
+              " queued); request rejected by shed policy 'reject'");
+          return result;
+        case ShedPolicy::kDropOldest:
+          result.shed = std::move(items_.front());
+          items_.pop_front();
+          break;
+      }
+    }
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return result;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained;
+  /// nullopt means "no more work, ever" — the worker exit signal.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> item(std::move(items_.front()));
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Stops intake: every subsequent (or currently blocked) Push fails.
+  /// Already-queued items still drain through Pop.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  /// Removes every queued-but-unstarted item (for drain accounting). Usually
+  /// called after Close(); items pushed afterwards would drain normally.
+  std::vector<T> FlushPending() {
+    std::vector<T> flushed;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      flushed.reserve(items_.size());
+      while (!items_.empty()) {
+        flushed.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+    }
+    not_full_.notify_all();
+    return flushed;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t capacity() const { return capacity_; }
+  ShedPolicy policy() const { return policy_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  const size_t capacity_;
+  const ShedPolicy policy_;
+  bool closed_ = false;
+};
+
+}  // namespace gputc
+
+#endif  // GPUTC_SERVICE_WORK_QUEUE_H_

@@ -26,6 +26,12 @@ enum class TcAlgorithm {
 std::string ToString(TcAlgorithm algorithm);
 
 /// Constructs the counter for `algorithm`.
+///
+/// Thread safety: the registry holds no mutable state — every call returns a
+/// freshly constructed counter, and the counters themselves keep all their
+/// state per instance. Concurrent batch-service workers therefore call this
+/// freely; the contract is pinned by the multi-threaded fault-matrix test in
+/// tests/executor_test.cc, and the whole suite runs under TSan in CI.
 std::unique_ptr<SimTriangleCounter> MakeCounter(TcAlgorithm algorithm);
 
 /// The paper's five comparative methods (Section 6.1), binary-search

@@ -31,6 +31,12 @@ class Deadline {
     return d;
   }
 
+  /// The earlier of two deadlines — how layered budgets compose (e.g. a
+  /// request deadline under a service-wide drain deadline).
+  static Deadline Earlier(Deadline a, Deadline b) {
+    return a.when_ <= b.when_ ? a : b;
+  }
+
   bool is_infinite() const { return when_ == Clock::time_point::max(); }
 
   bool expired() const { return !is_infinite() && Clock::now() >= when_; }

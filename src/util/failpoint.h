@@ -15,8 +15,10 @@ namespace gputc {
 // RocksDB-style named fail points for fault-injection testing.
 //
 // Sites are compiled into production binaries at the failure boundaries the
-// executor must recover from (io, preprocessing, the counters, the sim
-// memory model). Evaluation is double-gated so a site costs one relaxed
+// executor must recover from (io.load, preprocess, sim.memory, the tc.*
+// counter entries and tc.block/tc.cpu loop polls) and the boundaries the
+// batch service sheds at (service.enqueue, service.admit, service.worker).
+// Evaluation is double-gated so a site costs one relaxed
 // atomic load when idle: the process-wide registry must have at least one
 // armed point or observer, AND the calling thread must be inside a
 // FailPointScope — the executor opens one around every run, so injections

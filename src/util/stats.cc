@@ -1,6 +1,7 @@
 #include "util/stats.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "util/logging.h"
@@ -79,8 +80,12 @@ void Histogram::Add(double value) {
   int idx =
       static_cast<int>((value - lo_) / (hi_ - lo_) * static_cast<double>(n));
   idx = std::clamp(idx, 0, n - 1);
-  ++counts_[static_cast<size_t>(idx)];
-  ++total_;
+  // Concurrent workers share one histogram; plain ++ would race, so the
+  // accumulators are bumped atomically (relaxed — readers only look after
+  // every writer has joined).
+  std::atomic_ref<int64_t>(counts_[static_cast<size_t>(idx)])
+      .fetch_add(1, std::memory_order_relaxed);
+  std::atomic_ref<int64_t>(total_).fetch_add(1, std::memory_order_relaxed);
 }
 
 double Histogram::BucketLo(int i) const {
@@ -100,6 +105,43 @@ double PearsonCorrelation(const std::vector<double>& xs,
   }
   cov /= static_cast<double>(xs.size());
   return cov / (sx.stddev * sy.stddev);
+}
+
+double Percentile(std::vector<double> values, double pct) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double clamped = std::clamp(pct, 0.0, 100.0);
+  const double rank =
+      clamped / 100.0 * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+void LatencyRecorder::Record(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.push_back(value);
+}
+
+int64_t LatencyRecorder::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(samples_.size());
+}
+
+Summary LatencyRecorder::Summarize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ::gputc::Summarize(samples_);
+}
+
+double LatencyRecorder::PercentileValue(double pct) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ::gputc::Percentile(samples_, pct);
+}
+
+std::vector<double> LatencyRecorder::Samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
 }
 
 }  // namespace gputc

@@ -2,6 +2,7 @@
 #define GPUTC_UTIL_STATS_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 namespace gputc {
@@ -33,7 +34,10 @@ struct LinearFit {
 LinearFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys);
 
 /// Fixed-width histogram over [lo, hi) with `buckets` buckets; values outside
-/// the range are clamped into the first/last bucket.
+/// the range are clamped into the first/last bucket. Add is safe to call
+/// concurrently (lock-free atomic increments); the readers are meant for
+/// after the recording phase and see a consistent snapshot only once all
+/// writers are done.
 class Histogram {
  public:
   Histogram(double lo, double hi, int buckets);
@@ -59,6 +63,28 @@ class Histogram {
 /// degenerate input.
 double PearsonCorrelation(const std::vector<double>& xs,
                           const std::vector<double>& ys);
+
+/// The `pct`-th percentile (0..100) by linear interpolation between order
+/// statistics; 0 for an empty sample. Takes a copy because it sorts.
+double Percentile(std::vector<double> values, double pct);
+
+/// Mutex-guarded sample accumulator for concurrent writers — the batch
+/// service's workers record per-request latencies into one of these, and the
+/// throughput bench reads the percentiles afterwards. All members are
+/// thread-safe.
+class LatencyRecorder {
+ public:
+  void Record(double value);
+
+  int64_t count() const;
+  Summary Summarize() const;
+  double PercentileValue(double pct) const;
+  std::vector<double> Samples() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
+};
 
 }  // namespace gputc
 

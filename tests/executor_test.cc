@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/executor.h"
@@ -287,6 +289,62 @@ TEST(ParseFallbackChainTest, UnknownStageListsChoices) {
   EXPECT_NE(chain.status().ToString().find("valid choices"),
             std::string::npos);
   EXPECT_NE(chain.status().ToString().find("cpu"), std::string::npos);
+}
+
+TEST(ParseFallbackChainTest, DuplicateStageIsRejected) {
+  // Names normalize case-insensitively, so "hu,Hu" is the same backend twice
+  // — a chain that would retry a failed stage against itself.
+  const StatusOr<std::vector<FallbackStage>> gpu_dup =
+      ParseFallbackChain("hu,Hu");
+  ASSERT_FALSE(gpu_dup.ok());
+  EXPECT_EQ(gpu_dup.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(gpu_dup.status().ToString().find("duplicate"), std::string::npos);
+
+  const StatusOr<std::vector<FallbackStage>> cpu_dup =
+      ParseFallbackChain("cpu,cpu");
+  ASSERT_FALSE(cpu_dup.ok());
+  EXPECT_EQ(cpu_dup.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(cpu_dup.status().ToString().find("duplicate"), std::string::npos);
+
+  // Distinct backends that share a fail-point site (both Gunrock variants)
+  // are still different stages and must coexist.
+  EXPECT_TRUE(ParseFallbackChain("Gunrock-bs,Gunrock-sm,cpu").ok());
+}
+
+TEST_F(ExecutorTest, ConcurrentFaultMatrixIsThreadSafe) {
+  // The batch service runs many ExecuteResilient calls at once against one
+  // process-wide fail-point registry; this pins the whole path (registry
+  // evaluation, counters, preprocessing, fallback) as data-race free. Every
+  // counter entry site is armed so all threads keep hitting the registry
+  // while they fall back, and each thread must still land on the exact cpu
+  // count. Run under TSan in CI.
+  std::string schedule;
+  for (TcAlgorithm algorithm : PaperAlgorithms()) {
+    if (!schedule.empty()) schedule += ";";
+    schedule += CounterSite(algorithm) + "=internal";
+  }
+  ASSERT_TRUE(FailPointRegistry::Instance().ArmFromString(schedule).ok());
+
+  constexpr int kThreads = 8;
+  std::atomic<int> correct{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  const std::vector<TcAlgorithm> algorithms = PaperAlgorithms();
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const TcAlgorithm algorithm = algorithms[t % algorithms.size()];
+      ExecutionTrace trace;
+      const StatusOr<ExecutionResult> result =
+          ExecuteResilient(g_, spec_, ExecutionPolicy{}, GpuThenCpu(algorithm),
+                           PreprocessOptions{}, &trace);
+      if (result.ok() && result->stage == "cpu" &&
+          result->run.triangles == expected_ && trace.attempts.size() == 4u) {
+        correct.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(correct.load(), kThreads);
 }
 
 TEST(ParseFallbackChainTest, EmptyChainIsRejected) {

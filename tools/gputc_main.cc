@@ -9,22 +9,34 @@
 //               [--max-model-ms N] [--mem-budget-mb N] [--fallback Hu,cpu]
 //               [--trace]
 //   gputc doctor --in g.txt [--repair --out fixed.bin]
+//   gputc batch --manifest jobs.txt [--jobs N] [--queue-depth Q]
+//               [--mem-budget-mb M] [--shed-policy block|reject|drop-oldest]
+//               [--timeout-ms N] [--drain-grace-ms N] [--fallback Hu,cpu]
+//               [--journal FILE]
 //   gputc calibrate                      print the Section 5.3 calibration
 //
 // Exit codes (documented contract, also in README.md):
-//   0  success
+//   0  success (batch: every request counted, possibly degraded)
 //   1  runtime failure (cannot write output, internal error)
 //   2  usage error (unknown command/flag value, missing required flag)
 //   3  invalid input (missing/corrupt/rejected input file or dataset)
-//   4  exhausted (deadline, memory budget or every fallback stage spent)
+//   4  exhausted (deadline, memory budget or every fallback stage spent;
+//      batch: no request produced a count)
+//   5  partial batch failure (some requests counted, others were rejected
+//      or failed — see the journal)
 
+#include <atomic>
+#include <csignal>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "core/executor.h"
 #include "core/pipeline.h"
+#include "service/batch_service.h"
 #include "graph/datasets.h"
 #include "graph/generators.h"
 #include "graph/graph_stats.h"
@@ -44,6 +56,7 @@ constexpr int kExitRuntime = 1;
 constexpr int kExitUsage = 2;
 constexpr int kExitBadInput = 3;
 constexpr int kExitExhausted = 4;
+constexpr int kExitPartial = 5;
 
 int Usage() {
   std::cerr
@@ -62,10 +75,17 @@ int Usage() {
          "  doctor     --in FILE [--repair --out FILE]: scan for (and "
          "optionally\n"
          "             repair) self loops, duplicates, and structural damage\n"
+         "  batch      --manifest FILE [--jobs N] [--queue-depth Q]\n"
+         "             [--mem-budget-mb M] [--shed-policy "
+         "block|reject|drop-oldest]\n"
+         "             [--timeout-ms N] [--drain-grace-ms N]\n"
+         "             [--fallback A1,...,cpu] [--journal FILE]: run every\n"
+         "             manifest request through a concurrent batch service\n"
          "  calibrate  print BW(d), p_c(d) and lambda for the device model\n"
          "exit codes: 0 ok, 1 runtime failure, 2 usage, 3 invalid input,\n"
          "            4 exhausted (deadline/budget spent after all "
-         "fallbacks)\n";
+         "fallbacks;\n"
+         "            batch: nothing counted), 5 partial batch failure\n";
   return kExitUsage;
 }
 
@@ -389,6 +409,151 @@ int CmdDoctor(const FlagParser& flags) {
   return kExitOk;
 }
 
+// -- batch ------------------------------------------------------------------
+
+/// Set by the SIGINT/SIGTERM handler. Plain signal-safe flag; the actual
+/// drain (which takes locks) runs on the watcher thread below.
+std::atomic<int> g_batch_signal{0};
+
+void BatchSignalHandler(int sig) {
+  g_batch_signal.store(sig, std::memory_order_relaxed);
+}
+
+int CmdBatch(const FlagParser& flags) {
+  if (!flags.Has("manifest")) {
+    std::cerr << "need --manifest FILE\n";
+    return kExitUsage;
+  }
+
+  const auto jobs = ParseNumericFlag(flags, "jobs", 4.0);
+  const auto queue_depth = ParseNumericFlag(flags, "queue-depth", 16.0);
+  const auto mem_budget_mb = ParseNumericFlag(flags, "mem-budget-mb", 0.0);
+  const auto timeout_ms = ParseNumericFlag(flags, "timeout-ms", 0.0);
+  const auto drain_grace_ms = ParseNumericFlag(flags, "drain-grace-ms", 1000.0);
+  if (!jobs || !queue_depth || !mem_budget_mb || !timeout_ms ||
+      !drain_grace_ms) {
+    return kExitUsage;
+  }
+  if (*jobs < 1.0 || *jobs > 256.0 || *queue_depth < 1.0) {
+    std::cerr << "--jobs must be in [1, 256] and --queue-depth >= 1\n";
+    return kExitUsage;
+  }
+
+  StatusOr<ShedPolicy> shed =
+      ParseShedPolicy(flags.GetString("shed-policy", "block"));
+  if (!shed.ok()) {
+    std::cerr << shed.status().message() << "\n";
+    return kExitUsage;
+  }
+
+  BatchServiceOptions options;
+  options.jobs = static_cast<int>(*jobs);
+  options.queue_depth = static_cast<size_t>(*queue_depth);
+  options.shed_policy = *shed;
+  options.mem_budget_bytes =
+      static_cast<int64_t>(*mem_budget_mb * 1024.0 * 1024.0);
+  options.request_timeout_ms = *timeout_ms;
+  options.drain_grace_ms = *drain_grace_ms;
+  if (flags.Has("fallback")) {
+    StatusOr<std::vector<FallbackStage>> parsed =
+        ParseFallbackChain(flags.GetString("fallback", ""));
+    if (!parsed.ok()) {
+      std::cerr << parsed.status().message() << "\n";
+      return kExitUsage;
+    }
+    options.chain = *std::move(parsed);
+  }
+
+  StatusOr<std::vector<BatchRequest>> manifest =
+      LoadManifest(flags.GetString("manifest", ""));
+  if (!manifest.ok()) return ReportInputError(manifest.status());
+  if (manifest->empty()) {
+    std::cout << "manifest is empty; nothing to do\n";
+    return kExitOk;
+  }
+
+  // The journal streams as JSONL: one line per finished request, to stdout
+  // by default or to --journal FILE.
+  std::ofstream journal_file;
+  std::ostream* journal = &std::cout;
+  const std::string journal_path = flags.GetString("journal", "-");
+  if (journal_path != "-") {
+    journal_file.open(journal_path);
+    if (!journal_file) {
+      std::cerr << "error: cannot open journal file '" << journal_path
+                << "'\n";
+      return kExitRuntime;
+    }
+    journal = &journal_file;
+  }
+
+  BatchService service(options);
+  std::mutex journal_stream_mu;
+  service.set_on_report([&](const RequestReport& report) {
+    std::lock_guard<std::mutex> lock(journal_stream_mu);
+    (*journal) << report.ToJson() << "\n";
+    journal->flush();
+  });
+
+  // SIGINT/SIGTERM request a graceful drain. The handler only sets a flag; a
+  // watcher thread polls it and calls RequestDrain, which needs locks the
+  // handler must not take.
+  g_batch_signal.store(0, std::memory_order_relaxed);
+  auto prev_int = std::signal(SIGINT, BatchSignalHandler);
+  auto prev_term = std::signal(SIGTERM, BatchSignalHandler);
+  std::atomic<bool> watcher_stop{false};
+  std::thread watcher([&service, &watcher_stop] {
+    while (!watcher_stop.load(std::memory_order_acquire)) {
+      const int sig = g_batch_signal.load(std::memory_order_relaxed);
+      if (sig != 0) {
+        service.RequestDrain(sig == SIGINT ? "SIGINT" : "SIGTERM");
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  service.Start();
+  for (BatchRequest& request : *manifest) {
+    service.Submit(std::move(request));
+  }
+  BatchSummary summary = service.Finish();
+
+  watcher_stop.store(true, std::memory_order_release);
+  watcher.join();
+  std::signal(SIGINT, prev_int);
+  std::signal(SIGTERM, prev_term);
+
+  // Human-readable recap on stderr so a journal piped from stdout stays pure.
+  std::cerr << "batch: " << summary.reports.size() << " requests — "
+            << summary.CountOutcome(RequestOutcome::kOk) << " ok, "
+            << summary.CountOutcome(RequestOutcome::kDegraded)
+            << " degraded, "
+            << summary.CountOutcome(RequestOutcome::kRejected)
+            << " rejected, " << summary.CountOutcome(RequestOutcome::kFailed)
+            << " failed\n";
+  if (summary.drained) {
+    std::cerr << "batch: drained early (" << summary.drain_reason << ")\n";
+  }
+  for (const std::string& backend : service.breakers().BackendNames()) {
+    const CircuitBreaker& breaker = service.breakers().ForBackend(backend);
+    if (breaker.state() != CircuitBreaker::State::kClosed) {
+      std::cerr << "batch: breaker '" << backend << "' is "
+                << BreakerStateName(breaker.state()) << "\n";
+    }
+  }
+
+  if (summary.reports.size() != manifest->size()) {
+    // Accounting invariant: every submitted request journals exactly once.
+    std::cerr << "error: journal incomplete (" << summary.reports.size()
+              << " of " << manifest->size() << " requests)\n";
+    return kExitRuntime;
+  }
+  if (summary.AllSucceeded()) return kExitOk;
+  if (summary.NoneSucceeded()) return kExitExhausted;
+  return kExitPartial;
+}
+
 int CmdCalibrate() {
   const DeviceSpec spec = DeviceSpec::TitanXpLike();
   const CalibrationResult r = CalibrateResourceModel(spec);
@@ -414,6 +579,7 @@ int Main(int argc, char** argv) {
   if (command == "convert") return CmdConvert(flags);
   if (command == "count") return CmdCount(flags);
   if (command == "doctor") return CmdDoctor(flags);
+  if (command == "batch") return CmdBatch(flags);
   if (command == "calibrate") return CmdCalibrate();
   std::cerr << "unknown command '" << command << "'\n";
   return Usage();
