@@ -27,6 +27,11 @@ struct JobsResult {
   double requests_per_sec = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
+  // Stage attribution from the per-request timing block: where a request's
+  // latency went — waiting in the queue vs executing. At jobs=8 the
+  // interesting failure mode is queue wait growing while exec stays flat.
+  double queue_p99_ms = 0.0;
+  double materialize_p99_ms = 0.0;
 };
 
 /// The bench workload: a spread of generated graphs, each a few thousand
@@ -62,8 +67,12 @@ JobsResult RunAtConcurrency(int jobs, int request_count) {
   BatchService service(options);
 
   LatencyRecorder latencies;
-  service.set_on_report([&latencies](const RequestReport& report) {
+  LatencyRecorder queue_waits;
+  LatencyRecorder materializes;
+  service.set_on_report([&](const RequestReport& report) {
     latencies.Record(report.exec_ms);
+    queue_waits.Record(report.queue_ms);
+    materializes.Record(report.materialize_ms);
   });
 
   const auto started = std::chrono::steady_clock::now();
@@ -83,6 +92,8 @@ JobsResult RunAtConcurrency(int jobs, int request_count) {
       result.wall_ms > 0.0 ? 1000.0 * result.requests / result.wall_ms : 0.0;
   result.p50_ms = latencies.PercentileValue(50.0);
   result.p99_ms = latencies.PercentileValue(99.0);
+  result.queue_p99_ms = queue_waits.PercentileValue(99.0);
+  result.materialize_p99_ms = materializes.PercentileValue(99.0);
   if (!summary.AllSucceeded()) {
     std::cerr << "warning: " << summary.CountOutcome(RequestOutcome::kFailed)
               << " failed / " << summary.CountOutcome(RequestOutcome::kRejected)
@@ -101,12 +112,13 @@ void Main() {
     results.push_back(RunAtConcurrency(jobs, kRequests));
   }
 
-  TablePrinter table(
-      {"jobs", "requests", "wall ms", "req/s", "p50 ms", "p99 ms"});
+  TablePrinter table({"jobs", "requests", "wall ms", "req/s", "p50 ms",
+                      "p99 ms", "queue p99", "matz p99"});
   for (const JobsResult& r : results) {
     table.AddRow({std::to_string(r.jobs), std::to_string(r.requests),
                   Fmt(r.wall_ms, 1), Fmt(r.requests_per_sec, 1),
-                  Fmt(r.p50_ms, 2), Fmt(r.p99_ms, 2)});
+                  Fmt(r.p50_ms, 2), Fmt(r.p99_ms, 2), Fmt(r.queue_p99_ms, 2),
+                  Fmt(r.materialize_p99_ms, 2)});
   }
   table.Print(std::cout);
 
@@ -118,7 +130,9 @@ void Main() {
     json << "    {\"jobs\": " << r.jobs << ", \"requests_per_sec\": "
          << r.requests_per_sec << ", \"wall_ms\": " << r.wall_ms
          << ", \"p50_ms\": " << r.p50_ms << ", \"p99_ms\": " << r.p99_ms
-         << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+         << ", \"queue_p99_ms\": " << r.queue_p99_ms
+         << ", \"materialize_p99_ms\": " << r.materialize_p99_ms << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";
   std::cout << "\nwrote BENCH_service.json\n";

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "graph/validate.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tc/cpu_counters.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
@@ -74,6 +76,15 @@ const char* VariantName(int variant) {
 bool IsStopError(const Status& status) {
   return status.code() == StatusCode::kDeadlineExceeded ||
          status.code() == StatusCode::kCancelled;
+}
+
+void RecordAttempt(const AttemptRecord& record) {
+  MetricsRegistry::Global()
+      .GetCounter("gputc_attempts_total",
+                  "Executor attempts by fallback stage and outcome",
+                  {{"result", record.status.ok() ? "ok" : "error"},
+                   {"stage", record.stage}})
+      .Increment();
 }
 
 }  // namespace
@@ -165,12 +176,27 @@ StatusOr<ExecutionResult> ExecuteResilient(
     return InvalidArgumentError("fallback chain is empty");
   }
 
+  ExecContext ctx;
+  ctx.tracer = policy.tracer;
+  if (policy.tracer != nullptr) {
+    ctx.trace_id =
+        policy.trace_id != 0 ? policy.trace_id : policy.tracer->NewTraceId();
+    ctx.parent_span = policy.parent_span;
+  }
+
   // Validate once up front: every stage would see the same corrupt CSR, so
   // invalid input is terminal, not a fallback trigger.
-  const ValidationReport report = GraphDoctor().Examine(g);
-  if (!report.clean()) {
-    return report.ToStatus().WithContext(
-        "ExecuteResilient: input graph failed validation");
+  {
+    Span validate_span = StartSpan(ctx, "validate");
+    validate_span.SetAttr("vertices", static_cast<int64_t>(g.num_vertices()));
+    validate_span.SetAttr("edges", g.num_edges());
+    const ValidationReport report = GraphDoctor().Examine(g);
+    if (!report.clean()) {
+      Status bad = report.ToStatus().WithContext(
+          "ExecuteResilient: input graph failed validation");
+      validate_span.SetStatus(bad);
+      return bad;
+    }
   }
 
   if (policy.mem_budget_bytes > 0) {
@@ -183,7 +209,6 @@ StatusOr<ExecutionResult> ExecuteResilient(
     }
   }
 
-  ExecContext ctx;
   if (policy.timeout_ms > 0.0) {
     ctx.deadline = Deadline::AfterMillis(policy.timeout_ms);
   }
@@ -214,28 +239,38 @@ StatusOr<ExecutionResult> ExecuteResilient(
       if (!may_continue.ok()) {
         record.status = may_continue;
         trace.attempts.push_back(std::move(record));
+        RecordAttempt(trace.attempts.back());
         return may_continue.WithContext("execution stopped after " +
                                         std::to_string(trace.attempts.size()) +
                                         " attempt(s)");
       }
 
+      // One span per attempt: the fallback/degradation ladder is exactly
+      // the structure a trace viewer should show. Pipeline stage spans
+      // (direct/order/count) nest under it via the re-parented context.
+      Span attempt_span = StartSpan(ctx, "attempt");
+      attempt_span.SetAttr("stage", record.stage);
+      attempt_span.SetAttr("variant", record.variant);
+      const ExecContext attempt_ctx = WithSpan(ctx, attempt_span);
+
       Timer attempt_timer;
       StatusOr<RunResult> run = [&]() -> StatusOr<RunResult> {
         if (stage.is_cpu) {
           GPUTC_ASSIGN_OR_RETURN(const int64_t triangles,
-                                 TryCountTrianglesForward(g, ctx));
+                                 TryCountTrianglesForward(g, attempt_ctx));
           RunResult result;
           result.triangles = triangles;
           return result;
         }
         return RunTriangleCountWithContext(g, stage.algorithm, spec,
                                            DegradedOptions(base_options, variant),
-                                           ctx);
+                                           attempt_ctx);
       }();
       record.elapsed_ms = attempt_timer.ElapsedMillis();
 
       if (run.ok()) {
         record.model_ms = run->kernel_ms();
+        attempt_span.SetAttr("model_ms", record.model_ms);
         if (policy.max_model_ms > 0.0 &&
             run->kernel_ms() > policy.max_model_ms) {
           // The count is correct but the modelled device would miss its
@@ -244,23 +279,29 @@ StatusOr<ExecutionResult> ExecuteResilient(
               "modelled kernel time " + std::to_string(run->kernel_ms()) +
               " ms exceeds the ceiling of " +
               std::to_string(policy.max_model_ms) + " ms");
+          attempt_span.SetStatus(record.status);
           last_error = record.status;
           trace.attempts.push_back(std::move(record));
+          RecordAttempt(trace.attempts.back());
           continue;
         }
         record.status = OkStatus();
+        attempt_span.SetStatus(record.status);
         ExecutionResult result;
         result.run = *std::move(run);
         result.stage = record.stage;
         result.variant = record.variant;
         trace.attempts.push_back(std::move(record));
+        RecordAttempt(trace.attempts.back());
         return result;
       }
 
       record.status = run.status();
+      attempt_span.SetStatus(record.status);
       const bool stop = IsStopError(run.status());
       last_error = run.status();
       trace.attempts.push_back(std::move(record));
+      RecordAttempt(trace.attempts.back());
       if (stop) {
         return last_error.WithContext(
             "execution stopped after " +

@@ -43,6 +43,15 @@ struct ExecutionPolicy {
   /// signal handler's drain path) can stop the run from another thread; a
   /// default-constructed token never fires.
   CancelToken cancel;
+  /// Observability sink (optional, not owned). When set, the executor opens
+  /// a "validate" span for the up-front GraphDoctor pass and one "attempt"
+  /// span per stage x variant; pipeline stage spans nest under the attempt.
+  Tracer* tracer = nullptr;
+  /// Trace to join. Zero with a tracer set means "start a fresh trace".
+  uint64_t trace_id = 0;
+  /// Span the execution nests under (e.g. the batch service's per-request
+  /// root). Zero means top-level.
+  uint64_t parent_span = 0;
 };
 
 /// One stage of the fallback chain: a simulated GPU algorithm, or the exact

@@ -2,12 +2,30 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "order/calibration.h"
+#include "sim/profiler.h"
 #include "tc/fox.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
 namespace gputc {
+namespace {
+
+void RecordCountStage(TcAlgorithm algorithm, double ms) {
+  MetricsRegistry::Global()
+      .GetHistogram("gputc_stage_duration_ms",
+                    "Host wall-clock of one pipeline stage in milliseconds",
+                    0.0, 1000.0, 20, {{"stage", "count"}})
+      .Observe(ms);
+  MetricsRegistry::Global()
+      .GetCounter("gputc_counts_total", "Completed counting-kernel runs",
+                  {{"algorithm", ToString(algorithm)}})
+      .Increment();
+}
+
+}  // namespace
 
 RunResult RunTriangleCount(const Graph& g, TcAlgorithm algorithm,
                            const DeviceSpec& spec,
@@ -40,28 +58,51 @@ StatusOr<RunResult> RunTriangleCountWithContext(const Graph& g,
     }
     Timer edge_timer;
     const FoxCounter fox_for_order;
-    const std::vector<int64_t> edge_order =
-        fox_for_order.AOrderedEdgeOrder(result.preprocess.graph, model, spec);
+    std::vector<int64_t> edge_order;
+    {
+      Span order_span = StartSpan(ctx, "order");
+      order_span.SetAttr("strategy", "A-order(edges)");
+      edge_order =
+          fox_for_order.AOrderedEdgeOrder(result.preprocess.graph, model, spec);
+      order_span.SetAttr("arcs", static_cast<int64_t>(edge_order.size()));
+    }
     GPUTC_RETURN_IF_ERROR(ctx.CheckContinue("pipeline.edge_order"));
     result.preprocess.ordering_ms = edge_timer.ElapsedMillis();
     result.preprocess.total_ms =
         result.preprocess.direction_ms + result.preprocess.ordering_ms;
 
-    GPUTC_ASSIGN_OR_RETURN(const TcResult tc,
-                           fox_for_order.TryCountWithEdgeOrder(
-                               result.preprocess.graph, spec, edge_order, ctx));
+    Timer count_timer;
+    Span count_span = StartSpan(ctx, "count");
+    count_span.SetAttr("algorithm", ToString(algorithm));
+    GPUTC_ASSIGN_OR_RETURN(
+        const TcResult tc,
+        fox_for_order.TryCountWithEdgeOrder(result.preprocess.graph, spec,
+                                            edge_order,
+                                            WithSpan(ctx, count_span)));
     result.triangles = tc.triangles;
     result.kernel = tc.kernel;
+    count_span.SetAttr("triangles", result.triangles);
+    AnnotateSpanWithKernel(count_span, result.kernel);
+    count_span.Finish();
+    RecordCountStage(algorithm, count_timer.ElapsedMillis());
     return result;
   }
 
   GPUTC_ASSIGN_OR_RETURN(result.preprocess,
                          TryPreprocess(g, spec, options, ctx));
+  Timer count_timer;
+  Span count_span = StartSpan(ctx, "count");
+  count_span.SetAttr("algorithm", ToString(algorithm));
   GPUTC_ASSIGN_OR_RETURN(
       const TcResult tc,
-      MakeCounter(algorithm)->TryCount(result.preprocess.graph, spec, ctx));
+      MakeCounter(algorithm)->TryCount(result.preprocess.graph, spec,
+                                       WithSpan(ctx, count_span)));
   result.triangles = tc.triangles;
   result.kernel = tc.kernel;
+  count_span.SetAttr("triangles", result.triangles);
+  AnnotateSpanWithKernel(count_span, result.kernel);
+  count_span.Finish();
+  RecordCountStage(algorithm, count_timer.ElapsedMillis());
   return result;
 }
 

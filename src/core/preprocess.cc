@@ -5,12 +5,29 @@
 #include <utility>
 
 #include "direction/cost_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "order/calibration.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
 namespace gputc {
+namespace {
+
+/// Per-stage host-time histogram, shared with pipeline.cc's count stage via
+/// the stage label — the Prometheus view of the paper's load→...→count
+/// breakdown. Range covers microsecond-fast test graphs up to second-scale
+/// datasets; slower runs land in the +Inf bucket.
+void RecordStageMillis(const char* stage, double ms) {
+  MetricsRegistry::Global()
+      .GetHistogram("gputc_stage_duration_ms",
+                    "Host wall-clock of one pipeline stage in milliseconds",
+                    0.0, 1000.0, 20, {{"stage", stage}})
+      .Observe(ms);
+}
+
+}  // namespace
 
 PreprocessResult Preprocess(const Graph& g, const DeviceSpec& spec,
                             const PreprocessOptions& options) {
@@ -36,27 +53,43 @@ StatusOr<PreprocessResult> TryPreprocess(const Graph& g,
   result.lambda = model.lambda();
 
   Timer direction_timer;
-  const std::vector<VertexId> rank =
-      DirectionRank(g, options.direction, options.seed);
-  DirectedGraph directed = DirectedGraph::FromRank(g, rank);
-  result.direction_ms = direction_timer.ElapsedMillis();
-  result.direction_cost = DirectionCost(directed);
+  DirectedGraph directed;
+  {
+    Span direct_span = StartSpan(ctx, "direct");
+    direct_span.SetAttr("strategy", ToString(options.direction));
+    const ExecContext direct_ctx = WithSpan(ctx, direct_span);
+    const std::vector<VertexId> rank =
+        DirectionRank(g, options.direction, options.seed, &direct_ctx);
+    directed = DirectedGraph::FromRank(g, rank);
+    result.direction_ms = direction_timer.ElapsedMillis();
+    result.direction_cost = DirectionCost(directed);
+    direct_span.SetAttr("cost_eq1", result.direction_cost);
+    direct_span.SetAttr("ms", result.direction_ms);
+  }
+  RecordStageMillis("direct", result.direction_ms);
 
   Timer ordering_timer;
-  AOrderOptions aorder = options.aorder;
-  if (aorder.bucket_size <= 0) aorder.bucket_size = spec.threads_per_block();
-  aorder.exec = &ctx;
-  result.vertex_perm = ComputeOrdering(g, directed, options.ordering, model,
-                                       aorder, options.seed);
-  // A-order packing polls ctx and returns a valid-but-unoptimized
-  // permutation when it aborts; surface the stop instead of using it.
-  GPUTC_RETURN_IF_ERROR(ctx.CheckContinue("preprocess.ordering"));
-  result.graph = ApplyPermutation(directed, result.vertex_perm);
-  result.ordering_ms = ordering_timer.ElapsedMillis();
+  {
+    Span order_span = StartSpan(ctx, "order");
+    order_span.SetAttr("strategy", ToString(options.ordering));
+    AOrderOptions aorder = options.aorder;
+    if (aorder.bucket_size <= 0) aorder.bucket_size = spec.threads_per_block();
+    const ExecContext order_ctx = WithSpan(ctx, order_span);
+    aorder.exec = &order_ctx;
+    result.vertex_perm = ComputeOrdering(g, directed, options.ordering, model,
+                                         aorder, options.seed);
+    // A-order packing polls ctx and returns a valid-but-unoptimized
+    // permutation when it aborts; surface the stop instead of using it.
+    GPUTC_RETURN_IF_ERROR(ctx.CheckContinue("preprocess.ordering"));
+    result.graph = ApplyPermutation(directed, result.vertex_perm);
+    result.ordering_ms = ordering_timer.ElapsedMillis();
+    result.ordering_cost = OrderingImbalanceCost(
+        directed.OutDegrees(), result.vertex_perm, aorder.bucket_size, model);
+    order_span.SetAttr("cost_eq3", result.ordering_cost);
+    order_span.SetAttr("ms", result.ordering_ms);
+  }
+  RecordStageMillis("order", result.ordering_ms);
   result.total_ms = result.direction_ms + result.ordering_ms;
-
-  result.ordering_cost = OrderingImbalanceCost(
-      directed.OutDegrees(), result.vertex_perm, aorder.bucket_size, model);
   return result;
 }
 

@@ -30,7 +30,7 @@ std::vector<DirectionStrategy> AllDirectionStrategies() {
 }
 
 std::vector<VertexId> DirectionRank(const Graph& g, DirectionStrategy strategy,
-                                    uint64_t seed) {
+                                    uint64_t seed, const ExecContext* exec) {
   const VertexId n = g.num_vertices();
   switch (strategy) {
     case DirectionStrategy::kIdBased:
@@ -46,8 +46,11 @@ std::vector<VertexId> DirectionRank(const Graph& g, DirectionStrategy strategy,
                 });
       return PermutationFromSequence(by_degree);
     }
-    case DirectionStrategy::kADirection:
-      return PermutationFromSequence(ADirectionPeel(g).peel_order);
+    case DirectionStrategy::kADirection: {
+      PeelingOptions options;
+      options.exec = exec;
+      return PermutationFromSequence(ADirectionPeel(g, options).peel_order);
+    }
     case DirectionStrategy::kRandom: {
       std::vector<VertexId> order(n);
       std::iota(order.begin(), order.end(), VertexId{0});

@@ -8,6 +8,7 @@
 #include "graph/directed_graph.h"
 #include "graph/graph.h"
 #include "graph/types.h"
+#include "util/deadline.h"
 
 namespace gputc {
 
@@ -34,9 +35,11 @@ std::vector<DirectionStrategy> AllDirectionStrategies();
 /// oriented u -> v iff rank[u] < rank[v] (ties impossible; ranks are a
 /// permutation). Rank-induced orientations are acyclic, so the correctness
 /// constraint of Section 4.1 (no directed 3-cycle) holds by construction.
-/// `seed` only affects kRandom.
+/// `seed` only affects kRandom. `exec` (optional, not owned) is forwarded to
+/// A-direction peeling for tracing; ranking itself never blocks on it.
 std::vector<VertexId> DirectionRank(const Graph& g, DirectionStrategy strategy,
-                                    uint64_t seed = 1);
+                                    uint64_t seed = 1,
+                                    const ExecContext* exec = nullptr);
 
 /// Convenience: orients `g` with `strategy`.
 DirectedGraph Orient(const Graph& g, DirectionStrategy strategy,

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace gputc {
 
 PeelingResult ADirectionPeel(const Graph& g, const PeelingOptions& options) {
   GPUTC_CHECK_GT(options.threshold_growth, 1.0);
+  Span span = options.exec != nullptr ? StartSpan(*options.exec, "direction.peel")
+                                      : Span();
   const VertexId n = g.num_vertices();
   PeelingResult result;
   result.peel_order.reserve(n);
@@ -71,6 +74,8 @@ PeelingResult ADirectionPeel(const Graph& g, const PeelingOptions& options) {
     ++result.rounds;
   }
   GPUTC_CHECK_EQ(result.peel_order.size(), static_cast<size_t>(n));
+  span.SetAttr("rounds", static_cast<int64_t>(result.rounds));
+  span.SetAttr("peel_degree", static_cast<int64_t>(result.peel_degree));
   return result;
 }
 

@@ -5,6 +5,7 @@
 
 #include "graph/graph.h"
 #include "graph/types.h"
+#include "util/deadline.h"
 
 namespace gputc {
 
@@ -13,6 +14,11 @@ struct PeelingOptions {
   /// Factor by which the peeling threshold grows between rounds (Line 19
   /// doubles it). Exposed for the ablation bench; must be > 1.
   double threshold_growth = 2.0;
+
+  /// Optional execution envelope (not owned; null = untraced). Peeling opens
+  /// one "direction.peel" span on its tracer recording rounds and d_peel —
+  /// the per-vertex peel loop itself allocates nothing.
+  const ExecContext* exec = nullptr;
 };
 
 /// Diagnostics of one A-direction run.

@@ -1,0 +1,309 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace gputc {
+namespace {
+
+bool IsValidMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name.substr(1)) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+/// Shortest round-trippable-enough rendering; integers print without a
+/// decimal point, which keeps the golden exporter outputs readable.
+std::string FormatDouble(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.15g", value);
+  return buf;
+}
+
+/// Prometheus label-value escaping: backslash, quote, newline.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Renders {k="v",...} (or nothing for an empty set); `extra` appends one
+/// more pair, used for the histogram "le" label.
+std::string RenderLabels(const LabelSet& labels,
+                         const std::pair<std::string, std::string>* extra) {
+  if (labels.empty() && extra == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key + "=\"" + EscapeLabelValue(value) + "\"";
+  }
+  if (extra != nullptr) {
+    if (!first) out += ",";
+    out += extra->first + "=\"" + EscapeLabelValue(extra->second) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+const char* TypeName(char type) {
+  switch (type) {
+    case 'c':
+      return "counter";
+    case 'g':
+      return "gauge";
+    default:
+      return "histogram";
+  }
+}
+
+}  // namespace
+
+HistogramMetric::HistogramMetric(double lo, double hi, int buckets)
+    : lo_(lo), hi_(hi), counts_(static_cast<size_t>(buckets) + 1) {
+  GPUTC_CHECK_GT(buckets, 0);
+  GPUTC_CHECK_LT(lo, hi);
+}
+
+void HistogramMetric::Observe(double value) {
+  const int n = num_finite_buckets();
+  int idx;
+  if (value >= hi_) {
+    idx = n;  // Overflow bucket.
+  } else {
+    idx = static_cast<int>((value - lo_) / (hi_ - lo_) * n);
+    idx = std::clamp(idx, 0, n - 1);
+  }
+  counts_[static_cast<size_t>(idx)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+HistogramMetric::Snapshot HistogramMetric::TakeSnapshot() const {
+  Snapshot snap;
+  snap.lo = lo_;
+  snap.hi = hi_;
+  snap.counts.reserve(counts_.size());
+  for (const std::atomic<int64_t>& c : counts_) {
+    const int64_t v = c.load(std::memory_order_relaxed);
+    snap.counts.push_back(v);
+    snap.count += v;
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+double HistogramMetric::UpperEdge(int i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i + 1) /
+                   static_cast<double>(num_finite_buckets());
+}
+
+MetricsRegistry::Family& MetricsRegistry::FamilyFor(std::string_view name,
+                                                    std::string_view help,
+                                                    char type) {
+  GPUTC_CHECK(IsValidMetricName(name)) << "invalid metric name '" << name
+                                       << "'";
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    it = families_.emplace(std::string(name), Family{}).first;
+    it->second.type = type;
+    it->second.help = std::string(help);
+  }
+  GPUTC_CHECK_EQ(it->second.type, type)
+      << "metric '" << name << "' registered as " << TypeName(it->second.type)
+      << ", used as " << TypeName(type);
+  return it->second;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help, LabelSet labels) {
+  std::sort(labels.begin(), labels.end());
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& family = FamilyFor(name, help, 'c');
+  std::unique_ptr<Counter>& slot = family.counters[std::move(labels)];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name, std::string_view help,
+                                 LabelSet labels) {
+  std::sort(labels.begin(), labels.end());
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& family = FamilyFor(name, help, 'g');
+  std::unique_ptr<Gauge>& slot = family.gauges[std::move(labels)];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+HistogramMetric& MetricsRegistry::GetHistogram(std::string_view name,
+                                               std::string_view help,
+                                               double lo, double hi,
+                                               int buckets, LabelSet labels) {
+  std::sort(labels.begin(), labels.end());
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& family = FamilyFor(name, help, 'h');
+  if (family.histograms.empty()) {
+    family.lo = lo;
+    family.hi = hi;
+    family.buckets = buckets;
+  }
+  // One bucket layout per family, or the cumulative export would lie.
+  GPUTC_CHECK(family.lo == lo && family.hi == hi && family.buckets == buckets)
+      << "histogram '" << name << "' re-registered with different buckets";
+  std::unique_ptr<HistogramMetric>& slot =
+      family.histograms[std::move(labels)];
+  if (slot == nullptr) slot = std::make_unique<HistogramMetric>(lo, hi, buckets);
+  return *slot;
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::vector<MetricSample> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, family] : families_) {
+    for (const auto& [labels, counter] : family.counters) {
+      MetricSample sample;
+      sample.name = name;
+      sample.labels = labels;
+      sample.type = 'c';
+      sample.counter_value = counter->value();
+      out.push_back(std::move(sample));
+    }
+    for (const auto& [labels, gauge] : family.gauges) {
+      MetricSample sample;
+      sample.name = name;
+      sample.labels = labels;
+      sample.type = 'g';
+      sample.gauge_value = gauge->value();
+      out.push_back(std::move(sample));
+    }
+    for (const auto& [labels, histogram] : family.histograms) {
+      MetricSample sample;
+      sample.name = name;
+      sample.labels = labels;
+      sample.type = 'h';
+      sample.histogram = histogram->TakeSnapshot();
+      out.push_back(std::move(sample));
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::string out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, family] : families_) {
+    if (!family.help.empty()) {
+      out += "# HELP " + name + " " + family.help + "\n";
+    }
+    out += "# TYPE " + name + " " + std::string(TypeName(family.type)) + "\n";
+    for (const auto& [labels, counter] : family.counters) {
+      out += name + RenderLabels(labels, nullptr) + " " +
+             std::to_string(counter->value()) + "\n";
+    }
+    for (const auto& [labels, gauge] : family.gauges) {
+      out += name + RenderLabels(labels, nullptr) + " " +
+             FormatDouble(gauge->value()) + "\n";
+    }
+    for (const auto& [labels, histogram] : family.histograms) {
+      const HistogramMetric::Snapshot snap = histogram->TakeSnapshot();
+      int64_t cumulative = 0;
+      for (int i = 0; i < static_cast<int>(snap.counts.size()) - 1; ++i) {
+        cumulative += snap.counts[static_cast<size_t>(i)];
+        const std::pair<std::string, std::string> le = {
+            "le", FormatDouble(histogram->UpperEdge(i))};
+        out += name + "_bucket" + RenderLabels(labels, &le) + " " +
+               std::to_string(cumulative) + "\n";
+      }
+      const std::pair<std::string, std::string> inf = {"le", "+Inf"};
+      out += name + "_bucket" + RenderLabels(labels, &inf) + " " +
+             std::to_string(snap.count) + "\n";
+      out += name + "_sum" + RenderLabels(labels, nullptr) + " " +
+             FormatDouble(snap.sum) + "\n";
+      out += name + "_count" + RenderLabels(labels, nullptr) + " " +
+             std::to_string(snap.count) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::Json() const {
+  const std::vector<MetricSample> samples = Snapshot();
+  std::string out = "{\"metrics\":[";
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const MetricSample& s = samples[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":\"" + JsonEscape(s.name) + "\",\"type\":\"" +
+           TypeName(s.type) + "\",\"labels\":{";
+    for (size_t j = 0; j < s.labels.size(); ++j) {
+      if (j > 0) out += ",";
+      out += "\"" + JsonEscape(s.labels[j].first) + "\":\"" +
+             JsonEscape(s.labels[j].second) + "\"";
+    }
+    out += "}";
+    if (s.type == 'c') {
+      out += ",\"value\":" + std::to_string(s.counter_value);
+    } else if (s.type == 'g') {
+      out += ",\"value\":" + FormatDouble(s.gauge_value);
+    } else {
+      out += ",\"histogram\":{\"lo\":" + FormatDouble(s.histogram.lo) +
+             ",\"hi\":" + FormatDouble(s.histogram.hi) + ",\"counts\":[";
+      for (size_t j = 0; j < s.histogram.counts.size(); ++j) {
+        if (j > 0) out += ",";
+        out += std::to_string(s.histogram.counts[j]);
+      }
+      out += "],\"count\":" + std::to_string(s.histogram.count) +
+             ",\"sum\":" + FormatDouble(s.histogram.sum) + "}";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace gputc

@@ -1,0 +1,147 @@
+#ifndef GPUTC_OBS_METRICS_H_
+#define GPUTC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gputc {
+
+// A lock-cheap metrics registry in the Prometheus data model: counter,
+// gauge, and histogram families keyed by name, each family holding one
+// series per label set. Lookup (GetCounter/GetGauge/GetHistogram) takes the
+// registry mutex once and returns a stable reference — hot paths cache the
+// reference and then update it with plain atomic operations, so recording a
+// sample is a fetch_add, never a lock. Snapshots and the exporters read the
+// atomics live; a snapshot taken concurrently with writers is coherent in
+// the sense that every per-series value is a real momentary value and a
+// histogram's count equals the sum of its buckets by construction.
+
+/// Sorted (key, value) label pairs identifying one series of a family.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-value gauge.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-width histogram over [lo, hi) with `buckets` finite buckets plus an
+/// overflow bucket for values >= hi (the Prometheus "+Inf" bucket is always
+/// the total). Values below lo clamp into the first bucket. Observe is a
+/// relaxed fetch_add per bucket plus one for the value sum.
+class HistogramMetric {
+ public:
+  HistogramMetric(double lo, double hi, int buckets);
+
+  void Observe(double value);
+
+  struct Snapshot {
+    double lo = 0.0;
+    double hi = 0.0;
+    /// Finite buckets then the overflow bucket (size = buckets + 1).
+    std::vector<int64_t> counts;
+    int64_t count = 0;  // Sum of `counts` — coherent by construction.
+    double sum = 0.0;   // Sum of observed values.
+  };
+  Snapshot TakeSnapshot() const;
+
+  /// Upper edge of finite bucket `i` (the Prometheus "le" bound).
+  double UpperEdge(int i) const;
+  int num_finite_buckets() const { return static_cast<int>(counts_.size()) - 1; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::atomic<int64_t>> counts_;  // buckets + 1 (overflow).
+  std::atomic<double> sum_{0.0};
+};
+
+/// One exported series with its resolved identity, for programmatic readers.
+struct MetricSample {
+  std::string name;
+  LabelSet labels;
+  char type = 'c';  // 'c' counter, 'g' gauge, 'h' histogram.
+  int64_t counter_value = 0;
+  double gauge_value = 0.0;
+  HistogramMetric::Snapshot histogram;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the series for (`name`, `labels`), creating it on first use.
+  /// `help` is recorded on first use of the family. The reference stays
+  /// valid for the registry's lifetime; metric names must match
+  /// [a-zA-Z_:][a-zA-Z0-9_:]* (checked fatally — names are code, not data).
+  /// A name registered as one type fatally rejects use as another.
+  Counter& GetCounter(std::string_view name, std::string_view help,
+                      LabelSet labels = {});
+  Gauge& GetGauge(std::string_view name, std::string_view help,
+                  LabelSet labels = {});
+  HistogramMetric& GetHistogram(std::string_view name, std::string_view help,
+                                double lo, double hi, int buckets,
+                                LabelSet labels = {});
+
+  /// Every series of every family, families in name order, series in label
+  /// order — the stable order both exporters use.
+  std::vector<MetricSample> Snapshot() const;
+
+  /// Prometheus text exposition format (histograms as cumulative _bucket /
+  /// _sum / _count series).
+  std::string PrometheusText() const;
+
+  /// JSON object {"metrics":[{name, type, labels, value|histogram}, ...]}.
+  std::string Json() const;
+
+  /// The process-wide registry the built-in instrumentation records into
+  /// (pipeline stage timings, executor attempts, batch service outcomes).
+  /// `gputc count/batch --metrics-out` snapshots this.
+  static MetricsRegistry& Global();
+
+ private:
+  struct Family {
+    char type = 'c';
+    std::string help;
+    double lo = 0.0, hi = 0.0;  // Histogram shape, fixed at first use.
+    int buckets = 0;
+    std::map<LabelSet, std::unique_ptr<Counter>> counters;
+    std::map<LabelSet, std::unique_ptr<Gauge>> gauges;
+    std::map<LabelSet, std::unique_ptr<HistogramMetric>> histograms;
+  };
+
+  Family& FamilyFor(std::string_view name, std::string_view help, char type);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family, std::less<>> families_;
+};
+
+}  // namespace gputc
+
+#endif  // GPUTC_OBS_METRICS_H_

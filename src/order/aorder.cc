@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace gputc {
@@ -76,8 +77,14 @@ AOrderResult AOrder(const std::vector<EdgeCount>& out_degrees,
   };
 
   // Phase 1 (Lines 5-9): memory-dominated vertices into the bucket with the
-  // least accumulated memory superiority.
+  // least accumulated memory superiority. Each bucket pass is one span; the
+  // per-placement loop only polls, it never touches the tracer.
   {
+    Span pass = options.exec != nullptr
+                    ? StartSpan(*options.exec, "aorder.pass")
+                    : Span();
+    pass.SetAttr("phase", "memory-dominated");
+    pass.SetAttr("vertices", static_cast<int64_t>(mem_dominated.size()));
     std::priority_queue<HeapEntry, std::vector<HeapEntry>, MinFirst> heap;
     for (size_t b = 0; b < num_buckets; ++b) {
       heap.push(HeapEntry{0.0, static_cast<int>(b)});
@@ -103,6 +110,11 @@ AOrderResult AOrder(const std::vector<EdgeCount>& out_degrees,
   // Phase 2 (Lines 10-15): compute-dominated vertices into the bucket with
   // the largest accumulated memory superiority.
   if (!result.aborted) {
+    Span pass = options.exec != nullptr
+                    ? StartSpan(*options.exec, "aorder.pass")
+                    : Span();
+    pass.SetAttr("phase", "compute-dominated");
+    pass.SetAttr("vertices", static_cast<int64_t>(comp_dominated.size()));
     std::priority_queue<HeapEntry, std::vector<HeapEntry>, MaxFirst> heap;
     for (size_t b = 0; b < num_buckets; ++b) {
       if (buckets[b].size() < bucket_size) {

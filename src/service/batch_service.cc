@@ -5,6 +5,8 @@
 #include <set>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
 
@@ -84,8 +86,15 @@ std::string RequestReport::ToJson() const {
   out += ",\"stage\":\"" + JsonEscape(stage) + "\"";
   out += ",\"variant\":\"" + JsonEscape(variant) + "\"";
   out += ",\"triangles\":" + std::to_string(triangles);
+  out += ",\"trace_id\":\"" + TraceIdHex(trace_id) + "\"";
   out += ",\"queue_ms\":" + std::to_string(queue_ms);
   out += ",\"exec_ms\":" + std::to_string(exec_ms);
+  out += ",\"timings\":{";
+  out += "\"queue_ms\":" + std::to_string(queue_ms);
+  out += ",\"materialize_ms\":" + std::to_string(materialize_ms);
+  out += ",\"admit_ms\":" + std::to_string(admit_ms);
+  out += ",\"exec_ms\":" + std::to_string(exec_ms);
+  out += "}";
   out += ",\"attempts\":" + std::to_string(attempts);
   out += ",\"trace\":[";
   for (size_t i = 0; i < trace.size(); ++i) {
@@ -265,7 +274,18 @@ void BatchService::Process(int worker_index, QueuedRequest queued) {
   RequestReport report;
   report.id = request.id;
   report.source = request.source;
+  // Every processed request gets a correlation id, tracer or not, so the
+  // journal line is joinable against any external log of the same batch.
+  report.trace_id = GenerateTraceId();
   report.queue_ms = queue_ms;
+
+  Tracer* const tracer = options_.tracer;
+  Span request_span = tracer != nullptr
+                          ? tracer->StartSpan("request", report.trace_id)
+                          : Span();
+  request_span.SetAttr("id", request.id);
+  request_span.SetAttr("source", request.source);
+  request_span.SetAttr("queue_ms", queue_ms);
 
   // Worker processing is a resilient path end to end: materialization,
   // admission, and execution all see armed fail points.
@@ -275,7 +295,8 @@ void BatchService::Process(int worker_index, QueuedRequest queued) {
     report.outcome = outcome;
     report.status = std::move(status);
     report.exec_ms = MillisBetween(picked_up, Clock::now());
-    Journal(std::move(report));
+    request_span.SetAttr("outcome", RequestOutcomeName(outcome));
+    Journal(std::move(report), request_span.id());
   };
 
   const Status worker_fault = CheckFailPoint("service.worker");
@@ -303,8 +324,18 @@ void BatchService::Process(int worker_index, QueuedRequest queued) {
     slots_[static_cast<size_t>(worker_index)].active = false;
   };
 
+  // The "admit" span covers everything between pickup and execution:
+  // materializing the graph and waiting on the memory admission gate.
+  Span admit_span =
+      tracer != nullptr
+          ? tracer->StartSpan("admit", report.trace_id, request_span.id())
+          : Span();
+  const Clock::time_point materialize_start = Clock::now();
   StatusOr<Graph> graph = MaterializeRequest(request);
+  report.materialize_ms = MillisBetween(materialize_start, Clock::now());
   if (!graph.ok()) {
+    admit_span.SetStatus(graph.status());
+    admit_span.Finish();
     unregister();
     finish(RequestOutcome::kFailed,
            graph.status().WithContext("materializing '" + request.source +
@@ -315,8 +346,13 @@ void BatchService::Process(int worker_index, QueuedRequest queued) {
   // Admission: the injected fault and genuine refusals are both sheds — the
   // request never started executing.
   const int64_t estimate = EstimateHostBytes(*graph);
+  admit_span.SetAttr("estimate_bytes", estimate);
+  const Clock::time_point admit_start = Clock::now();
   Status admitted = CheckFailPoint("service.admit");
   if (admitted.ok()) admitted = admission_.Admit(estimate, cancel);
+  report.admit_ms = MillisBetween(admit_start, Clock::now());
+  admit_span.SetStatus(admitted);
+  admit_span.Finish();
   if (!admitted.ok()) {
     unregister();
     // A watchdog cancellation (request deadline) is a per-request failure;
@@ -362,10 +398,20 @@ void BatchService::Process(int worker_index, QueuedRequest queued) {
   ExecutionPolicy policy = options_.policy;
   policy.timeout_ms = 0.0;  // The watchdog owns the clock.
   policy.cancel = cancel;
+  Span exec_span =
+      tracer != nullptr
+          ? tracer->StartSpan("execute", report.trace_id, request_span.id())
+          : Span();
+  policy.tracer = tracer;
+  policy.trace_id = report.trace_id;
+  policy.parent_span = exec_span.id();
 
   ExecutionTrace trace;
   StatusOr<ExecutionResult> executed = ExecuteResilient(
       *graph, options_.spec, policy, allowed, options_.preprocess, &trace);
+  exec_span.SetAttr("attempts", static_cast<int64_t>(trace.attempts.size()));
+  if (!executed.ok()) exec_span.SetStatus(executed.status());
+  exec_span.Finish();
 
   FeedBreakers(allowed, trace);
   admission_.Release(estimate);
@@ -423,7 +469,29 @@ void BatchService::FeedBreakers(const std::vector<FallbackStage>& allowed,
   }
 }
 
-void BatchService::Journal(RequestReport report) {
+void BatchService::Journal(RequestReport report, uint64_t parent_span) {
+  {
+    Span journal_span =
+        options_.tracer != nullptr
+            ? options_.tracer->StartSpan("journal", report.trace_id,
+                                         parent_span)
+            : Span();
+    journal_span.SetAttr("outcome", RequestOutcomeName(report.outcome));
+  }
+  MetricsRegistry::Global()
+      .GetCounter("gputc_requests_total",
+                  "Batch requests journaled, by terminal outcome",
+                  {{"outcome", RequestOutcomeName(report.outcome)}})
+      .Increment();
+  MetricsRegistry::Global()
+      .GetHistogram("gputc_request_queue_ms",
+                    "Submit-to-worker-pickup wait in milliseconds", 0.0,
+                    10000.0, 20)
+      .Observe(report.queue_ms);
+  MetricsRegistry::Global()
+      .GetHistogram("gputc_request_exec_ms",
+                    "Worker processing time in milliseconds", 0.0, 10000.0, 20)
+      .Observe(report.exec_ms);
   std::lock_guard<std::mutex> lock(journal_mu_);
   journal_.push_back(std::move(report));
   if (on_report_) on_report_(journal_.back());
@@ -435,6 +503,9 @@ RequestReport BatchService::RejectedReport(const BatchRequest& request,
   RequestReport report;
   report.id = request.id;
   report.source = request.source;
+  // Shed requests never execute, but they still get a correlation id: a
+  // rejected line with no trace_id would be the one unjoinable journal row.
+  report.trace_id = GenerateTraceId();
   report.outcome = RequestOutcome::kRejected;
   report.status = std::move(reason);
   report.queue_ms = queue_ms;

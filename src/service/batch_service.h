@@ -57,6 +57,11 @@ struct BatchServiceOptions {
   DeviceSpec spec = DeviceSpec::TitanXpLike();
   /// Per-backend breaker tuning.
   CircuitBreakerOptions breaker;
+  /// Observability sink (optional, not owned; must outlive the service).
+  /// When set, every processed request records a span tree — request >
+  /// {admit, execute > attempts..., journal} — under its own trace id.
+  /// Requests always carry a trace id in the journal, tracer or not.
+  Tracer* tracer = nullptr;
 };
 
 /// Terminal classification of one submitted request. Every Submit produces
@@ -82,7 +87,13 @@ struct RequestReport {
   std::string stage;        // Winning fallback stage ("" when none).
   std::string variant;      // Winning degradation variant ("" when none).
   int64_t triangles = 0;
+  /// Correlation id linking this journal line to the request's span tree in
+  /// the trace export. Unique per report, assigned even when the request is
+  /// shed before execution (so rejected work is still correlatable).
+  uint64_t trace_id = 0;
   double queue_ms = 0.0;    // Submit-to-worker-pickup wait.
+  double materialize_ms = 0.0;  // Loading/parsing the graph source.
+  double admit_ms = 0.0;        // Waiting on the memory admission gate.
   double exec_ms = 0.0;     // Worker processing time (load + count).
   int attempts = 0;         // ExecutionTrace length.
   std::vector<std::string> trace;  // One line per attempt, for the journal.
@@ -165,7 +176,9 @@ class BatchService {
   void WorkerLoop(int worker_index);
   void WatchdogLoop();
   void Process(int worker_index, QueuedRequest queued);
-  void Journal(RequestReport report);
+  /// Appends the report and fires the streaming hook. `parent_span` (with
+  /// the report's trace_id) parents the "journal" span when tracing is on.
+  void Journal(RequestReport report, uint64_t parent_span = 0);
   RequestReport RejectedReport(const BatchRequest& request, Status reason,
                                double queue_ms) const;
   /// Applies the per-stage outcomes of one executed request to the breaker

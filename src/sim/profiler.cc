@@ -68,6 +68,17 @@ KernelReport ProfileKernel(const KernelStats& stats,
   return report;
 }
 
+void AnnotateSpanWithKernel(Span& span, const KernelStats& stats) {
+  if (!span.active()) return;
+  const KernelReport report = ProfileKernel(stats);
+  span.SetAttr("model_ms", stats.millis);
+  span.SetAttr("blocks", stats.num_blocks);
+  span.SetAttr("bottleneck", ToString(report.bottleneck));
+  span.SetAttr("sm_utilization", report.sm_utilization);
+  span.SetAttr("ops_per_transaction", report.ops_per_transaction);
+  span.SetAttr("supersteps_per_block", report.supersteps_per_block);
+}
+
 std::string FormatKernelReport(const KernelStats& stats) {
   const KernelReport report = ProfileKernel(stats);
   std::ostringstream out;

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "obs/trace.h"
 #include "sim/kernel.h"
 
 namespace gputc {
@@ -41,6 +42,12 @@ KernelReport ProfileKernel(const KernelStats& stats,
 
 /// Multi-line textual report (used by the explorer example and tools).
 std::string FormatKernelReport(const KernelStats& stats);
+
+/// Attaches the modelled kernel costs and the ProfileKernel classification
+/// to `span` as attributes (model_ms, blocks, bottleneck, sm_utilization,
+/// ops_per_transaction, supersteps_per_block) — how a count span in a Chrome
+/// trace carries the simulator's attribution. No-op on an inert span.
+void AnnotateSpanWithKernel(Span& span, const KernelStats& stats);
 
 }  // namespace gputc
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "direction/direction.h"
+#include "obs/trace.h"
 #include "tc/intersect.h"
 #include "util/checked_math.h"
 #include "util/failpoint.h"
@@ -50,6 +51,7 @@ int64_t CountTrianglesForward(const Graph& g) {
 StatusOr<int64_t> TryCountTrianglesForward(const Graph& g,
                                            const ExecContext& ctx) {
   GPUTC_INJECT_FAULT("tc.cpu");
+  Span span = StartSpan(ctx, "tc.cpu");
   const DirectedGraph d = Orient(g, DirectionStrategy::kDegreeBased);
   CheckedInt64 triangles(ctx.count_limit);
   constexpr VertexId kPollStride = 256;
@@ -63,6 +65,7 @@ StatusOr<int64_t> TryCountTrianglesForward(const Graph& g,
     }
   }
   GPUTC_RETURN_IF_ERROR(triangles.ToStatus("forward triangle count"));
+  span.SetAttr("triangles", triangles.value());
   return triangles.value();
 }
 

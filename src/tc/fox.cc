@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
 #include "order/aorder.h"
 #include "sim/block_cost.h"
 #include "sim/memory.h"
@@ -129,6 +130,7 @@ StatusOr<TcResult> FoxCounter::TryCountWithEdgeOrder(
         "edge order has " + std::to_string(edge_order.size()) +
         " entries but the graph has " + std::to_string(arcs.size()) + " arcs");
   }
+  Span span = StartSpan(ctx, "tc.fox");
   TcResult result;
   CheckedInt64 triangles(ctx.count_limit);
   const int lanes = spec.warp_size;
@@ -215,6 +217,8 @@ StatusOr<TcResult> FoxCounter::TryCountWithEdgeOrder(
   GPUTC_RETURN_IF_ERROR(triangles.ToStatus("Fox triangle count"));
   result.triangles = triangles.value();
   result.kernel = KernelLauncher(spec).Launch(blocks);
+  span.SetAttr("triangles", result.triangles);
+  span.SetAttr("blocks", static_cast<int64_t>(blocks.size()));
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sim/block_cost.h"
 #include "tc/cost_rules.h"
 #include "tc/intersect.h"
@@ -17,6 +18,7 @@ StatusOr<TcResult> HuCounter::TryCount(const DirectedGraph& g,
                                        const DeviceSpec& spec,
                                        const ExecContext& ctx) const {
   GPUTC_INJECT_FAULT("tc.hu");
+  Span span = StartSpan(ctx, "tc.hu");
   TcResult result;
   CheckedInt64 triangles(ctx.count_limit);
   const int threads = spec.threads_per_block();
@@ -85,6 +87,8 @@ StatusOr<TcResult> HuCounter::TryCount(const DirectedGraph& g,
   GPUTC_RETURN_IF_ERROR(triangles.ToStatus("Hu triangle count"));
   result.triangles = triangles.value();
   result.kernel = KernelLauncher(spec).Launch(blocks);
+  span.SetAttr("triangles", result.triangles);
+  span.SetAttr("blocks", static_cast<int64_t>(blocks.size()));
   return result;
 }
 

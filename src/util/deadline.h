@@ -87,6 +87,8 @@ class CancelToken {
   std::shared_ptr<State> state_;
 };
 
+class Tracer;  // obs/trace.h — util stays below the observability layer.
+
 /// The execution envelope the executor threads down into the counters' block
 /// loops and A-order's bucket packing: a wall-clock deadline, a cancellation
 /// token, and the triangle-accumulator ceiling. A default-constructed
@@ -98,6 +100,15 @@ struct ExecContext {
   /// Production leaves it at int64 max; tests lower it to drive the overflow
   /// path on laptop-sized graphs.
   int64_t count_limit = std::numeric_limits<int64_t>::max();
+
+  /// Observability hook (not owned; null = untraced). Pipeline stages open
+  /// spans on this tracer as children of `parent_span` under `trace_id` via
+  /// obs/trace.h's StartSpan(ctx, name) / WithSpan(ctx, span). Only stages
+  /// allocate spans; block/vertex/arc loops keep polling this context and
+  /// never touch the tracer — the "poll, don't allocate" hot-path rule.
+  Tracer* tracer = nullptr;
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
 
   /// Cheap boolean poll for inner loops that cannot early-return a Status.
   bool stop_requested() const {

@@ -88,6 +88,20 @@ void Histogram::Add(double value) {
   std::atomic_ref<int64_t>(total_).fetch_add(1, std::memory_order_relaxed);
 }
 
+int64_t Histogram::bucket_count(int i) const {
+  // Atomic load to pair with Add's atomic_ref increments: a reader running
+  // concurrently with writers (the batch service's metrics snapshot) must
+  // not tear a count. const_cast is safe — atomic_ref only loads here.
+  return std::atomic_ref<int64_t>(
+             const_cast<int64_t&>(counts_[static_cast<size_t>(i)]))
+      .load(std::memory_order_relaxed);
+}
+
+int64_t Histogram::total() const {
+  return std::atomic_ref<int64_t>(const_cast<int64_t&>(total_))
+      .load(std::memory_order_relaxed);
+}
+
 double Histogram::BucketLo(int i) const {
   return lo_ + (hi_ - lo_) * static_cast<double>(i) /
                    static_cast<double>(num_buckets());

@@ -35,9 +35,10 @@ LinearFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys);
 
 /// Fixed-width histogram over [lo, hi) with `buckets` buckets; values outside
 /// the range are clamped into the first/last bucket. Add is safe to call
-/// concurrently (lock-free atomic increments); the readers are meant for
-/// after the recording phase and see a consistent snapshot only once all
-/// writers are done.
+/// concurrently (lock-free atomic increments), and the readers load the
+/// accumulators atomically, so a snapshot taken while writers are still
+/// running is free of torn reads — it sees some valid momentary value per
+/// bucket. Exact totals still require all writers to have joined.
 class Histogram {
  public:
   Histogram(double lo, double hi, int buckets);
@@ -45,9 +46,9 @@ class Histogram {
   void Add(double value);
 
   /// Number of samples in bucket `i`.
-  int64_t bucket_count(int i) const { return counts_[i]; }
+  int64_t bucket_count(int i) const;
   int num_buckets() const { return static_cast<int>(counts_.size()); }
-  int64_t total() const { return total_; }
+  int64_t total() const;
 
   /// Lower edge of bucket `i`.
   double BucketLo(int i) const;

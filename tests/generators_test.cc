@@ -107,6 +107,23 @@ TEST(RmatTest, Deterministic) {
   EXPECT_EQ(a.adjacency(), b.adjacency());
 }
 
+// Golden triangle counts: the generators are part of the test corpus (the
+// differential harness and the batch fixtures both build on them), so a
+// silent RNG or normalization change would quietly re-seed every downstream
+// expectation. Pinning exact counts per (family, seed) turns that into a
+// loud failure here instead.
+TEST(GeneratorGoldenTest, SeededGraphsPinTriangleCounts) {
+  EXPECT_EQ(CountTrianglesForward(GenerateErdosRenyi(300, 1200, 7)), 76);
+  EXPECT_EQ(CountTrianglesForward(GenerateErdosRenyi(300, 1200, 8)), 99);
+  EXPECT_EQ(CountTrianglesForward(GenerateBarabasiAlbert(500, 3, 7)), 186);
+  EXPECT_EQ(CountTrianglesForward(GenerateWattsStrogatz(400, 6, 0.1, 7)),
+            845);
+  EXPECT_EQ(
+      CountTrianglesForward(GeneratePowerLawConfiguration(400, 2.2, 2, 60, 7)),
+      262);
+  EXPECT_EQ(CountTrianglesForward(GenerateRmat(9, 6, 7)), 6055);
+}
+
 class GeneratorSeedTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(GeneratorSeedTest, AllFamiliesProduceSimpleGraphs) {

@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "service/admission.h"
 #include "service/batch_service.h"
 #include "service/circuit_breaker.h"
@@ -729,6 +730,51 @@ TEST_F(BatchServiceTest, DrainUnderLoadAccountsForEveryRequest) {
       EXPECT_FALSE(report.status.ok()) << report.id;
     }
   }
+}
+
+// The service journals into the process-global metrics registry while the
+// CLI (or an operator thread) may be exporting it: snapshotting must stay
+// safe and coherent against a batch that is actively executing and then
+// draining. TSan covers the data-race half; the bucket-sum assertion covers
+// torn histogram reads.
+TEST_F(BatchServiceTest, MetricsSnapshotsStaySafeWhileBatchDrains) {
+  BatchServiceOptions options;
+  options.jobs = 3;
+  options.queue_depth = 8;
+  options.drain_grace_ms = 50.0;
+  BatchService service(options);
+  service.Start();
+
+  // Seed one series so the exporter has something to render even before the
+  // first request journals (keeps the non-empty assertion meaningful when
+  // this test runs alone under --gtest_filter).
+  MetricsRegistry::Global()
+      .GetCounter("gputc_test_probe_total", "Test-only probe series")
+      .Increment();
+
+  std::atomic<bool> stop_snapshots{false};
+  std::thread exporter([&stop_snapshots] {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    while (!stop_snapshots.load(std::memory_order_acquire)) {
+      const std::string text = registry.PrometheusText();
+      EXPECT_FALSE(text.empty());
+      for (const MetricSample& sample : registry.Snapshot()) {
+        if (sample.type != 'h') continue;
+        int64_t bucket_sum = 0;
+        for (int64_t c : sample.histogram.counts) bucket_sum += c;
+        EXPECT_EQ(sample.histogram.count, bucket_sum) << sample.name;
+      }
+    }
+  });
+
+  constexpr int kRequests = 16;
+  for (int i = 0; i < kRequests; ++i) service.Submit(GenRequest(i));
+  service.RequestDrain("metrics snapshot test");
+  const BatchSummary summary = service.Finish();
+  stop_snapshots.store(true, std::memory_order_release);
+  exporter.join();
+
+  EXPECT_EQ(summary.reports.size(), static_cast<size_t>(kRequests));
 }
 
 TEST_F(BatchServiceTest, DrainBeforeStartRejectsEverything) {

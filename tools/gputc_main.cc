@@ -7,12 +7,13 @@
 //   gputc count --dataset gowalla [--algorithm Hu] [--direction A-direction]
 //               [--ordering A-order] [--profile] [--timeout-ms N]
 //               [--max-model-ms N] [--mem-budget-mb N] [--fallback Hu,cpu]
-//               [--trace]
+//               [--trace] [--trace-out t.json] [--metrics-out m.prom]
 //   gputc doctor --in g.txt [--repair --out fixed.bin]
 //   gputc batch --manifest jobs.txt [--jobs N] [--queue-depth Q]
 //               [--mem-budget-mb M] [--shed-policy block|reject|drop-oldest]
 //               [--timeout-ms N] [--drain-grace-ms N] [--fallback Hu,cpu]
-//               [--journal FILE]
+//               [--journal FILE] [--trace-out t.json] [--metrics-out m.prom]
+//   gputc metrics-dump [--json]          exporter smoke test
 //   gputc calibrate                      print the Section 5.3 calibration
 //
 // Exit codes (documented contract, also in README.md):
@@ -26,6 +27,7 @@
 //      or failed — see the journal)
 
 #include <atomic>
+#include <cctype>
 #include <csignal>
 #include <cstdlib>
 #include <fstream>
@@ -36,6 +38,8 @@
 
 #include "core/executor.h"
 #include "core/pipeline.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/batch_service.h"
 #include "graph/datasets.h"
 #include "graph/generators.h"
@@ -72,6 +76,7 @@ int Usage() {
          "             [--direction D] [--ordering O] [--strict] [--profile]\n"
          "             [--timeout-ms N] [--max-model-ms N] [--mem-budget-mb N]\n"
          "             [--fallback A1,A2,...,cpu] [--trace]\n"
+         "             [--trace-out FILE] [--metrics-out FILE]\n"
          "  doctor     --in FILE [--repair --out FILE]: scan for (and "
          "optionally\n"
          "             repair) self loops, duplicates, and structural damage\n"
@@ -79,8 +84,11 @@ int Usage() {
          "             [--mem-budget-mb M] [--shed-policy "
          "block|reject|drop-oldest]\n"
          "             [--timeout-ms N] [--drain-grace-ms N]\n"
-         "             [--fallback A1,...,cpu] [--journal FILE]: run every\n"
+         "             [--fallback A1,...,cpu] [--journal FILE]\n"
+         "             [--trace-out FILE] [--metrics-out FILE]: run every\n"
          "             manifest request through a concurrent batch service\n"
+         "  metrics-dump  [--json] print a demo metrics snapshot (exporter "
+         "smoke test)\n"
          "  calibrate  print BW(d), p_c(d) and lambda for the device model\n"
          "exit codes: 0 ok, 1 runtime failure, 2 usage, 3 invalid input,\n"
          "            4 exhausted (deadline/budget spent after all "
@@ -196,9 +204,22 @@ int CmdConvert(const FlagParser& flags) {
   return kExitOk;
 }
 
+/// Flag values are matched case-insensitively against the canonical names,
+/// so `--algorithm hu` and `--algorithm Hu` both work.
+bool NameMatches(const std::string& flag, const std::string& canonical) {
+  if (flag.size() != canonical.size()) return false;
+  for (size_t i = 0; i < flag.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(flag[i])) !=
+        std::tolower(static_cast<unsigned char>(canonical[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
 std::optional<DirectionStrategy> ParseDirection(const std::string& name) {
   for (DirectionStrategy s : AllDirectionStrategies()) {
-    if (ToString(s) == name) return s;
+    if (NameMatches(name, ToString(s))) return s;
   }
   std::cerr << "unknown direction '" << name << "'; valid choices:";
   for (DirectionStrategy s : AllDirectionStrategies()) {
@@ -216,7 +237,7 @@ std::optional<OrderingStrategy> ParseOrdering(const std::string& name) {
       OrderingStrategy::kGro,      OrderingStrategy::kBfs,
       OrderingStrategy::kRcm,      OrderingStrategy::kRandom};
   for (OrderingStrategy s : kAll) {
-    if (ToString(s) == name) return s;
+    if (NameMatches(name, ToString(s))) return s;
   }
   std::cerr << "unknown ordering '" << name << "'; valid choices:";
   for (OrderingStrategy s : kAll) std::cerr << " " << ToString(s);
@@ -231,7 +252,7 @@ std::optional<TcAlgorithm> ParseAlgorithm(const std::string& name) {
       TcAlgorithm::kBisson,              TcAlgorithm::kHu,
       TcAlgorithm::kPolak};
   for (TcAlgorithm a : kAll) {
-    if (ToString(a) == name) return a;
+    if (NameMatches(name, ToString(a))) return a;
   }
   std::cerr << "unknown algorithm '" << name << "'; valid choices:";
   for (TcAlgorithm a : kAll) std::cerr << " " << ToString(a);
@@ -255,6 +276,41 @@ std::optional<double> ParseNumericFlag(const FlagParser& flags,
     return std::nullopt;
   }
   return value;
+}
+
+// -- observability exports --------------------------------------------------
+
+/// Writes `content` to `path` ("-" streams to stdout). Returns false (after
+/// printing the error) when the file cannot be written.
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  if (path == "-") {
+    std::cout << content;
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "error: cannot open '" << path << "' for writing\n";
+    return false;
+  }
+  out << content;
+  return out.good();
+}
+
+/// Dumps the collected spans as Chrome trace-event JSON (open in
+/// chrome://tracing or Perfetto). No-op when --trace-out was not given.
+bool ExportTrace(const Tracer& tracer, const std::string& path) {
+  if (path.empty()) return true;
+  return WriteTextFile(path, tracer.ChromeTraceJson());
+}
+
+/// Snapshots the global metrics registry. The extension picks the format:
+/// .json gets the JSON exporter, everything else Prometheus text.
+bool ExportMetrics(const std::string& path) {
+  if (path.empty()) return true;
+  const bool json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  return WriteTextFile(path, json ? MetricsRegistry::Global().Json()
+                                  : MetricsRegistry::Global().PrometheusText());
 }
 
 /// Exit code for a failed resilient execution: exhausted budgets/deadlines
@@ -307,8 +363,27 @@ int CmdCount(const FlagParser& flags) {
     chain = *std::move(parsed);
   }
 
+  const std::string trace_out = flags.GetString("trace-out", "");
+  const std::string metrics_out = flags.GetString("metrics-out", "");
+  Tracer tracer;
+  const bool tracing = !trace_out.empty();
+  uint64_t trace_id = 0;
+  Span root;
+  if (tracing) {
+    trace_id = tracer.NewTraceId();
+    root = tracer.StartSpan("gputc.count", trace_id);
+  }
+
+  Span load_span =
+      tracing ? tracer.StartSpan("load", trace_id, root.id()) : Span();
   const StatusOr<Graph> g = LoadAny(flags, flags.GetBool("strict", false));
-  if (!g.ok()) return ReportInputError(g.status());
+  if (!g.ok()) {
+    load_span.SetStatus(g.status());
+    return ReportInputError(g.status());
+  }
+  load_span.SetAttr("vertices", static_cast<int64_t>(g->num_vertices()));
+  load_span.SetAttr("edges", g->num_edges());
+  load_span.Finish();
 
   PreprocessOptions options;
   options.direction = *direction;
@@ -320,10 +395,21 @@ int CmdCount(const FlagParser& flags) {
   policy.max_model_ms = *max_model_ms;
   policy.mem_budget_bytes =
       static_cast<int64_t>(*mem_budget_mb * 1024.0 * 1024.0);
+  if (tracing) {
+    policy.tracer = &tracer;
+    policy.trace_id = trace_id;
+    policy.parent_span = root.id();
+  }
 
   ExecutionTrace trace;
   const StatusOr<ExecutionResult> executed =
       ExecuteResilient(*g, spec, policy, chain, options, &trace);
+  // The exports run on failure too: a trace of what went wrong is exactly
+  // when observability pays for itself.
+  root.Finish();
+  if (!ExportTrace(tracer, trace_out) || !ExportMetrics(metrics_out)) {
+    return kExitRuntime;
+  }
   if (flags.GetBool("trace", false) && !trace.attempts.empty()) {
     std::cerr << trace.Summary();
   }
@@ -487,6 +573,11 @@ int CmdBatch(const FlagParser& flags) {
     journal = &journal_file;
   }
 
+  const std::string trace_out = flags.GetString("trace-out", "");
+  const std::string metrics_out = flags.GetString("metrics-out", "");
+  Tracer tracer;
+  if (!trace_out.empty()) options.tracer = &tracer;
+
   BatchService service(options);
   std::mutex journal_stream_mu;
   service.set_on_report([&](const RequestReport& report) {
@@ -524,6 +615,10 @@ int CmdBatch(const FlagParser& flags) {
   std::signal(SIGINT, prev_int);
   std::signal(SIGTERM, prev_term);
 
+  if (!ExportTrace(tracer, trace_out) || !ExportMetrics(metrics_out)) {
+    return kExitRuntime;
+  }
+
   // Human-readable recap on stderr so a journal piped from stdout stays pure.
   std::cerr << "batch: " << summary.reports.size() << " requests — "
             << summary.CountOutcome(RequestOutcome::kOk) << " ok, "
@@ -554,6 +649,29 @@ int CmdBatch(const FlagParser& flags) {
   return kExitPartial;
 }
 
+/// Smoke path for the exporters: fills a self-contained registry with one
+/// metric of each kind and prints the snapshot, so `gputc metrics-dump |
+/// promtool check metrics` (or a JSON parser) can validate the formats
+/// without running a count.
+int CmdMetricsDump(const FlagParser& flags) {
+  MetricsRegistry registry;
+  Counter& runs = registry.GetCounter("gputc_demo_runs_total",
+                                      "Demo counter exercising the exporter",
+                                      {{"kind", "smoke"}});
+  runs.Increment();
+  runs.Increment(41);
+  registry
+      .GetGauge("gputc_demo_inflight", "Demo gauge exercising the exporter")
+      .Set(3.5);
+  HistogramMetric& latency = registry.GetHistogram(
+      "gputc_demo_latency_ms", "Demo histogram exercising the exporter", 0.0,
+      100.0, 10);
+  for (int i = 0; i < 10; ++i) latency.Observe(10.5 * i);
+  std::cout << (flags.GetBool("json", false) ? registry.Json()
+                                             : registry.PrometheusText());
+  return kExitOk;
+}
+
 int CmdCalibrate() {
   const DeviceSpec spec = DeviceSpec::TitanXpLike();
   const CalibrationResult r = CalibrateResourceModel(spec);
@@ -580,6 +698,7 @@ int Main(int argc, char** argv) {
   if (command == "count") return CmdCount(flags);
   if (command == "doctor") return CmdDoctor(flags);
   if (command == "batch") return CmdBatch(flags);
+  if (command == "metrics-dump") return CmdMetricsDump(flags);
   if (command == "calibrate") return CmdCalibrate();
   std::cerr << "unknown command '" << command << "'\n";
   return Usage();
