@@ -7,6 +7,7 @@
 // the p99 latency stays bounded.
 
 #include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -14,6 +15,7 @@
 
 #include "bench_util.h"
 #include "service/batch_service.h"
+#include "service/wal.h"
 #include "util/stats.h"
 
 namespace gputc {
@@ -60,7 +62,8 @@ std::vector<BatchRequest> MakeWorkload(int count) {
   return requests;
 }
 
-JobsResult RunAtConcurrency(int jobs, int request_count) {
+JobsResult RunAtConcurrency(int jobs, int request_count,
+                            WriteAheadLog* wal = nullptr) {
   BatchServiceOptions options;
   options.jobs = jobs;
   options.queue_depth = static_cast<size_t>(request_count);
@@ -70,6 +73,7 @@ JobsResult RunAtConcurrency(int jobs, int request_count) {
   LatencyRecorder queue_waits;
   LatencyRecorder materializes;
   service.set_on_report([&](const RequestReport& report) {
+    if (wal != nullptr) (void)wal->LogDone(report.id, report.ToJson());
     latencies.Record(report.exec_ms);
     queue_waits.Record(report.queue_ms);
     materializes.Record(report.materialize_ms);
@@ -78,6 +82,7 @@ JobsResult RunAtConcurrency(int jobs, int request_count) {
   const auto started = std::chrono::steady_clock::now();
   service.Start();
   for (BatchRequest& request : MakeWorkload(request_count)) {
+    if (wal != nullptr) (void)wal->LogIntent(request.id);
     service.Submit(std::move(request));
   }
   const BatchSummary summary = service.Finish();
@@ -136,6 +141,55 @@ void Main() {
   }
   json << "  ]\n}\n";
   std::cout << "\nwrote BENCH_service.json\n";
+
+  // -- WAL overhead: the same workload with every intent/done fsynced -------
+  // Durability is bought with two fsynced appends per request (intent before
+  // submit, done before journal emit). This run quantifies the price at the
+  // service's default concurrency so the "crash-safe batches cost X%" claim
+  // in the README stays an actual measurement.
+  PrintHeader("WAL overhead",
+              "identical workload at jobs = 4, write-ahead log off vs on "
+              "(two fsynced appends per request)");
+  constexpr int kWalJobs = 4;
+  const JobsResult off = RunAtConcurrency(kWalJobs, kRequests);
+  const std::string wal_dir = "BENCH_wal_scratch";
+  JobsResult on;
+  {
+    StatusOr<WriteAheadLog> wal = WriteAheadLog::Open(wal_dir);
+    if (!wal.ok()) {
+      std::cerr << "warning: cannot open bench WAL: "
+                << wal.status().ToString() << "; skipping WAL-on run\n";
+      return;
+    }
+    on = RunAtConcurrency(kWalJobs, kRequests, &*wal);
+  }
+  std::remove(WalLogPath(wal_dir).c_str());
+  std::remove(wal_dir.c_str());
+
+  const double overhead_pct =
+      off.requests_per_sec > 0.0
+          ? 100.0 * (off.requests_per_sec - on.requests_per_sec) /
+                off.requests_per_sec
+          : 0.0;
+  TablePrinter wal_table({"wal", "req/s", "wall ms", "p50 ms", "p99 ms"});
+  wal_table.AddRow({"off", Fmt(off.requests_per_sec, 1), Fmt(off.wall_ms, 1),
+                    Fmt(off.p50_ms, 2), Fmt(off.p99_ms, 2)});
+  wal_table.AddRow({"on", Fmt(on.requests_per_sec, 1), Fmt(on.wall_ms, 1),
+                    Fmt(on.p50_ms, 2), Fmt(on.p99_ms, 2)});
+  wal_table.Print(std::cout);
+  std::cout << "throughput overhead: " << Fmt(overhead_pct, 1) << "%\n";
+
+  std::ofstream wal_json("BENCH_wal.json");
+  wal_json << "{\n  \"bench\": \"wal_overhead\",\n  \"jobs\": " << kWalJobs
+           << ",\n  \"requests\": " << kRequests
+           << ",\n  \"wal_off\": {\"requests_per_sec\": "
+           << off.requests_per_sec << ", \"wall_ms\": " << off.wall_ms
+           << ", \"p50_ms\": " << off.p50_ms << ", \"p99_ms\": " << off.p99_ms
+           << "},\n  \"wal_on\": {\"requests_per_sec\": "
+           << on.requests_per_sec << ", \"wall_ms\": " << on.wall_ms
+           << ", \"p50_ms\": " << on.p50_ms << ", \"p99_ms\": " << on.p99_ms
+           << "},\n  \"throughput_overhead_pct\": " << overhead_pct << "\n}\n";
+  std::cout << "wrote BENCH_wal.json\n";
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "graph/io.h"
 
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -8,13 +9,46 @@
 #include <vector>
 
 #include "graph/validate.h"
+#include "util/durable_file.h"
 #include "util/failpoint.h"
+#include "util/logging.h"
 
 namespace gputc {
 namespace {
 
-constexpr uint64_t kBinaryMagic = 0x43545550'47525048ull;  // "GPUTCGRPH"-ish.
-constexpr uint64_t kHeaderBytes = 3 * sizeof(uint64_t);    // magic, n, m.
+constexpr uint64_t kBinaryMagic = 0x43545550'47525048ull;  // v1, "GPUTCGRPH".
+constexpr uint64_t kHeaderBytes = 3 * sizeof(uint64_t);    // v1: magic, n, m.
+
+// v2 header layout (all little-endian):
+//   u64 magic      kBinaryMagicV2
+//   u32 version    2
+//   u32 flags      bit 0 = finalized (writer completed the payload)
+//   u64 n, u64 m
+//   u32 offsets_crc   CRC32C of the offsets section
+//   u32 adj_crc       CRC32C of the adjacency section
+//   u32 reserved      0
+//   u32 header_crc    CRC32C of the 44 preceding header bytes
+constexpr uint64_t kBinaryMagicV2 = 0x32564752'47525048ull;  // "GPUTCGRV2".
+constexpr uint32_t kBinaryVersion = 2;
+constexpr uint32_t kFlagFinalized = 1u << 0;
+constexpr uint64_t kHeaderBytesV2 = 48;
+constexpr uint64_t kHeaderCrcCoverage = kHeaderBytesV2 - sizeof(uint32_t);
+
+void AppendRaw(std::string* out, const void* data, size_t size) {
+  out->append(static_cast<const char*>(data), size);
+}
+
+template <typename T>
+void AppendScalar(std::string* out, T value) {
+  AppendRaw(out, &value, sizeof(value));
+}
+
+template <typename T>
+T ReadScalar(const char* p) {
+  T value;
+  std::memcpy(&value, p, sizeof(value));
+  return value;
+}
 
 std::string Truncate(const std::string& s, size_t limit = 60) {
   if (s.size() <= limit) return s;
@@ -111,30 +145,178 @@ void WriteSnapText(const Graph& g, std::ostream& out) {
   }
 }
 
-bool SaveSnapText(const Graph& g, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return false;
+Status SaveSnapTextDurable(const Graph& g, const std::string& path) {
+  std::ostringstream out;
   WriteSnapText(g, out);
-  return static_cast<bool>(out);
+  const Status saved = WriteFileAtomic(path, out.str());
+  if (!saved.ok()) return saved.WithContext("SaveSnapText('" + path + "')");
+  return saved;
+}
+
+bool SaveSnapText(const Graph& g, const std::string& path) {
+  return SaveSnapTextDurable(g, path).ok();
+}
+
+Status SaveBinaryDurable(const Graph& g, const std::string& path) {
+  const uint64_t n = g.num_vertices();
+  const uint64_t m = static_cast<uint64_t>(g.num_edges());
+  const char* offsets_bytes =
+      reinterpret_cast<const char*>(g.offsets().data());
+  const size_t offsets_size = g.offsets().size() * sizeof(EdgeCount);
+  const char* adj_bytes = reinterpret_cast<const char*>(g.adjacency().data());
+  const size_t adj_size = g.adjacency().size() * sizeof(VertexId);
+
+  std::string header;
+  header.reserve(kHeaderBytesV2);
+  AppendScalar<uint64_t>(&header, kBinaryMagicV2);
+  AppendScalar<uint32_t>(&header, kBinaryVersion);
+  AppendScalar<uint32_t>(&header, kFlagFinalized);
+  AppendScalar<uint64_t>(&header, n);
+  AppendScalar<uint64_t>(&header, m);
+  AppendScalar<uint32_t>(&header, Crc32c(offsets_bytes, offsets_size));
+  AppendScalar<uint32_t>(&header, Crc32c(adj_bytes, adj_size));
+  AppendScalar<uint32_t>(&header, 0);  // Reserved.
+  AppendScalar<uint32_t>(&header, Crc32c(header.data(), header.size()));
+
+  const auto save = [&]() -> Status {
+    GPUTC_ASSIGN_OR_RETURN(AtomicFileWriter out,
+                           AtomicFileWriter::Create(path));
+    GPUTC_RETURN_IF_ERROR(out.Append(header));
+    GPUTC_RETURN_IF_ERROR(out.Append(offsets_bytes, offsets_size));
+    GPUTC_RETURN_IF_ERROR(out.Append(adj_bytes, adj_size));
+    return out.Commit();
+  };
+  const Status saved = save();
+  if (!saved.ok()) return saved.WithContext("SaveBinary('" + path + "')");
+  return saved;
 }
 
 bool SaveBinary(const Graph& g, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
-  const uint64_t magic = kBinaryMagic;
-  const uint64_t n = g.num_vertices();
-  const uint64_t m = static_cast<uint64_t>(g.num_edges());
-  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
-  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
-  out.write(reinterpret_cast<const char*>(&m), sizeof(m));
-  out.write(reinterpret_cast<const char*>(g.offsets().data()),
-            static_cast<std::streamsize>(g.offsets().size() *
-                                         sizeof(EdgeCount)));
-  out.write(reinterpret_cast<const char*>(g.adjacency().data()),
-            static_cast<std::streamsize>(g.adjacency().size() *
-                                         sizeof(VertexId)));
-  return static_cast<bool>(out);
+  return SaveBinaryDurable(g, path).ok();
 }
+
+namespace {
+
+/// v1 {magic, n, m} path: no checksums to verify, so only the structural
+/// checks stand between a bit flip and a wrong count. Kept loadable for
+/// existing corpora; the warning nudges toward a re-save.
+Status ReadBinaryV1(std::istream& in, uint64_t file_size,
+                    const std::string& path, uint64_t* n, uint64_t* m,
+                    std::vector<EdgeCount>* offsets,
+                    std::vector<VertexId>* adj) {
+  uint64_t dummy_magic = 0;
+  in.read(reinterpret_cast<char*>(&dummy_magic), sizeof(dummy_magic));
+  in.read(reinterpret_cast<char*>(n), sizeof(*n));
+  in.read(reinterpret_cast<char*>(m), sizeof(*m));
+  if (!in) return DataLossError("cannot read header");
+  GPUTC_LOG(Warning) << "'" << path
+                     << "' is a v1 binary graph (no checksums); re-save with "
+                        "'gputc convert' to upgrade to the checksummed v2 "
+                        "format";
+
+  // Validate the header counts and the implied payload size against the
+  // physical file *before* allocating anything the header controls. The caps
+  // bound n and m, so the byte arithmetic below cannot overflow uint64.
+  const GraphDoctor doctor;
+  GPUTC_RETURN_IF_ERROR(doctor.CheckCounts(*n, *m).WithContext("header"));
+  const uint64_t expected_size = kHeaderBytes + (*n + 1) * sizeof(EdgeCount) +
+                                 2 * *m * sizeof(VertexId);
+  if (file_size != expected_size) {
+    std::ostringstream msg;
+    msg << "header claims n = " << *n << ", m = " << *m << " implying "
+        << expected_size << " bytes, but the file is " << file_size
+        << " bytes";
+    return DataLossError(msg.str());
+  }
+  GPUTC_RETURN_IF_ERROR(
+      ReadArray(in, *offsets, static_cast<size_t>(*n) + 1, "CSR offsets"));
+  GPUTC_RETURN_IF_ERROR(
+      ReadArray(in, *adj, static_cast<size_t>(2 * *m), "CSR adjacency"));
+  return OkStatus();
+}
+
+/// v2 path: header CRC, finalized flag, and per-section CRCs are all
+/// verified before the structural checks, each failure with its own
+/// precise message — a torn save, a bit flip in the payload, and a damaged
+/// header are distinguishable in the Status alone.
+Status ReadBinaryV2(std::istream& in, uint64_t file_size,
+                    uint64_t* n, uint64_t* m,
+                    std::vector<EdgeCount>* offsets,
+                    std::vector<VertexId>* adj) {
+  if (file_size < kHeaderBytesV2) {
+    std::ostringstream msg;
+    msg << "truncated v2 header: file is " << file_size << " bytes, need "
+        << kHeaderBytesV2;
+    return DataLossError(msg.str());
+  }
+  char header[kHeaderBytesV2];
+  in.read(header, static_cast<std::streamsize>(kHeaderBytesV2));
+  if (!in) return DataLossError("cannot read v2 header");
+
+  const uint32_t stored_header_crc =
+      ReadScalar<uint32_t>(header + kHeaderCrcCoverage);
+  const uint32_t computed_header_crc = Crc32c(header, kHeaderCrcCoverage);
+  if (stored_header_crc != computed_header_crc) {
+    std::ostringstream msg;
+    msg << "header CRC mismatch: stored " << HexU64(stored_header_crc)
+        << ", computed " << HexU64(computed_header_crc)
+        << " (damaged or truncated header)";
+    return DataLossError(msg.str());
+  }
+  const uint32_t version = ReadScalar<uint32_t>(header + 8);
+  if (version != kBinaryVersion) {
+    return DataLossError("unsupported binary format version " +
+                         std::to_string(version) + " (this build reads 1-" +
+                         std::to_string(kBinaryVersion) + ")");
+  }
+  const uint32_t flags = ReadScalar<uint32_t>(header + 12);
+  if ((flags & kFlagFinalized) == 0) {
+    return DataLossError(
+        "file was never finalized: the writer did not complete its payload "
+        "(torn or interrupted save)");
+  }
+  *n = ReadScalar<uint64_t>(header + 16);
+  *m = ReadScalar<uint64_t>(header + 24);
+  const uint32_t stored_offsets_crc = ReadScalar<uint32_t>(header + 32);
+  const uint32_t stored_adj_crc = ReadScalar<uint32_t>(header + 36);
+
+  const GraphDoctor doctor;
+  GPUTC_RETURN_IF_ERROR(doctor.CheckCounts(*n, *m).WithContext("header"));
+  const uint64_t expected_size = kHeaderBytesV2 +
+                                 (*n + 1) * sizeof(EdgeCount) +
+                                 2 * *m * sizeof(VertexId);
+  if (file_size != expected_size) {
+    std::ostringstream msg;
+    msg << "header claims n = " << *n << ", m = " << *m << " implying "
+        << expected_size << " bytes, but the file is " << file_size
+        << " bytes";
+    return DataLossError(msg.str());
+  }
+  GPUTC_RETURN_IF_ERROR(
+      ReadArray(in, *offsets, static_cast<size_t>(*n) + 1, "CSR offsets"));
+  GPUTC_RETURN_IF_ERROR(
+      ReadArray(in, *adj, static_cast<size_t>(2 * *m), "CSR adjacency"));
+
+  const uint32_t offsets_crc =
+      Crc32c(offsets->data(), offsets->size() * sizeof(EdgeCount));
+  if (offsets_crc != stored_offsets_crc) {
+    std::ostringstream msg;
+    msg << "CSR offsets CRC mismatch: stored " << HexU64(stored_offsets_crc)
+        << ", computed " << HexU64(offsets_crc) << " (bit rot?)";
+    return DataLossError(msg.str());
+  }
+  const uint32_t adj_crc =
+      Crc32c(adj->data(), adj->size() * sizeof(VertexId));
+  if (adj_crc != stored_adj_crc) {
+    std::ostringstream msg;
+    msg << "CSR adjacency CRC mismatch: stored " << HexU64(stored_adj_crc)
+        << ", computed " << HexU64(adj_crc) << " (bit rot?)";
+    return DataLossError(msg.str());
+  }
+  return OkStatus();
+}
+
+}  // namespace
 
 StatusOr<EdgeList> LoadBinaryEdgeList(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -155,41 +337,27 @@ StatusOr<EdgeList> LoadBinaryEdgeList(const std::string& path) {
     return DataLossError(msg.str()).WithContext(ctx);
   }
 
-  uint64_t magic = 0, n = 0, m = 0;
+  uint64_t magic = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  in.read(reinterpret_cast<char*>(&n), sizeof(n));
-  in.read(reinterpret_cast<char*>(&m), sizeof(m));
   if (!in) return DataLossError("cannot read header").WithContext(ctx);
-  if (magic != kBinaryMagic) {
-    std::ostringstream msg;
-    msg << "bad magic " << HexU64(magic) << ", want " << HexU64(kBinaryMagic);
-    return DataLossError(msg.str()).WithContext(ctx);
-  }
+  in.seekg(0, std::ios::beg);
 
-  // Validate the header counts and the implied payload size against the
-  // physical file *before* allocating anything the header controls. The caps
-  // bound n and m, so the byte arithmetic below cannot overflow uint64.
-  const GraphDoctor doctor;
-  const Status counts = doctor.CheckCounts(n, m);
-  if (!counts.ok()) return counts.WithContext(ctx + ": header");
-  const uint64_t expected_size =
-      kHeaderBytes + (n + 1) * sizeof(EdgeCount) + 2 * m * sizeof(VertexId);
-  if (file_size != expected_size) {
-    std::ostringstream msg;
-    msg << "header claims n = " << n << ", m = " << m << " implying "
-        << expected_size << " bytes, but the file is " << file_size
-        << " bytes";
-    return DataLossError(msg.str()).WithContext(ctx);
-  }
-
+  uint64_t n = 0, m = 0;
   std::vector<EdgeCount> offsets;
   std::vector<VertexId> adj;
-  GPUTC_RETURN_IF_ERROR(
-      ReadArray(in, offsets, static_cast<size_t>(n) + 1, "CSR offsets")
-          .WithContext(ctx));
-  GPUTC_RETURN_IF_ERROR(
-      ReadArray(in, adj, static_cast<size_t>(2 * m), "CSR adjacency")
-          .WithContext(ctx));
+  if (magic == kBinaryMagicV2) {
+    GPUTC_RETURN_IF_ERROR(
+        ReadBinaryV2(in, file_size, &n, &m, &offsets, &adj).WithContext(ctx));
+  } else if (magic == kBinaryMagic) {
+    GPUTC_RETURN_IF_ERROR(
+        ReadBinaryV1(in, file_size, path, &n, &m, &offsets, &adj)
+            .WithContext(ctx));
+  } else {
+    std::ostringstream msg;
+    msg << "bad magic " << HexU64(magic) << ", want " << HexU64(kBinaryMagicV2)
+        << " (v2) or " << HexU64(kBinaryMagic) << " (v1)";
+    return DataLossError(msg.str()).WithContext(ctx);
+  }
   GPUTC_RETURN_IF_ERROR(GraphDoctor::CheckCsr(n, m, offsets, adj)
                             .WithContext(ctx));
 
@@ -244,10 +412,8 @@ StatusOr<EdgeList> LoadEdgeList(const std::string& path) {
 }
 
 Status SaveGraph(const Graph& g, const std::string& path) {
-  const bool ok =
-      path.ends_with(".bin") ? SaveBinary(g, path) : SaveSnapText(g, path);
-  if (!ok) return Status(StatusCode::kInternal, "cannot write '" + path + "'");
-  return OkStatus();
+  return path.ends_with(".bin") ? SaveBinaryDurable(g, path)
+                                : SaveSnapTextDurable(g, path);
 }
 
 }  // namespace gputc

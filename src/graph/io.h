@@ -35,12 +35,27 @@ StatusOr<EdgeList> ReadSnapEdgeList(std::istream& in);
 
 /// Writes a graph in SNAP text format (one undirected edge per line, u < v).
 void WriteSnapText(const Graph& g, std::ostream& out);
+
+/// Saves SNAP text atomically (write temp, fsync, rename): a crash mid-save
+/// never leaves a torn file under `path`.
+Status SaveSnapTextDurable(const Graph& g, const std::string& path);
+
+/// Legacy bool wrapper around SaveSnapTextDurable.
 bool SaveSnapText(const Graph& g, const std::string& path);
 
-// Binary format: little-endian header {magic, n, m} followed by the CSR
-// offsets and adjacency. Round-trips exactly and loads in O(bytes).
+// Binary format v2 (what SaveBinary writes): a little-endian header
+// {magic, version, flags, n, m, offsets CRC32C, adjacency CRC32C, header
+// CRC32C} followed by the CSR offsets and adjacency. The finalized flag and
+// the three checksums let LoadBinary reject torn or bit-rotted files with a
+// precise Status instead of silently loading garbage, and the writer goes
+// through the atomic temp -> fsync -> rename protocol, so a crash mid-save
+// never leaves a half-written graph under the target path. Legacy v1 files
+// ({magic, n, m}, no checksums) still load, with a deprecation warning.
 
-/// Saves in the native binary format. Returns false on I/O error.
+/// Saves in the native binary format (v2, checksummed, written atomically).
+Status SaveBinaryDurable(const Graph& g, const std::string& path);
+
+/// Legacy bool wrapper around SaveBinaryDurable.
 bool SaveBinary(const Graph& g, const std::string& path);
 
 /// Loads the native binary format with full structural validation: the

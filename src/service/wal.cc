@@ -1,0 +1,163 @@
+#include "service/wal.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+#include <set>
+
+#include "util/failpoint.h"
+#include "util/logging.h"
+
+namespace gputc {
+namespace {
+
+// Record payload layout (the segment frame already carries length + CRC):
+//   u8  type       'I' (intent) or 'D' (done)
+//   u32 id_len     little-endian
+//   id bytes
+//   journal JSON   (done records only, to end of payload)
+constexpr char kIntent = 'I';
+constexpr char kDone = 'D';
+
+std::string EncodeRecord(char type, const std::string& id,
+                         const std::string& rest) {
+  std::string payload;
+  payload.reserve(1 + 4 + id.size() + rest.size());
+  payload.push_back(type);
+  const uint32_t id_len = static_cast<uint32_t>(id.size());
+  for (int i = 0; i < 4; ++i) {
+    payload.push_back(static_cast<char>((id_len >> (8 * i)) & 0xff));
+  }
+  payload += id;
+  payload += rest;
+  return payload;
+}
+
+Status DecodeRecord(const std::string& payload, char* type, std::string* id,
+                    std::string* rest) {
+  if (payload.size() < 5) {
+    return DataLossError("WAL record of " + std::to_string(payload.size()) +
+                         " bytes is shorter than its fixed fields");
+  }
+  *type = payload[0];
+  if (*type != kIntent && *type != kDone) {
+    return DataLossError(std::string("unknown WAL record type '") + *type +
+                         "'");
+  }
+  uint32_t id_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    id_len |= static_cast<uint32_t>(
+                  static_cast<unsigned char>(payload[1 + i]))
+              << (8 * i);
+  }
+  if (payload.size() - 5 < id_len) {
+    return DataLossError("WAL record id length " + std::to_string(id_len) +
+                         " overruns the " + std::to_string(payload.size()) +
+                         "-byte record");
+  }
+  id->assign(payload, 5, id_len);
+  rest->assign(payload, 5 + id_len, payload.size() - 5 - id_len);
+  return OkStatus();
+}
+
+}  // namespace
+
+const std::string* WalReplay::FindDone(const std::string& id) const {
+  for (const auto& [done_id, line] : done) {
+    if (done_id == id) return &line;
+  }
+  return nullptr;
+}
+
+std::string WalLogPath(const std::string& dir) { return dir + "/wal.log"; }
+
+StatusOr<WriteAheadLog> WriteAheadLog::Open(const std::string& dir) {
+  if (dir.empty()) return InvalidArgumentError("empty WAL directory");
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status(StatusCode::kInternal,
+                  "cannot create WAL directory '" + dir +
+                      "': " + std::strerror(errno));
+  }
+  GPUTC_ASSIGN_OR_RETURN(SegmentWriter writer,
+                         SegmentWriter::Open(WalLogPath(dir)));
+  return WriteAheadLog(std::move(writer));
+}
+
+Status WriteAheadLog::LogIntent(const std::string& id) {
+  // The WAL is a resilient path by construction — a lost or torn intent
+  // only means the request re-runs — so it opts into fault injection.
+  FailPointScope scope;
+  GPUTC_RETURN_IF_ERROR(
+      CheckFailPoint("wal.intent").WithContext("intent('" + id + "')"));
+  const Status appended = writer_.Append(EncodeRecord(kIntent, id, ""));
+  if (!appended.ok()) return appended.WithContext("WAL intent('" + id + "')");
+  return appended;
+}
+
+Status WriteAheadLog::LogDone(const std::string& id,
+                              const std::string& journal_json) {
+  const Status appended =
+      writer_.Append(EncodeRecord(kDone, id, journal_json));
+  if (!appended.ok()) return appended.WithContext("WAL done('" + id + "')");
+  // The done record is durable; the journal line has NOT been emitted yet.
+  // A crash armed here is the narrowest no-double-count window: resume must
+  // re-emit the stored line verbatim rather than re-running the request.
+  FailPointScope scope;
+  GPUTC_RETURN_IF_ERROR(
+      CheckFailPoint("wal.done").WithContext("done('" + id + "')"));
+  return OkStatus();
+}
+
+StatusOr<WalReplay> ReplayWal(const std::string& dir) {
+  WalReplay replay;
+  if (dir.empty()) return InvalidArgumentError("empty WAL directory");
+  StatusOr<SegmentScan> scan = ScanSegment(WalLogPath(dir));
+  if (!scan.ok()) {
+    if (scan.status().code() == StatusCode::kNotFound) return replay;
+    return scan.status().WithContext("ReplayWal('" + dir + "')");
+  }
+  replay.torn_bytes = scan->dropped_bytes;
+
+  std::set<std::string> done_ids;
+  std::set<std::string> intent_ids;
+  for (const std::string& payload : scan->records) {
+    char type = 0;
+    std::string id;
+    std::string rest;
+    GPUTC_RETURN_IF_ERROR(DecodeRecord(payload, &type, &id, &rest)
+                              .WithContext("ReplayWal('" + dir + "')"));
+    if (type == kDone) {
+      // First terminal outcome wins: a duplicate done for the same id could
+      // only come from a run that raced a crash, and re-emitting one line
+      // per id is the exactly-once contract.
+      if (done_ids.insert(id).second) {
+        replay.done.emplace_back(std::move(id), std::move(rest));
+      }
+    } else {
+      intent_ids.insert(std::move(id));
+    }
+  }
+  for (const auto& [id, line] : replay.done) intent_ids.erase(id);
+  // Preserve intent order for the pending list by re-scanning in sequence.
+  std::set<std::string> emitted;
+  for (const std::string& payload : scan->records) {
+    if (payload.empty() || payload[0] != kIntent) continue;
+    char type = 0;
+    std::string id;
+    std::string rest;
+    if (!DecodeRecord(payload, &type, &id, &rest).ok()) continue;
+    if (intent_ids.count(id) > 0 && emitted.insert(id).second) {
+      replay.pending.push_back(std::move(id));
+    }
+  }
+  if (replay.torn_bytes > 0) {
+    GPUTC_LOG(Warning) << "WAL '" << dir << "': recovered past a torn tail ("
+                       << replay.torn_bytes << " byte(s) dropped); "
+                       << replay.done.size() << " done, "
+                       << replay.pending.size() << " pending";
+  }
+  return replay;
+}
+
+}  // namespace gputc

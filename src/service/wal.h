@@ -1,0 +1,89 @@
+#ifndef GPUTC_SERVICE_WAL_H_
+#define GPUTC_SERVICE_WAL_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/durable_file.h"
+#include "util/status.h"
+
+namespace gputc {
+
+// Write-ahead journal for crash-safe batch execution. One record per state
+// transition of a manifest request:
+//
+//   intent(id)        — the request is about to be submitted to the service
+//   done(id, json)    — the request reached a terminal outcome; `json` is its
+//                       complete journal line, stored verbatim
+//
+// Records live in `<dir>/wal.log`, an append-only segment with per-record
+// CRC32C framing (util/durable_file). Every append is fsynced before the
+// caller proceeds, which yields the exactly-once invariant across a crash:
+//
+//   * done is durable *before* the journal line is emitted, so a request
+//     whose journal line was lost to a crash is replayed verbatim on resume
+//     instead of being re-counted (no double-counting);
+//   * intent is durable *before* the request enters the work queue, so a
+//     request killed mid-execution is re-admitted on resume (no losses).
+//
+// A terminal outcome in the WAL is final — resume re-emits done lines
+// verbatim (including rejections and failures) and only re-admits requests
+// with no terminal outcome. Replay tolerates a torn tail (the crash can
+// only tear the final record, which recovery truncates); any record that
+// passes its CRC but does not decode is real corruption and fails replay.
+
+/// What ReplayWal reconstructed from a previous run.
+struct WalReplay {
+  /// Terminal outcomes in WAL order: request id -> verbatim journal line.
+  std::vector<std::pair<std::string, std::string>> done;
+  /// Requests with an intent but no terminal outcome, in intent order —
+  /// the work a resume must re-admit.
+  std::vector<std::string> pending;
+  /// Torn tail bytes dropped during recovery (0 on a clean shutdown).
+  uint64_t torn_bytes = 0;
+
+  bool empty() const { return done.empty() && pending.empty(); }
+  /// The stored journal line for `id`, if it reached a terminal outcome.
+  const std::string* FindDone(const std::string& id) const;
+};
+
+/// Append side of the WAL. Open recovers the segment (truncating a torn
+/// tail) and appends after the surviving records, so one log accumulates
+/// intent/done pairs across any number of crash/resume cycles.
+class WriteAheadLog {
+ public:
+  /// Creates `dir` if missing and opens `<dir>/wal.log`.
+  static StatusOr<WriteAheadLog> Open(const std::string& dir);
+
+  /// Durably records that `id` is about to be submitted. Passes the
+  /// "wal.intent" fail point before the append.
+  Status LogIntent(const std::string& id);
+
+  /// Durably records the terminal outcome of `id` with its journal line.
+  /// Passes the "wal.done" fail point *after* the append is durable — a
+  /// crash armed there models dying between WAL commit and journal emit,
+  /// the window the verbatim replay exists for.
+  Status LogDone(const std::string& id, const std::string& journal_json);
+
+  const std::string& path() const { return writer_.path(); }
+
+ private:
+  explicit WriteAheadLog(SegmentWriter writer) : writer_(std::move(writer)) {}
+
+  SegmentWriter writer_;
+};
+
+/// Path of the log segment inside a WAL directory.
+std::string WalLogPath(const std::string& dir);
+
+/// Reads `<dir>/wal.log` and folds its records into a WalReplay. A missing
+/// directory or log is an empty replay (fresh start), a torn tail is
+/// tolerated and counted, and an undecodable record that passed its CRC is
+/// a DataLoss error.
+StatusOr<WalReplay> ReplayWal(const std::string& dir);
+
+}  // namespace gputc
+
+#endif  // GPUTC_SERVICE_WAL_H_

@@ -1,0 +1,348 @@
+#include "util/durable_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/failpoint.h"
+#include "util/logging.h"
+
+namespace gputc {
+namespace {
+
+/// Frame header: payload length then CRC32C of the payload, both u32 LE.
+constexpr size_t kFrameHeaderBytes = 2 * sizeof(uint32_t);
+/// Sanity cap on one record, so a garbage length field in a damaged segment
+/// cannot drive a multi-gigabyte allocation during recovery.
+constexpr uint32_t kMaxRecordBytes = 1u << 30;
+
+Status ErrnoStatus(const std::string& op, const std::string& path) {
+  return Status(StatusCode::kInternal,
+                op + " '" + path + "': " + std::strerror(errno));
+}
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// Best-effort directory fsync: the rename is only durable once the parent
+/// directory's entry is on disk. Some filesystems refuse fsync on a
+/// directory fd; that is not a data-integrity failure, so it only warns.
+void SyncParentDir(const std::string& path) {
+  const std::string dir = ParentDir(path);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd < 0) return;
+  if (::fsync(dir_fd) != 0) {
+    GPUTC_LOG(Warning) << "fsync on directory '" << dir
+                       << "' failed: " << std::strerror(errno);
+  }
+  ::close(dir_fd);
+}
+
+Status WriteFully(int fd, const void* data, size_t size,
+                  const std::string& path) {
+  const char* p = static_cast<const char*>(data);
+  size_t remaining = size;
+  while (remaining > 0) {
+    const ssize_t n = ::write(fd, p, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write to", path);
+    }
+    p += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed) {
+  // Software slice-by-one table for the Castagnoli polynomial (reflected
+  // 0x82F63B78). Built once; the table is tiny and the inputs here (headers,
+  // journal lines, CSR sections) are not on any kernel-model hot path.
+  static const std::array<uint32_t, 256> kTable = [] {
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+      }
+      table[i] = crc;
+    }
+    return table;
+  }();
+  uint32_t crc = ~seed;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+// -- AtomicFileWriter ---------------------------------------------------------
+
+StatusOr<AtomicFileWriter> AtomicFileWriter::Create(const std::string& path) {
+  if (path.empty()) return InvalidArgumentError("empty path");
+  std::string temp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("cannot create temp file", temp);
+  return AtomicFileWriter(fd, std::move(temp), path);
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (fd_ >= 0 || (!committed_ && !temp_path_.empty())) Abort();
+}
+
+AtomicFileWriter::AtomicFileWriter(AtomicFileWriter&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      temp_path_(std::move(other.temp_path_)),
+      final_path_(std::move(other.final_path_)),
+      committed_(std::exchange(other.committed_, true)) {
+  other.temp_path_.clear();
+}
+
+AtomicFileWriter& AtomicFileWriter::operator=(
+    AtomicFileWriter&& other) noexcept {
+  if (this != &other) {
+    Abort();
+    fd_ = std::exchange(other.fd_, -1);
+    temp_path_ = std::move(other.temp_path_);
+    final_path_ = std::move(other.final_path_);
+    committed_ = std::exchange(other.committed_, true);
+    other.temp_path_.clear();
+  }
+  return *this;
+}
+
+Status AtomicFileWriter::Append(const void* data, size_t size) {
+  if (fd_ < 0) return InternalError("Append on a finished AtomicFileWriter");
+  return WriteFully(fd_, data, size, temp_path_);
+}
+
+Status AtomicFileWriter::Commit() {
+  if (committed_) return InternalError("Commit called twice");
+  if (fd_ < 0) return InternalError("Commit after Abort");
+  // The durable layer is recoverable by design, so it opts into fault
+  // injection on its own: a crash armed here leaves the target file
+  // untouched and only an orphan temp — exactly the state recovery handles.
+  FailPointScope scope;
+  {
+    const Status injected = CheckFailPoint("durable.commit");
+    if (!injected.ok()) {
+      Abort();
+      return injected.WithContext("durable.commit('" + final_path_ + "')");
+    }
+  }
+  if (::fsync(fd_) != 0) {
+    const Status s = ErrnoStatus("fsync", temp_path_);
+    Abort();
+    return s;
+  }
+  ::close(fd_);
+  fd_ = -1;
+  if (::rename(temp_path_.c_str(), final_path_.c_str()) != 0) {
+    const Status s = ErrnoStatus("rename '" + temp_path_ + "' to",
+                                 final_path_);
+    ::unlink(temp_path_.c_str());
+    committed_ = true;  // Nothing further to clean up.
+    return s;
+  }
+  SyncParentDir(final_path_);
+  committed_ = true;
+  return OkStatus();
+}
+
+void AtomicFileWriter::Abort() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!committed_ && !temp_path_.empty()) {
+    ::unlink(temp_path_.c_str());
+  }
+  committed_ = true;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view content) {
+  GPUTC_ASSIGN_OR_RETURN(AtomicFileWriter writer,
+                         AtomicFileWriter::Create(path));
+  GPUTC_RETURN_IF_ERROR(writer.Append(content));
+  return writer.Commit();
+}
+
+// -- Segment log --------------------------------------------------------------
+
+StatusOr<SegmentScan> ScanSegment(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError("cannot open segment '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return DataLossError("stream failed while reading segment '" + path +
+                         "'");
+  }
+  const std::string bytes = buffer.str();
+
+  SegmentScan scan;
+  size_t pos = 0;
+  while (true) {
+    if (bytes.size() - pos < kFrameHeaderBytes) break;  // Torn/empty tail.
+    const uint32_t len = GetU32(bytes.data() + pos);
+    const uint32_t stored_crc = GetU32(bytes.data() + pos + 4);
+    if (len > kMaxRecordBytes) break;  // Garbage length: untrusted tail.
+    if (bytes.size() - pos - kFrameHeaderBytes < len) break;  // Torn payload.
+    const char* payload = bytes.data() + pos + kFrameHeaderBytes;
+    if (Crc32c(payload, size_t{len}) != stored_crc) break;  // Corrupt frame.
+    scan.records.emplace_back(payload, len);
+    pos += kFrameHeaderBytes + len;
+  }
+  scan.valid_bytes = pos;
+  scan.dropped_bytes = bytes.size() - pos;
+  return scan;
+}
+
+StatusOr<SegmentWriter> SegmentWriter::Open(const std::string& path) {
+  SegmentScan recovered;
+  StatusOr<SegmentScan> scan = ScanSegment(path);
+  if (scan.ok()) {
+    recovered = *std::move(scan);
+    if (recovered.dropped_bytes > 0) {
+      // Torn tail from a crash mid-append: truncate back to the last intact
+      // record so the next append continues from a verified prefix.
+      GPUTC_LOG(Warning) << "segment '" << path << "': dropping "
+                         << recovered.dropped_bytes
+                         << " torn tail byte(s) after "
+                         << recovered.records.size() << " intact record(s)";
+      if (::truncate(path.c_str(),
+                     static_cast<off_t>(recovered.valid_bytes)) != 0) {
+        return ErrnoStatus("cannot truncate torn tail of", path);
+      }
+    }
+  } else if (scan.status().code() != StatusCode::kNotFound) {
+    return scan.status();
+  }
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return ErrnoStatus("cannot open segment", path);
+  return SegmentWriter(fd, path, std::move(recovered));
+}
+
+SegmentWriter::~SegmentWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+SegmentWriter::SegmentWriter(SegmentWriter&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      path_(std::move(other.path_)),
+      recovered_(std::move(other.recovered_)) {}
+
+SegmentWriter& SegmentWriter::operator=(SegmentWriter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    recovered_ = std::move(other.recovered_);
+  }
+  return *this;
+}
+
+Status SegmentWriter::Append(std::string_view payload) {
+  if (fd_ < 0) return InternalError("Append on a moved-from SegmentWriter");
+  if (payload.size() > kMaxRecordBytes) {
+    return InvalidArgumentError("segment record of " +
+                                std::to_string(payload.size()) +
+                                " bytes exceeds the frame cap");
+  }
+  FailPointScope scope;
+  GPUTC_RETURN_IF_ERROR(
+      CheckFailPoint("durable.append").WithContext("append('" + path_ + "')"));
+
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame, Crc32c(payload));
+  frame.append(payload.data(), payload.size());
+
+  // Split the frame so an armed "durable.append.torn" crash produces a
+  // genuinely torn record — header plus partial payload — for the recovery
+  // path to truncate. Unarmed, this is just two sequential writes.
+  const size_t split = kFrameHeaderBytes + payload.size() / 2;
+  GPUTC_RETURN_IF_ERROR(WriteFully(fd_, frame.data(), split, path_));
+  {
+    const Status injected = CheckFailPoint("durable.append.torn");
+    if (!injected.ok()) {
+      // An injected *error* (rather than a crash) intentionally leaves the
+      // torn prefix in place; the next Open truncates it.
+      return injected.WithContext("torn append('" + path_ + "')");
+    }
+  }
+  GPUTC_RETURN_IF_ERROR(
+      WriteFully(fd_, frame.data() + split, frame.size() - split, path_));
+  if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_);
+  return OkStatus();
+}
+
+// -- LineLog ------------------------------------------------------------------
+
+StatusOr<LineLog> LineLog::OpenTrunc(const std::string& path,
+                                     bool fsync_each) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("cannot open journal", path);
+  return LineLog(fd, fsync_each);
+}
+
+LineLog::~LineLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+LineLog::LineLog(LineLog&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), fsync_each_(other.fsync_each_) {}
+
+LineLog& LineLog::operator=(LineLog&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    fsync_each_ = other.fsync_each_;
+  }
+  return *this;
+}
+
+Status LineLog::WriteLine(std::string_view line) {
+  if (fd_ < 0) return InternalError("WriteLine on a moved-from LineLog");
+  std::string buffer;
+  buffer.reserve(line.size() + 1);
+  buffer.append(line.data(), line.size());
+  buffer.push_back('\n');
+  GPUTC_RETURN_IF_ERROR(WriteFully(fd_, buffer.data(), buffer.size(),
+                                   "journal"));
+  if (fsync_each_ && ::fsync(fd_) != 0) {
+    return ErrnoStatus("fsync", "journal");
+  }
+  return OkStatus();
+}
+
+}  // namespace gputc

@@ -1,0 +1,159 @@
+#ifndef GPUTC_UTIL_DURABLE_FILE_H_
+#define GPUTC_UTIL_DURABLE_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gputc {
+
+// Crash-safe file primitives shared by every artifact the system emits:
+// binary graphs, batch journals, the write-ahead log, trace and metrics
+// exports. Two write disciplines cover all of them:
+//
+//  * AtomicFileWriter / WriteFileAtomic — whole-file replacement with the
+//    classic write-temp -> fsync -> rename -> fsync-directory protocol.
+//    Readers never observe a torn file: they see the old content or the new
+//    content, nothing in between, even across SIGKILL or power loss.
+//
+//  * SegmentWriter / ScanSegment — an append-only record log with per-record
+//    CRC32C framing. A crash mid-append leaves a torn tail, which Open
+//    detects and truncates back to the last intact record; everything before
+//    the tear is trusted because its checksums still verify.
+//
+// The fail-point sites "durable.commit", "durable.append" and
+// "durable.append.torn" are compiled into these paths. The durable layer
+// opens its own FailPointScope — unlike ordinary library code, every
+// injection here lands on a path that is recoverable *by design*, and the
+// crash harness depends on being able to kill the process at exactly these
+// boundaries.
+
+/// CRC32C (Castagnoli polynomial, as used by ext4, RocksDB, and gRPC).
+/// `seed` chains partial computations: Crc32c(b, nb, Crc32c(a, na)).
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0);
+inline uint32_t Crc32c(std::string_view data, uint32_t seed = 0) {
+  return Crc32c(data.data(), data.size(), seed);
+}
+
+/// Atomic whole-file replacement. Writes stream into `<path>.tmp.<pid>`;
+/// Commit fsyncs the temp file, renames it over `path`, and fsyncs the
+/// parent directory so the rename itself is durable. Destroying an
+/// uncommitted writer unlinks the temp file.
+class AtomicFileWriter {
+ public:
+  static StatusOr<AtomicFileWriter> Create(const std::string& path);
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(AtomicFileWriter&& other) noexcept;
+  AtomicFileWriter& operator=(AtomicFileWriter&& other) noexcept;
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  Status Append(const void* data, size_t size);
+  Status Append(std::string_view data) {
+    return Append(data.data(), data.size());
+  }
+
+  /// fsync + rename + directory fsync. Passes the "durable.commit" fail
+  /// point *before* the rename, so a crash armed there leaves the target
+  /// untouched and only a temp file behind.
+  Status Commit();
+
+  /// Discards the temp file. Idempotent; Commit after Abort is an error.
+  void Abort();
+
+ private:
+  AtomicFileWriter(int fd, std::string temp_path, std::string final_path)
+      : fd_(fd),
+        temp_path_(std::move(temp_path)),
+        final_path_(std::move(final_path)) {}
+
+  int fd_ = -1;
+  std::string temp_path_;
+  std::string final_path_;
+  bool committed_ = false;
+};
+
+/// One-shot atomic write of `content` to `path`.
+Status WriteFileAtomic(const std::string& path, std::string_view content);
+
+/// What a scan of an append-only segment found. `dropped_bytes` counts the
+/// torn or corrupt tail after the last intact record; the records before it
+/// verified their checksums and are safe to trust.
+struct SegmentScan {
+  std::vector<std::string> records;
+  uint64_t valid_bytes = 0;
+  uint64_t dropped_bytes = 0;
+};
+
+/// Reads every intact record of the segment at `path`. Framing is
+/// [u32 payload_len][u32 crc32c(payload)][payload]; scanning stops at the
+/// first frame that is incomplete or fails its checksum — a crash can only
+/// tear the tail, so nothing after a bad frame is trusted. kNotFound when
+/// the file does not exist.
+StatusOr<SegmentScan> ScanSegment(const std::string& path);
+
+/// Append-only CRC-framed record log. Open recovers the segment first —
+/// truncating any torn tail back to the last intact record — so appends
+/// always continue from a verified prefix. Every Append is fsynced before
+/// it returns: a record handed back OK survives SIGKILL and power loss.
+class SegmentWriter {
+ public:
+  static StatusOr<SegmentWriter> Open(const std::string& path);
+  ~SegmentWriter();
+
+  SegmentWriter(SegmentWriter&& other) noexcept;
+  SegmentWriter& operator=(SegmentWriter&& other) noexcept;
+  SegmentWriter(const SegmentWriter&) = delete;
+  SegmentWriter& operator=(const SegmentWriter&) = delete;
+
+  /// Appends one framed record and fsyncs. Passes "durable.append" before
+  /// writing anything and "durable.append.torn" after a deliberate partial
+  /// write, so a crash armed at the latter leaves a real torn tail for the
+  /// recovery path to exercise.
+  Status Append(std::string_view payload);
+
+  /// Records recovered (still present) when the segment was opened.
+  const SegmentScan& recovered() const { return recovered_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  SegmentWriter(int fd, std::string path, SegmentScan recovered)
+      : fd_(fd), path_(std::move(path)), recovered_(std::move(recovered)) {}
+
+  int fd_ = -1;
+  std::string path_;
+  SegmentScan recovered_;
+};
+
+/// Line-oriented streaming log for the batch journal: each WriteLine issues
+/// one write(2) of "line\n" and, when `fsync_each` is set, an fsync — so a
+/// journal line handed back OK has reached the disk before the caller moves
+/// on. OpenTrunc truncates (resume rewrites the journal from its replayed
+/// prefix, keeping exactly one line per request).
+class LineLog {
+ public:
+  static StatusOr<LineLog> OpenTrunc(const std::string& path, bool fsync_each);
+  ~LineLog();
+
+  LineLog(LineLog&& other) noexcept;
+  LineLog& operator=(LineLog&& other) noexcept;
+  LineLog(const LineLog&) = delete;
+  LineLog& operator=(const LineLog&) = delete;
+
+  Status WriteLine(std::string_view line);
+
+ private:
+  LineLog(int fd, bool fsync_each) : fd_(fd), fsync_each_(fsync_each) {}
+
+  int fd_ = -1;
+  bool fsync_each_ = false;
+};
+
+}  // namespace gputc
+
+#endif  // GPUTC_UTIL_DURABLE_FILE_H_

@@ -90,13 +90,17 @@ Status ParseEntry(std::string_view entry, std::string* site,
     }
   }
 
+  if (rest == "crash") {
+    spec->action = FailPointSpec::Action::kCrash;
+    return OkStatus();
+  }
   const std::optional<StatusCode> code = ParseCode(rest);
   if (!code.has_value()) {
     return InvalidArgumentError(
         "unknown fail-point error code '" + std::string(rest) +
         "'; valid codes: internal data_loss resource_exhausted "
         "deadline_exceeded cancelled invalid_argument out_of_range "
-        "failed_precondition unimplemented not_found");
+        "failed_precondition unimplemented not_found crash");
   }
   spec->code = *code;
   return OkStatus();
@@ -225,6 +229,14 @@ Status FailPointRegistry::Evaluate(std::string_view site) {
       }
       if (fires) {
         ++point.fired;
+        if (point.spec.action == FailPointSpec::Action::kCrash) {
+          // Simulated SIGKILL: die right here, skipping destructors, atexit
+          // handlers, and stream flushes, so whatever the process had not
+          // yet made durable is genuinely lost. 137 = 128 + SIGKILL, the
+          // exit code a real OOM-kill would produce, which is what the
+          // crash harness asserts on.
+          std::_Exit(137);
+        }
         injected = Status(point.spec.code,
                           "fail point '" + std::string(site) + "' fired (hit " +
                               std::to_string(hit) + ")");

@@ -33,14 +33,23 @@ namespace gputc {
 //
 //   code    error to inject: internal, data_loss, resource_exhausted,
 //           deadline_exceeded, cancelled, invalid_argument, out_of_range,
-//           failed_precondition, unimplemented, not_found
+//           failed_precondition, unimplemented, not_found — or the special
+//           action `crash`, which terminates the process with _Exit(137)
+//           the instant the site fires (no destructors, no stream flushes:
+//           the closest user-space approximation of SIGKILL). The crash
+//           harness arms it at the durable-layer sites to prove that every
+//           artifact survives an ill-timed death.
 //   @count  fire only on the first `count` hits (default: every hit)
 //   %prob   fire with probability `prob` per hit (seeded xorshift, $seed)
 //
 // e.g. GPUTC_FAILPOINTS="tc.hu=internal@2;io.load=data_loss%0.01$7"
+//      GPUTC_FAILPOINTS="wal.done=crash@1"
 
 /// What happens at an armed site.
 struct FailPointSpec {
+  /// Inject an error Status, or kill the process on the spot.
+  enum class Action { kError, kCrash };
+  Action action = Action::kError;
   StatusCode code = StatusCode::kInternal;
   /// Fire on the first `count` hits only; -1 fires on every hit.
   int64_t count = -1;

@@ -1,0 +1,117 @@
+#include "crash_harness.h"
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+extern char** environ;
+
+namespace gputc {
+namespace testing {
+namespace {
+
+/// Drains an fd to a string after the child exits. Pipe capacity (64 KiB on
+/// Linux) bounds what a non-draining parent could deadlock on, so the reader
+/// threads-free approach here relies on the CLI's bounded output per run.
+std::string DrainFd(int fd) {
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string GputcBinaryPath() {
+#ifdef GPUTC_CLI_PATH
+  return GPUTC_CLI_PATH;
+#else
+  return "gputc";
+#endif
+}
+
+ChildResult RunGputc(const std::vector<std::string>& args,
+                     const std::vector<std::string>& env_extra) {
+  ChildResult result;
+
+  int out_pipe[2];
+  int err_pipe[2];
+  if (::pipe(out_pipe) != 0 || ::pipe(err_pipe) != 0) {
+    std::perror("pipe");
+    return result;
+  }
+
+  // argv: binary + args + nullptr.
+  const std::string binary = GputcBinaryPath();
+  std::vector<std::string> argv_store;
+  argv_store.reserve(args.size() + 1);
+  argv_store.push_back(binary);
+  for (const std::string& a : args) argv_store.push_back(a);
+  std::vector<char*> argv;
+  for (std::string& a : argv_store) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  // env: parent's environment minus GPUTC_FAILPOINTS, plus env_extra. The
+  // strip matters: CI chaos jobs run the whole test suite under an ambient
+  // schedule, and the harness must control exactly which child crashes.
+  std::vector<std::string> env_store;
+  for (char** e = environ; *e != nullptr; ++e) {
+    if (std::strncmp(*e, "GPUTC_FAILPOINTS=", 17) == 0) continue;
+    env_store.emplace_back(*e);
+  }
+  for (const std::string& e : env_extra) env_store.push_back(e);
+  std::vector<char*> envp;
+  for (std::string& e : env_store) envp.push_back(e.data());
+  envp.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::perror("fork");
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    ::close(err_pipe[0]);
+    ::close(err_pipe[1]);
+    return result;
+  }
+  if (pid == 0) {
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    ::dup2(err_pipe[1], STDERR_FILENO);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    ::close(err_pipe[0]);
+    ::close(err_pipe[1]);
+    ::execve(binary.c_str(), argv.data(), envp.data());
+    std::perror("execve");
+    std::_Exit(127);
+  }
+
+  ::close(out_pipe[1]);
+  ::close(err_pipe[1]);
+  result.stdout_text = DrainFd(out_pipe[0]);
+  result.stderr_text = DrainFd(err_pipe[0]);
+  ::close(out_pipe[0]);
+  ::close(err_pipe[0]);
+
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  if (WIFEXITED(status)) {
+    result.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    result.exit_code = 128 + WTERMSIG(status);
+  }
+  return result;
+}
+
+}  // namespace testing
+}  // namespace gputc

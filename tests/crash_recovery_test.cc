@@ -1,0 +1,250 @@
+// End-to-end crash-injection tests: run the real gputc CLI as a child
+// process, kill it at an armed fail-point site (SIGKILL semantics via
+// std::_Exit(137) — no destructors, no flushes), then resume and assert the
+// crash-safety contract:
+//
+//   * exactly one journal line per manifest request after resume
+//     (no losses, no double-counting),
+//   * every artifact the crashed run left behind is either intact or
+//     detected — never silently garbage,
+//   * the documented exit codes hold across the crash boundary.
+
+#include "crash_harness.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace gputc {
+namespace testing {
+namespace {
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+std::string JsonField(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const size_t begin = json.find(needle);
+  if (begin == std::string::npos) return "";
+  const size_t value = begin + needle.size();
+  const size_t end = json.find('"', value);
+  if (end == std::string::npos) return "";
+  return json.substr(value, end - value);
+}
+
+/// Per-test scratch directory holding the manifest, WAL, and journal.
+class CrashRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    static int counter = 0;
+    dir_ = ::testing::TempDir() + "/crash_" + std::to_string(::getpid()) +
+           "_" + std::to_string(counter++);
+    ASSERT_EQ(::mkdir(dir_.c_str(), 0755), 0);
+    manifest_ = dir_ + "/jobs.txt";
+    journal_ = dir_ + "/journal.jsonl";
+    wal_ = dir_ + "/wal";
+    std::ofstream out(manifest_);
+    for (int seed = 1; seed <= 4; ++seed) {
+      out << "gen:rmat:scale=6,seed=" << seed << "\n";
+    }
+    manifest_size_ = 4;
+  }
+
+  std::vector<std::string> BatchArgs(const std::string& shed_policy,
+                                     bool resume) const {
+    std::vector<std::string> args = {
+        "batch",          "--manifest",  manifest_, "--jobs",
+        "2",              "--journal",   journal_,  "--wal",
+        wal_,             "--shed-policy", shed_policy};
+    if (resume) args.push_back("--resume");
+    return args;
+  }
+
+  /// The core contract: after resume, the journal holds exactly one line
+  /// per manifest request, ids unique, all with a terminal outcome.
+  void AssertJournalComplete() const {
+    const std::vector<std::string> lines = Lines(Slurp(journal_));
+    ASSERT_EQ(lines.size(), manifest_size_) << Slurp(journal_);
+    std::set<std::string> ids;
+    for (const std::string& line : lines) {
+      const std::string id = JsonField(line, "id");
+      EXPECT_FALSE(id.empty()) << line;
+      EXPECT_TRUE(ids.insert(id).second) << "duplicate id: " << id;
+      EXPECT_FALSE(JsonField(line, "outcome").empty()) << line;
+    }
+  }
+
+  std::string dir_, manifest_, journal_, wal_;
+  size_t manifest_size_ = 0;
+};
+
+// One crashed run + one resume, for every kill site the WAL/journal path
+// crosses, under every shed policy. The sites bracket the exactly-once
+// invariant from both sides: before the work (intent), after the outcome is
+// durable but before it is journaled (done, service.journal), mid-append
+// with a deliberately torn record (durable.append.torn), and mid-count
+// inside the kernel loop (tc.block).
+struct CrashCase {
+  const char* site;
+  const char* schedule;
+};
+
+class CrashMatrixTest
+    : public CrashRecoveryTest,
+      public ::testing::WithParamInterface<std::tuple<CrashCase, const char*>> {
+};
+
+TEST_P(CrashMatrixTest, ResumeRestoresExactlyOnce) {
+  const CrashCase crash = std::get<0>(GetParam());
+  const std::string shed = std::get<1>(GetParam());
+
+  const ChildResult crashed =
+      RunGputc(BatchArgs(shed, /*resume=*/false),
+               {std::string("GPUTC_FAILPOINTS=") + crash.schedule});
+  ASSERT_EQ(crashed.exit_code, 137)
+      << "site " << crash.site << " never fired\nstderr: "
+      << crashed.stderr_text;
+
+  const ChildResult resumed = RunGputc(BatchArgs(shed, /*resume=*/true));
+  EXPECT_TRUE(resumed.exit_code == 0 || resumed.exit_code == 5)
+      << "resume exit " << resumed.exit_code
+      << "\nstderr: " << resumed.stderr_text;
+  AssertJournalComplete();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KillSitesByShedPolicy, CrashMatrixTest,
+    ::testing::Combine(
+        ::testing::Values(
+            CrashCase{"wal.intent", "wal.intent=crash@1"},
+            CrashCase{"wal.done", "wal.done=crash@1"},
+            CrashCase{"service.journal", "service.journal=crash@1"},
+            CrashCase{"durable.append.torn", "durable.append.torn=crash@1"},
+            CrashCase{"tc.block", "tc.block=crash@1"}),
+        ::testing::Values("block", "reject", "drop-oldest")),
+    [](const ::testing::TestParamInfo<CrashMatrixTest::ParamType>& info) {
+      std::string name = std::string(std::get<0>(info.param).site) + "_" +
+                         std::get<1>(info.param);
+      for (char& c : name) {
+        if (c == '.' || c == '-') c = '_';
+      }
+      return name;
+    });
+
+// A second crash during the resume itself must also be recoverable: the WAL
+// keeps accumulating, and a third run finishes the job.
+TEST_F(CrashRecoveryTest, DoubleCrashStillConverges) {
+  ASSERT_EQ(RunGputc(BatchArgs("block", false),
+                     {"GPUTC_FAILPOINTS=wal.done=crash@1"})
+                .exit_code,
+            137);
+  ASSERT_EQ(RunGputc(BatchArgs("block", true),
+                     {"GPUTC_FAILPOINTS=service.journal=crash@1"})
+                .exit_code,
+            137);
+  const ChildResult third = RunGputc(BatchArgs("block", true));
+  EXPECT_EQ(third.exit_code, 0) << third.stderr_text;
+  AssertJournalComplete();
+}
+
+// A clean run with a WAL, then a resume, must not re-run anything: the
+// journal is rebuilt wholly from replayed lines.
+TEST_F(CrashRecoveryTest, ResumeAfterCleanRunReplaysEverything) {
+  ASSERT_EQ(RunGputc(BatchArgs("block", false)).exit_code, 0);
+  const std::string first_journal = Slurp(journal_);
+  const ChildResult resumed = RunGputc(BatchArgs("block", true));
+  EXPECT_EQ(resumed.exit_code, 0) << resumed.stderr_text;
+  EXPECT_NE(resumed.stderr_text.find("replayed verbatim"), std::string::npos);
+  // Verbatim means byte-identical lines (order may differ across runs, but a
+  // full replay preserves WAL order, which is the order they were journaled).
+  EXPECT_EQ(Slurp(journal_), first_journal);
+  AssertJournalComplete();
+}
+
+// Crash while SaveBinary is mid-commit: the target must be absent or the
+// complete old version — never torn — and the rerun must succeed.
+TEST_F(CrashRecoveryTest, SaveBinaryCrashLeavesNoTornFile) {
+  const std::string text = dir_ + "/g.txt";
+  const std::string bin = dir_ + "/g.bin";
+  ASSERT_EQ(RunGputc({"generate", "--family", "er", "--nodes", "400",
+                      "--edges", "1600", "--seed", "7", "--out", text})
+                .exit_code,
+            0);
+  const ChildResult crashed =
+      RunGputc({"convert", "--in", text, "--out", bin},
+               {"GPUTC_FAILPOINTS=durable.commit=crash@1"});
+  ASSERT_EQ(crashed.exit_code, 137) << crashed.stderr_text;
+  struct stat st;
+  EXPECT_NE(::stat(bin.c_str(), &st), 0)
+      << "crash before rename must leave no target file";
+
+  ASSERT_EQ(RunGputc({"convert", "--in", text, "--out", bin}).exit_code, 0);
+  const ChildResult info = RunGputc({"info", "--in", bin, "--strict"});
+  EXPECT_EQ(info.exit_code, 0) << info.stderr_text;
+}
+
+// -- the documented exit-code contract, exercised end to end ----------------
+
+TEST_F(CrashRecoveryTest, ExitCodeContract) {
+  // 2: --resume without --wal.
+  EXPECT_EQ(RunGputc({"batch", "--manifest", manifest_, "--resume"}).exit_code,
+            2);
+  // 3: missing manifest.
+  EXPECT_EQ(
+      RunGputc({"batch", "--manifest", dir_ + "/no_such_manifest"}).exit_code,
+      3);
+  // 2: unknown flag value.
+  EXPECT_EQ(RunGputc(BatchArgs("bogus-policy", false)).exit_code, 2);
+  // 0: clean run.
+  EXPECT_EQ(RunGputc(BatchArgs("block", false)).exit_code, 0);
+  // 2: pointing a fresh (non-resume) run at the now-populated WAL.
+  const ChildResult stale = RunGputc(BatchArgs("block", false));
+  EXPECT_EQ(stale.exit_code, 2);
+  EXPECT_NE(stale.stderr_text.find("--resume"), std::string::npos);
+  // 0: the resume path accepts it.
+  EXPECT_EQ(RunGputc(BatchArgs("block", true)).exit_code, 0);
+}
+
+TEST_F(CrashRecoveryTest, PartialFailureIsExitFiveAcrossResume) {
+  // Append a request that always fails (unknown dataset) and crash after
+  // its outcome is durable. The replayed failure must still drive exit 5.
+  {
+    std::ofstream out(manifest_, std::ios::app);
+    out << "dataset:no-such-dataset\n";
+  }
+  manifest_size_ = 5;
+  ASSERT_EQ(RunGputc(BatchArgs("block", false),
+                     {"GPUTC_FAILPOINTS=service.journal=crash@5"})
+                .exit_code,
+            137);
+  const ChildResult resumed = RunGputc(BatchArgs("block", true));
+  EXPECT_EQ(resumed.exit_code, 5) << resumed.stderr_text;
+  AssertJournalComplete();
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace gputc

@@ -119,6 +119,31 @@ TEST_F(FailPointTest, ArmFromStringRejectsBadEntriesAtomically) {
   EXPECT_TRUE(FailPointRegistry::Instance().ArmedSites().empty());
 }
 
+TEST_F(FailPointTest, CrashActionParsesWithFullGrammar) {
+  // Arming only — firing a crash action would kill the test process, which
+  // is exactly what crash_recovery_test does from a fork/exec harness.
+  ASSERT_TRUE(FailPointRegistry::Instance()
+                  .ArmFromString("wal.done=crash@1;durable.commit=crash%0.5$7")
+                  .ok());
+  EXPECT_EQ(FailPointRegistry::Instance().ArmedSites().size(), 2u);
+}
+
+TEST_F(FailPointTest, CrashActionWithZeroProbabilityNeverFires) {
+  // Proves the probability gate runs before the action: an armed crash with
+  // p = 0 must be a no-op, not a kill.
+  ASSERT_TRUE(
+      FailPointRegistry::Instance().ArmFromString("tc.hu=crash%0.0").ok());
+  FailPointScope scope;
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(CheckFailPoint("tc.hu").ok());
+}
+
+TEST_F(FailPointTest, CrashActionRejectsTrailingGarbage) {
+  const Status bad = FailPointRegistry::Instance().ArmFromString("tc.hu=crashx");
+  ASSERT_FALSE(bad.ok());
+  // The error's valid-code list must advertise the crash action.
+  EXPECT_NE(bad.message().find("crash"), std::string::npos) << bad.ToString();
+}
+
 TEST_F(FailPointTest, ObserverSeesHitsWithoutArming) {
   int64_t last_hit = 0;
   FailPointRegistry::Instance().SetObserver(

@@ -1,0 +1,169 @@
+// Tests for the batch write-ahead log: replay semantics (done lines verbatim,
+// pending in intent order), first-done-wins dedup, torn-tail tolerance, and
+// accumulation across reopen cycles.
+
+#include "service/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace gputc {
+namespace {
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    static int counter = 0;
+    dir_ = ::testing::TempDir() + "/wal_test_" + std::to_string(counter++);
+  }
+  void TearDown() override {
+    std::remove(WalLogPath(dir_).c_str());
+    ::rmdir(dir_.c_str());
+  }
+  std::string dir_;
+};
+
+TEST_F(WalTest, MissingDirectoryReplaysEmpty) {
+  StatusOr<WalReplay> replay = ReplayWal(dir_);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->empty());
+  EXPECT_EQ(replay->torn_bytes, 0u);
+}
+
+TEST_F(WalTest, IntentThenDoneReplaysVerbatim) {
+  {
+    StatusOr<WriteAheadLog> wal = WriteAheadLog::Open(dir_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->LogIntent("1:a").ok());
+    ASSERT_TRUE(wal->LogDone("1:a", "{\"id\":\"1:a\",\"outcome\":\"ok\"}").ok());
+    ASSERT_TRUE(wal->LogIntent("2:b").ok());
+    // 2:b never reaches done — the crash window.
+  }
+  StatusOr<WalReplay> replay = ReplayWal(dir_);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->done.size(), 1u);
+  EXPECT_EQ(replay->done[0].first, "1:a");
+  EXPECT_EQ(replay->done[0].second, "{\"id\":\"1:a\",\"outcome\":\"ok\"}");
+  ASSERT_EQ(replay->pending.size(), 1u);
+  EXPECT_EQ(replay->pending[0], "2:b");
+  const std::string* line = replay->FindDone("1:a");
+  ASSERT_NE(line, nullptr);
+  EXPECT_EQ(*line, "{\"id\":\"1:a\",\"outcome\":\"ok\"}");
+  EXPECT_EQ(replay->FindDone("2:b"), nullptr);
+}
+
+TEST_F(WalTest, PendingPreservesIntentOrder) {
+  {
+    StatusOr<WriteAheadLog> wal = WriteAheadLog::Open(dir_);
+    ASSERT_TRUE(wal.ok());
+    for (const char* id : {"3:c", "1:a", "2:b"}) {
+      ASSERT_TRUE(wal->LogIntent(id).ok());
+    }
+    ASSERT_TRUE(wal->LogDone("1:a", "{}").ok());
+  }
+  StatusOr<WalReplay> replay = ReplayWal(dir_);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->pending.size(), 2u);
+  EXPECT_EQ(replay->pending[0], "3:c");
+  EXPECT_EQ(replay->pending[1], "2:b");
+}
+
+TEST_F(WalTest, FirstDoneWinsOnDuplicates) {
+  {
+    StatusOr<WriteAheadLog> wal = WriteAheadLog::Open(dir_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->LogIntent("1:a").ok());
+    ASSERT_TRUE(wal->LogDone("1:a", "first outcome").ok());
+    ASSERT_TRUE(wal->LogDone("1:a", "second outcome").ok());
+  }
+  StatusOr<WalReplay> replay = ReplayWal(dir_);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->done.size(), 1u);
+  EXPECT_EQ(replay->done[0].second, "first outcome");
+}
+
+TEST_F(WalTest, AccumulatesAcrossReopenCycles) {
+  {
+    StatusOr<WriteAheadLog> wal = WriteAheadLog::Open(dir_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->LogIntent("1:a").ok());
+    ASSERT_TRUE(wal->LogDone("1:a", "run one").ok());
+  }
+  {
+    StatusOr<WriteAheadLog> wal = WriteAheadLog::Open(dir_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->LogIntent("2:b").ok());
+    ASSERT_TRUE(wal->LogDone("2:b", "run two").ok());
+  }
+  StatusOr<WalReplay> replay = ReplayWal(dir_);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->done.size(), 2u);
+  EXPECT_EQ(replay->done[0].second, "run one");
+  EXPECT_EQ(replay->done[1].second, "run two");
+  EXPECT_TRUE(replay->pending.empty());
+}
+
+TEST_F(WalTest, TornTailDropsOnlyTheTear) {
+  {
+    StatusOr<WriteAheadLog> wal = WriteAheadLog::Open(dir_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->LogIntent("1:a").ok());
+    ASSERT_TRUE(wal->LogDone("1:a", "{\"outcome\":\"ok\"}").ok());
+    ASSERT_TRUE(wal->LogIntent("2:b").ok());
+  }
+  const std::string log = WalLogPath(dir_);
+  const std::string bytes = Slurp(log);
+  {
+    std::ofstream out(log, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 4));
+  }
+  StatusOr<WalReplay> replay = ReplayWal(dir_);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_GT(replay->torn_bytes, 0u);
+  // The torn record was 2:b's intent; the done before it survives intact.
+  ASSERT_EQ(replay->done.size(), 1u);
+  EXPECT_EQ(replay->done[0].first, "1:a");
+  EXPECT_TRUE(replay->pending.empty());
+}
+
+TEST_F(WalTest, CrcPassingButUndecodableRecordIsDataLoss) {
+  ASSERT_TRUE(WriteAheadLog::Open(dir_).ok());
+  {
+    // Append a frame whose payload checksums fine but has a bogus type
+    // byte: that is corruption the CRC cannot explain away.
+    StatusOr<SegmentWriter> writer = SegmentWriter::Open(WalLogPath(dir_));
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append("Zbogus-payload").ok());
+  }
+  StatusOr<WalReplay> replay = ReplayWal(dir_);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(replay.status().message().find("WAL record"), std::string::npos);
+}
+
+TEST_F(WalTest, OpenCreatesTheDirectory) {
+  struct stat st;
+  ASSERT_NE(::stat(dir_.c_str(), &st), 0);
+  StatusOr<WriteAheadLog> wal = WriteAheadLog::Open(dir_);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_EQ(::stat(dir_.c_str(), &st), 0);
+  EXPECT_TRUE(S_ISDIR(st.st_mode));
+  EXPECT_EQ(wal->path(), WalLogPath(dir_));
+}
+
+}  // namespace
+}  // namespace gputc

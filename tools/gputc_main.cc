@@ -12,19 +12,26 @@
 //   gputc batch --manifest jobs.txt [--jobs N] [--queue-depth Q]
 //               [--mem-budget-mb M] [--shed-policy block|reject|drop-oldest]
 //               [--timeout-ms N] [--drain-grace-ms N] [--fallback Hu,cpu]
-//               [--journal FILE] [--trace-out t.json] [--metrics-out m.prom]
+//               [--journal FILE|-] [--wal DIR [--resume]]
+//               [--trace-out t.json] [--metrics-out m.prom]
 //   gputc metrics-dump [--json]          exporter smoke test
 //   gputc calibrate                      print the Section 5.3 calibration
 //
-// Exit codes (documented contract, also in README.md):
-//   0  success (batch: every request counted, possibly degraded)
-//   1  runtime failure (cannot write output, internal error)
-//   2  usage error (unknown command/flag value, missing required flag)
-//   3  invalid input (missing/corrupt/rejected input file or dataset)
+// Exit codes (the documented contract; the same table appears in --help and
+// README.md "Error handling & exit codes" — keep all three in sync):
+//   0  success (batch: every request counted, possibly degraded — including
+//      requests replayed verbatim from the WAL on --resume)
+//   1  runtime failure (cannot write an output/journal/WAL file, journal
+//      accounting incomplete, internal error)
+//   2  usage error (unknown command/flag value, missing required flag,
+//      --resume without --wal, or --wal naming a previous run's non-empty
+//      WAL without --resume)
+//   3  invalid input (missing/corrupt/rejected input file, dataset, or
+//      unreadable WAL record)
 //   4  exhausted (deadline, memory budget or every fallback stage spent;
-//      batch: no request produced a count)
+//      batch: no request — fresh or replayed — produced a count)
 //   5  partial batch failure (some requests counted, others were rejected
-//      or failed — see the journal)
+//      or failed — see the journal; replayed outcomes count too)
 
 #include <atomic>
 #include <cctype>
@@ -32,7 +39,9 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 
@@ -41,6 +50,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/batch_service.h"
+#include "service/wal.h"
 #include "graph/datasets.h"
 #include "graph/generators.h"
 #include "graph/graph_stats.h"
@@ -48,6 +58,8 @@
 #include "graph/validate.h"
 #include "order/calibration.h"
 #include "sim/profiler.h"
+#include "util/durable_file.h"
+#include "util/failpoint.h"
 #include "util/flags.h"
 #include "util/status.h"
 #include "util/table.h"
@@ -84,16 +96,34 @@ int Usage() {
          "             [--mem-budget-mb M] [--shed-policy "
          "block|reject|drop-oldest]\n"
          "             [--timeout-ms N] [--drain-grace-ms N]\n"
-         "             [--fallback A1,...,cpu] [--journal FILE]\n"
+         "             [--fallback A1,...,cpu] [--journal FILE|-]\n"
+         "             [--wal DIR [--resume]]\n"
          "             [--trace-out FILE] [--metrics-out FILE]: run every\n"
-         "             manifest request through a concurrent batch service\n"
+         "             manifest request through a concurrent batch service.\n"
+         "             --journal - streams JSONL to stdout (the default);\n"
+         "             --wal DIR records intent/done per request in a "
+         "durable\n"
+         "             write-ahead log, and --resume replays it after a "
+         "crash:\n"
+         "             finished requests emit their journal lines verbatim,\n"
+         "             unfinished ones re-run — exactly one line per "
+         "request\n"
          "  metrics-dump  [--json] print a demo metrics snapshot (exporter "
          "smoke test)\n"
          "  calibrate  print BW(d), p_c(d) and lambda for the device model\n"
-         "exit codes: 0 ok, 1 runtime failure, 2 usage, 3 invalid input,\n"
-         "            4 exhausted (deadline/budget spent after all "
-         "fallbacks;\n"
-         "            batch: nothing counted), 5 partial batch failure\n";
+         "exit codes (full contract, same table as README.md):\n"
+         "  0  success (batch: every request counted, incl. WAL-replayed "
+         "ones)\n"
+         "  1  runtime failure (cannot write output/journal/WAL; journal\n"
+         "     accounting incomplete)\n"
+         "  2  usage error (bad command/flag; --resume without --wal; --wal\n"
+         "     on a previous run's non-empty log without --resume)\n"
+         "  3  invalid input (missing/corrupt/rejected input; unreadable "
+         "WAL)\n"
+         "  4  exhausted (deadline/budget spent after all fallbacks; batch:\n"
+         "     nothing counted, fresh or replayed)\n"
+         "  5  partial batch failure (some counted, some rejected/failed —\n"
+         "     see the journal; replayed outcomes count too)\n";
   return kExitUsage;
 }
 
@@ -280,20 +310,22 @@ std::optional<double> ParseNumericFlag(const FlagParser& flags,
 
 // -- observability exports --------------------------------------------------
 
-/// Writes `content` to `path` ("-" streams to stdout). Returns false (after
-/// printing the error) when the file cannot be written.
+/// Writes `content` to `path` ("-" streams to stdout). File targets go
+/// through the atomic temp -> fsync -> rename writer, so a crash mid-export
+/// never leaves a torn trace or metrics file. Returns false (after printing
+/// the error) when the file cannot be written.
 bool WriteTextFile(const std::string& path, const std::string& content) {
   if (path == "-") {
     std::cout << content;
     return true;
   }
-  std::ofstream out(path);
-  if (!out) {
-    std::cerr << "error: cannot open '" << path << "' for writing\n";
+  const Status saved = WriteFileAtomic(path, content);
+  if (!saved.ok()) {
+    std::cerr << "error: cannot write '" << path
+              << "': " << saved.ToString() << "\n";
     return false;
   }
-  out << content;
-  return out.good();
+  return true;
 }
 
 /// Dumps the collected spans as Chrome trace-event JSON (open in
@@ -497,6 +529,20 @@ int CmdDoctor(const FlagParser& flags) {
 
 // -- batch ------------------------------------------------------------------
 
+/// Pulls the string value of `"key":"value"` out of a journal JSON line.
+/// The journal writes its own JSON, so a targeted scan is enough to recover
+/// the outcome of a WAL-replayed line without a JSON parser dependency.
+std::string ExtractJsonStringField(const std::string& json,
+                                   const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const size_t begin = json.find(needle);
+  if (begin == std::string::npos) return "";
+  const size_t value = begin + needle.size();
+  const size_t end = json.find('"', value);
+  if (end == std::string::npos) return "";
+  return json.substr(value, end - value);
+}
+
 /// Set by the SIGINT/SIGTERM handler. Plain signal-safe flag; the actual
 /// drain (which takes locks) runs on the watcher thread below.
 std::atomic<int> g_batch_signal{0};
@@ -558,19 +604,97 @@ int CmdBatch(const FlagParser& flags) {
     return kExitOk;
   }
 
-  // The journal streams as JSONL: one line per finished request, to stdout
-  // by default or to --journal FILE.
-  std::ofstream journal_file;
-  std::ostream* journal = &std::cout;
-  const std::string journal_path = flags.GetString("journal", "-");
-  if (journal_path != "-") {
-    journal_file.open(journal_path);
-    if (!journal_file) {
-      std::cerr << "error: cannot open journal file '" << journal_path
-                << "'\n";
+  // -- durability: replay then open the write-ahead log ---------------------
+  const std::string wal_dir = flags.GetString("wal", "");
+  const bool resume = flags.GetBool("resume", false);
+  if (resume && wal_dir.empty()) {
+    std::cerr << "--resume needs --wal DIR (the log to replay)\n";
+    return kExitUsage;
+  }
+  WalReplay replay;
+  if (!wal_dir.empty()) {
+    StatusOr<WalReplay> replayed = ReplayWal(wal_dir);
+    if (!replayed.ok()) return ReportInputError(replayed.status());
+    if (!resume && !replayed->empty()) {
+      std::cerr << "error: WAL '" << wal_dir << "' holds "
+                << replayed->done.size() << " done and "
+                << replayed->pending.size()
+                << " pending request(s) from a previous run; pass --resume "
+                   "to continue it or remove the directory to start over\n";
+      return kExitUsage;
+    }
+    if (resume) replay = *std::move(replayed);
+  }
+  std::optional<WriteAheadLog> wal;
+  if (!wal_dir.empty()) {
+    StatusOr<WriteAheadLog> opened = WriteAheadLog::Open(wal_dir);
+    if (!opened.ok()) {
+      std::cerr << "error: " << opened.status().ToString() << "\n";
       return kExitRuntime;
     }
-    journal = &journal_file;
+    wal.emplace(*std::move(opened));
+  }
+
+  // The journal streams as JSONL: one line per finished request, to stdout
+  // by default or to --journal FILE. A file journal is rewritten from the
+  // WAL on resume, so the final file always holds exactly one line per
+  // manifest request; with a WAL each line is also fsynced, keeping the
+  // journal no further than one line behind the log.
+  const std::string journal_path = flags.GetString("journal", "-");
+  std::optional<LineLog> journal_file;
+  if (journal_path != "-") {
+    StatusOr<LineLog> opened =
+        LineLog::OpenTrunc(journal_path, /*fsync_each=*/wal.has_value());
+    if (!opened.ok()) {
+      std::cerr << "error: " << opened.status().ToString() << "\n";
+      return kExitRuntime;
+    }
+    journal_file.emplace(*std::move(opened));
+  }
+  std::atomic<bool> journal_write_failed{false};
+  const auto emit_line = [&](const std::string& line) {
+    if (!journal_file.has_value()) {
+      std::cout << line << "\n";
+      std::cout.flush();
+      return;
+    }
+    const Status written = journal_file->WriteLine(line);
+    if (!written.ok()) {
+      journal_write_failed.store(true, std::memory_order_relaxed);
+      std::cerr << "error: journal write failed: " << written.ToString()
+                << "\n";
+    }
+  };
+
+  // Replayed terminal outcomes are final (including rejections): emit their
+  // stored journal lines verbatim and never resubmit those requests.
+  std::set<std::string> replayed_ids;
+  int replayed_success = 0;
+  int replayed_nonsuccess = 0;
+  if (!replay.empty()) {
+    std::set<std::string> manifest_ids;
+    for (const BatchRequest& request : *manifest) {
+      manifest_ids.insert(request.id);
+    }
+    for (const auto& [id, line] : replay.done) {
+      if (manifest_ids.count(id) == 0) {
+        std::cerr << "warning: WAL outcome for '" << id
+                  << "' is not in this manifest; ignoring it\n";
+        continue;
+      }
+      replayed_ids.insert(id);
+      const std::string outcome = ExtractJsonStringField(line, "outcome");
+      if (outcome == "ok" || outcome == "degraded") {
+        ++replayed_success;
+      } else {
+        ++replayed_nonsuccess;
+      }
+      emit_line(line);
+    }
+    std::cerr << "batch: resumed from WAL '" << wal_dir << "': "
+              << replayed_ids.size() << " request(s) replayed verbatim, "
+              << replay.pending.size() << " interrupted mid-run, "
+              << (manifest->size() - replayed_ids.size()) << " to run\n";
   }
 
   const std::string trace_out = flags.GetString("trace-out", "");
@@ -582,8 +706,25 @@ int CmdBatch(const FlagParser& flags) {
   std::mutex journal_stream_mu;
   service.set_on_report([&](const RequestReport& report) {
     std::lock_guard<std::mutex> lock(journal_stream_mu);
-    (*journal) << report.ToJson() << "\n";
-    journal->flush();
+    const std::string line = report.ToJson();
+    if (wal.has_value()) {
+      // The terminal outcome becomes durable BEFORE the journal line is
+      // emitted: a crash in between replays this exact line on --resume
+      // instead of re-running (and re-counting) the request.
+      const Status logged = wal->LogDone(report.id, line);
+      if (!logged.ok()) {
+        journal_write_failed.store(true, std::memory_order_relaxed);
+        std::cerr << "error: " << logged.ToString() << "\n";
+      }
+    }
+    {
+      // Crash-injection site for the harness: between WAL commit and journal
+      // emit (the window the verbatim replay exists for). Error codes armed
+      // here are no-ops — emission has no error path to inject into.
+      FailPointScope scope;
+      (void)CheckFailPoint("service.journal");
+    }
+    emit_line(line);
   });
 
   // SIGINT/SIGTERM request a graceful drain. The handler only sets a flag; a
@@ -605,7 +746,20 @@ int CmdBatch(const FlagParser& flags) {
   });
 
   service.Start();
+  bool wal_append_failed = false;
   for (BatchRequest& request : *manifest) {
+    if (replayed_ids.count(request.id) > 0) continue;  // Already journaled.
+    if (wal.has_value()) {
+      // Intent is durable before the request enters the queue, so a crash
+      // mid-execution re-admits it on --resume instead of losing it.
+      const Status intent = wal->LogIntent(request.id);
+      if (!intent.ok()) {
+        std::cerr << "error: " << intent.ToString() << "\n";
+        wal_append_failed = true;
+        service.RequestDrain("WAL intent append failed");
+        break;
+      }
+    }
     service.Submit(std::move(request));
   }
   BatchSummary summary = service.Finish();
@@ -626,7 +780,11 @@ int CmdBatch(const FlagParser& flags) {
             << " degraded, "
             << summary.CountOutcome(RequestOutcome::kRejected)
             << " rejected, " << summary.CountOutcome(RequestOutcome::kFailed)
-            << " failed\n";
+            << " failed";
+  if (!replayed_ids.empty()) {
+    std::cerr << " (+" << replayed_ids.size() << " replayed from WAL)";
+  }
+  std::cerr << "\n";
   if (summary.drained) {
     std::cerr << "batch: drained early (" << summary.drain_reason << ")\n";
   }
@@ -638,14 +796,26 @@ int CmdBatch(const FlagParser& flags) {
     }
   }
 
-  if (summary.reports.size() != manifest->size()) {
-    // Accounting invariant: every submitted request journals exactly once.
-    std::cerr << "error: journal incomplete (" << summary.reports.size()
-              << " of " << manifest->size() << " requests)\n";
+  if (journal_write_failed.load(std::memory_order_relaxed) ||
+      wal_append_failed) {
     return kExitRuntime;
   }
-  if (summary.AllSucceeded()) return kExitOk;
-  if (summary.NoneSucceeded()) return kExitExhausted;
+  if (replayed_ids.size() + summary.reports.size() != manifest->size()) {
+    // Accounting invariant: every manifest request journals exactly once —
+    // either replayed verbatim from the WAL or freshly reported.
+    std::cerr << "error: journal incomplete ("
+              << replayed_ids.size() + summary.reports.size() << " of "
+              << manifest->size() << " requests)\n";
+    return kExitRuntime;
+  }
+  const int success = replayed_success +
+                      summary.CountOutcome(RequestOutcome::kOk) +
+                      summary.CountOutcome(RequestOutcome::kDegraded);
+  const int nonsuccess = replayed_nonsuccess +
+                         summary.CountOutcome(RequestOutcome::kRejected) +
+                         summary.CountOutcome(RequestOutcome::kFailed);
+  if (nonsuccess == 0) return kExitOk;
+  if (success == 0) return kExitExhausted;
   return kExitPartial;
 }
 
