@@ -73,7 +73,10 @@ JobsResult RunAtConcurrency(int jobs, int request_count,
   LatencyRecorder queue_waits;
   LatencyRecorder materializes;
   service.set_on_report([&](const RequestReport& report) {
-    if (wal != nullptr) (void)wal->LogDone(report.id, report.ToJson());
+    if (wal != nullptr) {
+      (void)wal->LogDone(report.id, RequestOutcomeName(report.outcome),
+                         report.ToJson());
+    }
     latencies.Record(report.exec_ms);
     queue_waits.Record(report.queue_ms);
     materializes.Record(report.materialize_ms);

@@ -13,59 +13,148 @@ namespace gputc {
 namespace {
 
 // Record payload layout (the segment frame already carries length + CRC):
-//   u8  type       'I' (intent) or 'D' (done)
-//   u32 id_len     little-endian
+//   u8  type          'I' (intent) or 'D' (done)
+//   u32 id_len        little-endian
 //   id bytes
-//   journal JSON   (done records only, to end of payload)
+//   u32 outcome_len   (done records only) little-endian
+//   outcome bytes     (done records only) outcome name, e.g. "ok"
+//   journal JSON      (done records only, to end of payload)
+// The outcome travels as its own field so resume classifies replayed lines
+// without parsing the journal JSON (a substring scan of the JSON can match
+// inside an escaped message and misread the outcome).
 constexpr char kIntent = 'I';
 constexpr char kDone = 'D';
 
-std::string EncodeRecord(char type, const std::string& id,
-                         const std::string& rest) {
-  std::string payload;
-  payload.reserve(1 + 4 + id.size() + rest.size());
-  payload.push_back(type);
-  const uint32_t id_len = static_cast<uint32_t>(id.size());
+void PutLengthPrefixed(std::string* payload, const std::string& field) {
+  const uint32_t len = static_cast<uint32_t>(field.size());
   for (int i = 0; i < 4; ++i) {
-    payload.push_back(static_cast<char>((id_len >> (8 * i)) & 0xff));
+    payload->push_back(static_cast<char>((len >> (8 * i)) & 0xff));
   }
-  payload += id;
-  payload += rest;
+  *payload += field;
+}
+
+std::string EncodeIntent(const std::string& id) {
+  std::string payload;
+  payload.reserve(1 + 4 + id.size());
+  payload.push_back(kIntent);
+  PutLengthPrefixed(&payload, id);
   return payload;
 }
 
-Status DecodeRecord(const std::string& payload, char* type, std::string* id,
-                    std::string* rest) {
-  if (payload.size() < 5) {
+std::string EncodeDone(const std::string& id, const std::string& outcome,
+                       const std::string& journal_json) {
+  std::string payload;
+  payload.reserve(1 + 4 + id.size() + 4 + outcome.size() +
+                  journal_json.size());
+  payload.push_back(kDone);
+  PutLengthPrefixed(&payload, id);
+  PutLengthPrefixed(&payload, outcome);
+  payload += journal_json;
+  return payload;
+}
+
+struct DecodedRecord {
+  char type = 0;
+  std::string id;
+  std::string outcome;  // Done records only.
+  std::string line;     // Done records only.
+};
+
+StatusOr<uint32_t> GetLengthPrefix(const std::string& payload, size_t pos) {
+  if (payload.size() - pos < 4) {
     return DataLossError("WAL record of " + std::to_string(payload.size()) +
                          " bytes is shorter than its fixed fields");
   }
-  *type = payload[0];
-  if (*type != kIntent && *type != kDone) {
-    return DataLossError(std::string("unknown WAL record type '") + *type +
-                         "'");
-  }
-  uint32_t id_len = 0;
+  uint32_t len = 0;
   for (int i = 0; i < 4; ++i) {
-    id_len |= static_cast<uint32_t>(
-                  static_cast<unsigned char>(payload[1 + i]))
-              << (8 * i);
+    len |= static_cast<uint32_t>(
+               static_cast<unsigned char>(payload[pos + i]))
+           << (8 * i);
   }
-  if (payload.size() - 5 < id_len) {
-    return DataLossError("WAL record id length " + std::to_string(id_len) +
+  if (payload.size() - pos - 4 < len) {
+    return DataLossError("WAL record field length " + std::to_string(len) +
                          " overruns the " + std::to_string(payload.size()) +
                          "-byte record");
   }
-  id->assign(payload, 5, id_len);
-  rest->assign(payload, 5 + id_len, payload.size() - 5 - id_len);
+  return len;
+}
+
+Status DecodeRecord(const std::string& payload, DecodedRecord* out) {
+  if (payload.empty()) {
+    return DataLossError("empty WAL record");
+  }
+  out->type = payload[0];
+  if (out->type != kIntent && out->type != kDone) {
+    return DataLossError(std::string("unknown WAL record type '") +
+                         out->type + "'");
+  }
+  GPUTC_ASSIGN_OR_RETURN(const uint32_t id_len, GetLengthPrefix(payload, 1));
+  size_t pos = 1 + 4;
+  out->id.assign(payload, pos, id_len);
+  pos += id_len;
+  if (out->type == kIntent) return OkStatus();
+  GPUTC_ASSIGN_OR_RETURN(const uint32_t outcome_len,
+                         GetLengthPrefix(payload, pos));
+  pos += 4;
+  out->outcome.assign(payload, pos, outcome_len);
+  pos += outcome_len;
+  out->line.assign(payload, pos, payload.size() - pos);
   return OkStatus();
+}
+
+/// Folds verified segment records into a WalReplay. Shared by the
+/// read-only ReplayWal and the open-once WriteAheadLog::Replay path.
+StatusOr<WalReplay> FoldWalRecords(const SegmentScan& scan,
+                                   const std::string& context) {
+  WalReplay replay;
+  replay.torn_bytes = scan.dropped_bytes;
+
+  std::set<std::string> done_ids;
+  std::set<std::string> intent_ids;
+  for (const std::string& payload : scan.records) {
+    DecodedRecord record;
+    GPUTC_RETURN_IF_ERROR(
+        DecodeRecord(payload, &record).WithContext(context));
+    if (record.type == kDone) {
+      // First terminal outcome wins: a duplicate done for the same id could
+      // only come from a run that raced a crash, and re-emitting one line
+      // per id is the exactly-once contract.
+      if (done_ids.insert(record.id).second) {
+        replay.done.push_back({std::move(record.id),
+                               std::move(record.outcome),
+                               std::move(record.line)});
+      }
+    } else {
+      intent_ids.insert(std::move(record.id));
+    }
+  }
+  for (const WalDoneRecord& record : replay.done) {
+    intent_ids.erase(record.id);
+  }
+  // Preserve intent order for the pending list by re-scanning in sequence.
+  std::set<std::string> emitted;
+  for (const std::string& payload : scan.records) {
+    if (payload.empty() || payload[0] != kIntent) continue;
+    DecodedRecord record;
+    if (!DecodeRecord(payload, &record).ok()) continue;
+    if (intent_ids.count(record.id) > 0 && emitted.insert(record.id).second) {
+      replay.pending.push_back(std::move(record.id));
+    }
+  }
+  if (replay.torn_bytes > 0) {
+    GPUTC_LOG(Warning) << context << ": recovered past a torn tail ("
+                       << replay.torn_bytes << " byte(s) dropped); "
+                       << replay.done.size() << " done, "
+                       << replay.pending.size() << " pending";
+  }
+  return replay;
 }
 
 }  // namespace
 
-const std::string* WalReplay::FindDone(const std::string& id) const {
-  for (const auto& [done_id, line] : done) {
-    if (done_id == id) return &line;
+const WalDoneRecord* WalReplay::FindDone(const std::string& id) const {
+  for (const WalDoneRecord& record : done) {
+    if (record.id == id) return &record;
   }
   return nullptr;
 }
@@ -90,15 +179,16 @@ Status WriteAheadLog::LogIntent(const std::string& id) {
   FailPointScope scope;
   GPUTC_RETURN_IF_ERROR(
       CheckFailPoint("wal.intent").WithContext("intent('" + id + "')"));
-  const Status appended = writer_.Append(EncodeRecord(kIntent, id, ""));
+  const Status appended = writer_.Append(EncodeIntent(id));
   if (!appended.ok()) return appended.WithContext("WAL intent('" + id + "')");
   return appended;
 }
 
 Status WriteAheadLog::LogDone(const std::string& id,
+                              const std::string& outcome,
                               const std::string& journal_json) {
   const Status appended =
-      writer_.Append(EncodeRecord(kDone, id, journal_json));
+      writer_.Append(EncodeDone(id, outcome, journal_json));
   if (!appended.ok()) return appended.WithContext("WAL done('" + id + "')");
   // The done record is durable; the journal line has NOT been emitted yet.
   // A crash armed here is the narrowest no-double-count window: resume must
@@ -109,55 +199,19 @@ Status WriteAheadLog::LogDone(const std::string& id,
   return OkStatus();
 }
 
+StatusOr<WalReplay> WriteAheadLog::Replay() const {
+  return FoldWalRecords(writer_.recovered(),
+                        "WAL replay('" + writer_.path() + "')");
+}
+
 StatusOr<WalReplay> ReplayWal(const std::string& dir) {
-  WalReplay replay;
   if (dir.empty()) return InvalidArgumentError("empty WAL directory");
   StatusOr<SegmentScan> scan = ScanSegment(WalLogPath(dir));
   if (!scan.ok()) {
-    if (scan.status().code() == StatusCode::kNotFound) return replay;
+    if (scan.status().code() == StatusCode::kNotFound) return WalReplay{};
     return scan.status().WithContext("ReplayWal('" + dir + "')");
   }
-  replay.torn_bytes = scan->dropped_bytes;
-
-  std::set<std::string> done_ids;
-  std::set<std::string> intent_ids;
-  for (const std::string& payload : scan->records) {
-    char type = 0;
-    std::string id;
-    std::string rest;
-    GPUTC_RETURN_IF_ERROR(DecodeRecord(payload, &type, &id, &rest)
-                              .WithContext("ReplayWal('" + dir + "')"));
-    if (type == kDone) {
-      // First terminal outcome wins: a duplicate done for the same id could
-      // only come from a run that raced a crash, and re-emitting one line
-      // per id is the exactly-once contract.
-      if (done_ids.insert(id).second) {
-        replay.done.emplace_back(std::move(id), std::move(rest));
-      }
-    } else {
-      intent_ids.insert(std::move(id));
-    }
-  }
-  for (const auto& [id, line] : replay.done) intent_ids.erase(id);
-  // Preserve intent order for the pending list by re-scanning in sequence.
-  std::set<std::string> emitted;
-  for (const std::string& payload : scan->records) {
-    if (payload.empty() || payload[0] != kIntent) continue;
-    char type = 0;
-    std::string id;
-    std::string rest;
-    if (!DecodeRecord(payload, &type, &id, &rest).ok()) continue;
-    if (intent_ids.count(id) > 0 && emitted.insert(id).second) {
-      replay.pending.push_back(std::move(id));
-    }
-  }
-  if (replay.torn_bytes > 0) {
-    GPUTC_LOG(Warning) << "WAL '" << dir << "': recovered past a torn tail ("
-                       << replay.torn_bytes << " byte(s) dropped); "
-                       << replay.done.size() << " done, "
-                       << replay.pending.size() << " pending";
-  }
-  return replay;
+  return FoldWalRecords(*scan, "ReplayWal('" + dir + "')");
 }
 
 }  // namespace gputc

@@ -14,9 +14,12 @@ namespace gputc {
 // Write-ahead journal for crash-safe batch execution. One record per state
 // transition of a manifest request:
 //
-//   intent(id)        — the request is about to be submitted to the service
-//   done(id, json)    — the request reached a terminal outcome; `json` is its
-//                       complete journal line, stored verbatim
+//   intent(id)          — the request is about to be submitted to the service
+//   done(id, outcome,   — the request reached a terminal outcome; `outcome`
+//        json)            is its outcome name ("ok", "rejected", ...) stored
+//                         as its own field so resume never re-parses the
+//                         journal JSON, and `json` is the complete journal
+//                         line, stored verbatim
 //
 // Records live in `<dir>/wal.log`, an append-only segment with per-record
 // CRC32C framing (util/durable_file). Every append is fsynced before the
@@ -34,10 +37,18 @@ namespace gputc {
 // only tear the final record, which recovery truncates); any record that
 // passes its CRC but does not decode is real corruption and fails replay.
 
-/// What ReplayWal reconstructed from a previous run.
+/// One replayed terminal outcome: the request id, its outcome name exactly
+/// as the first run recorded it, and its journal line stored verbatim.
+struct WalDoneRecord {
+  std::string id;
+  std::string outcome;
+  std::string line;
+};
+
+/// What a WAL replay reconstructed from a previous run.
 struct WalReplay {
-  /// Terminal outcomes in WAL order: request id -> verbatim journal line.
-  std::vector<std::pair<std::string, std::string>> done;
+  /// Terminal outcomes in WAL order.
+  std::vector<WalDoneRecord> done;
   /// Requests with an intent but no terminal outcome, in intent order —
   /// the work a resume must re-admit.
   std::vector<std::string> pending;
@@ -45,8 +56,8 @@ struct WalReplay {
   uint64_t torn_bytes = 0;
 
   bool empty() const { return done.empty() && pending.empty(); }
-  /// The stored journal line for `id`, if it reached a terminal outcome.
-  const std::string* FindDone(const std::string& id) const;
+  /// The stored record for `id`, if it reached a terminal outcome.
+  const WalDoneRecord* FindDone(const std::string& id) const;
 };
 
 /// Append side of the WAL. Open recovers the segment (truncating a torn
@@ -61,11 +72,18 @@ class WriteAheadLog {
   /// "wal.intent" fail point before the append.
   Status LogIntent(const std::string& id);
 
-  /// Durably records the terminal outcome of `id` with its journal line.
-  /// Passes the "wal.done" fail point *after* the append is durable — a
-  /// crash armed there models dying between WAL commit and journal emit,
-  /// the window the verbatim replay exists for.
-  Status LogDone(const std::string& id, const std::string& journal_json);
+  /// Durably records the terminal outcome of `id`: `outcome` is its outcome
+  /// name (RequestOutcomeName) and `journal_json` its journal line, stored
+  /// verbatim. Passes the "wal.done" fail point *after* the append is
+  /// durable — a crash armed there models dying between WAL commit and
+  /// journal emit, the window the verbatim replay exists for.
+  Status LogDone(const std::string& id, const std::string& outcome,
+                 const std::string& journal_json);
+
+  /// Folds the records recovered when the log was opened into a WalReplay —
+  /// the resume path uses this instead of ReplayWal so the segment is
+  /// scanned exactly once (Open already read and verified it).
+  StatusOr<WalReplay> Replay() const;
 
   const std::string& path() const { return writer_.path(); }
 

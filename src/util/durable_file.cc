@@ -5,10 +5,10 @@
 #include <unistd.h>
 
 #include <array>
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <fstream>
-#include <sstream>
 #include <utility>
 
 #include "util/failpoint.h"
@@ -108,7 +108,12 @@ uint32_t Crc32c(const void* data, size_t size, uint32_t seed) {
 
 StatusOr<AtomicFileWriter> AtomicFileWriter::Create(const std::string& path) {
   if (path.empty()) return InvalidArgumentError("empty path");
-  std::string temp = path + ".tmp." + std::to_string(::getpid());
+  // pid + per-process sequence: two concurrent writers targeting the same
+  // path must not share a temp file, or they would interleave content and
+  // the loser's rename would publish the mix.
+  static std::atomic<uint64_t> temp_seq{0};
+  std::string temp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                     std::to_string(temp_seq.fetch_add(1));
   const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return ErrnoStatus("cannot create temp file", temp);
   return AtomicFileWriter(fd, std::move(temp), path);
@@ -200,29 +205,44 @@ Status WriteFileAtomic(const std::string& path, std::string_view content) {
 StatusOr<SegmentScan> ScanSegment(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return NotFoundError("cannot open segment '" + path + "'");
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
+  in.seekg(0, std::ios::end);
+  const auto end_pos = in.tellg();
+  if (end_pos < 0) {
+    return DataLossError("cannot size segment '" + path + "'");
+  }
+  const uint64_t total = static_cast<uint64_t>(end_pos);
+  in.seekg(0, std::ios::beg);
+
+  // Stream frame by frame: long-running WALs grow without bound, so the
+  // scan must not buffer the whole file (let alone copy it twice).
+  SegmentScan scan;
+  uint64_t pos = 0;
+  char header[kFrameHeaderBytes];
+  std::string payload;
+  while (total - pos >= kFrameHeaderBytes) {
+    in.read(header, kFrameHeaderBytes);
+    if (in.gcount() != static_cast<std::streamsize>(kFrameHeaderBytes)) break;
+    const uint32_t len = GetU32(header);
+    const uint32_t stored_crc = GetU32(header + 4);
+    // An all-zero header is a crash-extended tail whose blocks were never
+    // written (file length grew, data reads back as zeros), not a record:
+    // Append refuses empty payloads so no real frame looks like this.
+    if (len == 0 && stored_crc == 0) break;
+    if (len > kMaxRecordBytes) break;  // Garbage length: untrusted tail.
+    if (total - pos - kFrameHeaderBytes < len) break;  // Torn payload.
+    payload.resize(len);
+    in.read(payload.data(), static_cast<std::streamsize>(len));
+    if (in.gcount() != static_cast<std::streamsize>(len)) break;
+    if (Crc32c(payload) != stored_crc) break;  // Corrupt frame.
+    scan.records.push_back(payload);
+    pos += kFrameHeaderBytes + len;
+  }
   if (in.bad()) {
     return DataLossError("stream failed while reading segment '" + path +
                          "'");
   }
-  const std::string bytes = buffer.str();
-
-  SegmentScan scan;
-  size_t pos = 0;
-  while (true) {
-    if (bytes.size() - pos < kFrameHeaderBytes) break;  // Torn/empty tail.
-    const uint32_t len = GetU32(bytes.data() + pos);
-    const uint32_t stored_crc = GetU32(bytes.data() + pos + 4);
-    if (len > kMaxRecordBytes) break;  // Garbage length: untrusted tail.
-    if (bytes.size() - pos - kFrameHeaderBytes < len) break;  // Torn payload.
-    const char* payload = bytes.data() + pos + kFrameHeaderBytes;
-    if (Crc32c(payload, size_t{len}) != stored_crc) break;  // Corrupt frame.
-    scan.records.emplace_back(payload, len);
-    pos += kFrameHeaderBytes + len;
-  }
   scan.valid_bytes = pos;
-  scan.dropped_bytes = bytes.size() - pos;
+  scan.dropped_bytes = total - pos;
   return scan;
 }
 
@@ -258,7 +278,8 @@ SegmentWriter::~SegmentWriter() {
 SegmentWriter::SegmentWriter(SegmentWriter&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       path_(std::move(other.path_)),
-      recovered_(std::move(other.recovered_)) {}
+      recovered_(std::move(other.recovered_)),
+      append_mu_(std::move(other.append_mu_)) {}
 
 SegmentWriter& SegmentWriter::operator=(SegmentWriter&& other) noexcept {
   if (this != &other) {
@@ -266,17 +287,29 @@ SegmentWriter& SegmentWriter::operator=(SegmentWriter&& other) noexcept {
     fd_ = std::exchange(other.fd_, -1);
     path_ = std::move(other.path_);
     recovered_ = std::move(other.recovered_);
+    append_mu_ = std::move(other.append_mu_);
   }
   return *this;
 }
 
 Status SegmentWriter::Append(std::string_view payload) {
   if (fd_ < 0) return InternalError("Append on a moved-from SegmentWriter");
+  if (payload.empty()) {
+    // An empty record's frame is eight zero bytes — exactly what a
+    // zero-filled crash tail reads back as, so the scanner treats that
+    // header as end-of-log and a real empty record would vanish on replay.
+    return InvalidArgumentError("empty segment records are not supported");
+  }
   if (payload.size() > kMaxRecordBytes) {
     return InvalidArgumentError("segment record of " +
                                 std::to_string(payload.size()) +
                                 " bytes exceeds the frame cap");
   }
+  // One writer at a time: the frame goes out in two write(2)s (see below),
+  // and interleaving frames from concurrent appenders would corrupt the log
+  // mid-record — recovery would then silently drop every record after the
+  // interleave point.
+  std::lock_guard<std::mutex> lock(*append_mu_);
   FailPointScope scope;
   GPUTC_RETURN_IF_ERROR(
       CheckFailPoint("durable.append").WithContext("append('" + path_ + "')"));

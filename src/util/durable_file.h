@@ -3,6 +3,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -39,9 +41,11 @@ inline uint32_t Crc32c(std::string_view data, uint32_t seed = 0) {
   return Crc32c(data.data(), data.size(), seed);
 }
 
-/// Atomic whole-file replacement. Writes stream into `<path>.tmp.<pid>`;
-/// Commit fsyncs the temp file, renames it over `path`, and fsyncs the
-/// parent directory so the rename itself is durable. Destroying an
+/// Atomic whole-file replacement. Writes stream into
+/// `<path>.tmp.<pid>.<seq>` (the sequence number keeps concurrent writers
+/// targeting the same path in one process from clobbering each other's temp
+/// file); Commit fsyncs the temp file, renames it over `path`, and fsyncs
+/// the parent directory so the rename itself is durable. Destroying an
 /// uncommitted writer unlinks the temp file.
 class AtomicFileWriter {
  public:
@@ -90,17 +94,23 @@ struct SegmentScan {
   uint64_t dropped_bytes = 0;
 };
 
-/// Reads every intact record of the segment at `path`. Framing is
+/// Reads every intact record of the segment at `path`, streaming one frame
+/// at a time (the file is never buffered whole). Framing is
 /// [u32 payload_len][u32 crc32c(payload)][payload]; scanning stops at the
-/// first frame that is incomplete or fails its checksum — a crash can only
-/// tear the tail, so nothing after a bad frame is trusted. kNotFound when
-/// the file does not exist.
+/// first frame that is incomplete, fails its checksum, or has an all-zero
+/// header — a crash can only tear the tail, and a crash-extended file whose
+/// blocks were never written reads back as zeros, so nothing after either is
+/// trusted. (Empty payloads are rejected by Append precisely so a zero
+/// header can never be a real record.) kNotFound when the file does not
+/// exist.
 StatusOr<SegmentScan> ScanSegment(const std::string& path);
 
 /// Append-only CRC-framed record log. Open recovers the segment first —
 /// truncating any torn tail back to the last intact record — so appends
 /// always continue from a verified prefix. Every Append is fsynced before
 /// it returns: a record handed back OK survives SIGKILL and power loss.
+/// Append is thread-safe: concurrent appends serialize on an internal
+/// mutex, so frames from different threads never interleave mid-record.
 class SegmentWriter {
  public:
   static StatusOr<SegmentWriter> Open(const std::string& path);
@@ -111,10 +121,12 @@ class SegmentWriter {
   SegmentWriter(const SegmentWriter&) = delete;
   SegmentWriter& operator=(const SegmentWriter&) = delete;
 
-  /// Appends one framed record and fsyncs. Passes "durable.append" before
-  /// writing anything and "durable.append.torn" after a deliberate partial
-  /// write, so a crash armed at the latter leaves a real torn tail for the
-  /// recovery path to exercise.
+  /// Appends one framed record and fsyncs; safe to call from multiple
+  /// threads. Empty payloads are rejected (their frame would be
+  /// indistinguishable from a zero-filled crash tail). Passes
+  /// "durable.append" before writing anything and "durable.append.torn"
+  /// after a deliberate partial write, so a crash armed at the latter leaves
+  /// a real torn tail for the recovery path to exercise.
   Status Append(std::string_view payload);
 
   /// Records recovered (still present) when the segment was opened.
@@ -123,11 +135,18 @@ class SegmentWriter {
 
  private:
   SegmentWriter(int fd, std::string path, SegmentScan recovered)
-      : fd_(fd), path_(std::move(path)), recovered_(std::move(recovered)) {}
+      : fd_(fd),
+        path_(std::move(path)),
+        recovered_(std::move(recovered)),
+        append_mu_(std::make_unique<std::mutex>()) {}
 
   int fd_ = -1;
   std::string path_;
   SegmentScan recovered_;
+  /// Serializes Append across threads: a frame is written in (deliberately)
+  /// more than one write(2), and interleaved frames from two threads would
+  /// corrupt the log mid-record, not just at the tail.
+  std::unique_ptr<std::mutex> append_mu_;
 };
 
 /// Line-oriented streaming log for the batch journal: each WriteLine issues

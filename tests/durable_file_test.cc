@@ -10,6 +10,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace gputc {
@@ -108,7 +109,7 @@ TEST_F(DurableFileTest, CreateInMissingDirectoryFails) {
 
 TEST_F(DurableFileTest, SegmentRoundTripsRecords) {
   const std::string path = Path("seg.log");
-  const std::vector<std::string> records = {"alpha", "", "gamma gamma",
+  const std::vector<std::string> records = {"alpha", "b", "gamma gamma",
                                             std::string(1000, 'x')};
   {
     StatusOr<SegmentWriter> writer = SegmentWriter::Open(path);
@@ -118,6 +119,85 @@ TEST_F(DurableFileTest, SegmentRoundTripsRecords) {
   StatusOr<SegmentScan> scan = ScanSegment(path);
   ASSERT_TRUE(scan.ok());
   EXPECT_EQ(scan->records, records);
+  EXPECT_EQ(scan->dropped_bytes, 0u);
+}
+
+TEST_F(DurableFileTest, EmptyRecordIsRejected) {
+  // An empty record's frame would be eight zero bytes — the same thing a
+  // zero-filled crash tail reads back as — so the writer refuses it rather
+  // than produce a record the scanner must treat as end-of-log.
+  const std::string path = Path("empty.log");
+  StatusOr<SegmentWriter> writer = SegmentWriter::Open(path);
+  ASSERT_TRUE(writer.ok());
+  const Status appended = writer->Append("");
+  ASSERT_FALSE(appended.ok());
+  EXPECT_EQ(appended.code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(writer->Append("real record").ok());
+}
+
+TEST_F(DurableFileTest, ZeroFilledTailIsDroppedNotTrusted) {
+  // Post-crash state on ext4/XFS: the file length was extended but the data
+  // blocks never hit disk, so the tail reads back as zeros. The scan must
+  // stop at the zero header instead of decoding an endless run of "valid"
+  // empty records.
+  const std::string path = Path("zerotail.log");
+  {
+    StatusOr<SegmentWriter> writer = SegmentWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append("survivor one").ok());
+    ASSERT_TRUE(writer->Append("survivor two").ok());
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    const std::string zeros(128, '\0');
+    out.write(zeros.data(), static_cast<std::streamsize>(zeros.size()));
+  }
+  StatusOr<SegmentScan> scan = ScanSegment(path);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 2u);
+  EXPECT_EQ(scan->dropped_bytes, 128u);
+  // Open truncates the zero tail and appends continue from the verified
+  // prefix, exactly as with a torn record.
+  {
+    StatusOr<SegmentWriter> writer = SegmentWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    EXPECT_EQ(writer->recovered().dropped_bytes, 128u);
+    ASSERT_TRUE(writer->Append("after recovery").ok());
+  }
+  scan = ScanSegment(path);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 3u);
+  EXPECT_EQ(scan->records[2], "after recovery");
+  EXPECT_EQ(scan->dropped_bytes, 0u);
+}
+
+TEST_F(DurableFileTest, ConcurrentAppendsDoNotInterleaveFrames) {
+  // A frame is written in more than one write(2); without serialization,
+  // appenders on different threads interleave mid-frame and every record
+  // after the interleave point is silently dropped by recovery.
+  const std::string path = Path("concurrent.log");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 32;
+  {
+    StatusOr<SegmentWriter> writer = SegmentWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&writer, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          const std::string payload =
+              "thread " + std::to_string(t) + " record " + std::to_string(i) +
+              " " + std::string(static_cast<size_t>(1 + (i * 7) % 40), 'p');
+          ASSERT_TRUE(writer->Append(payload).ok());
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  StatusOr<SegmentScan> scan = ScanSegment(path);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->records.size(),
+            static_cast<size_t>(kThreads * kPerThread));
   EXPECT_EQ(scan->dropped_bytes, 0u);
 }
 

@@ -49,20 +49,22 @@ TEST_F(WalTest, IntentThenDoneReplaysVerbatim) {
     StatusOr<WriteAheadLog> wal = WriteAheadLog::Open(dir_);
     ASSERT_TRUE(wal.ok());
     ASSERT_TRUE(wal->LogIntent("1:a").ok());
-    ASSERT_TRUE(wal->LogDone("1:a", "{\"id\":\"1:a\",\"outcome\":\"ok\"}").ok());
+    ASSERT_TRUE(wal->LogDone("1:a", "ok", "{\"id\":\"1:a\"}").ok());
     ASSERT_TRUE(wal->LogIntent("2:b").ok());
     // 2:b never reaches done — the crash window.
   }
   StatusOr<WalReplay> replay = ReplayWal(dir_);
   ASSERT_TRUE(replay.ok());
   ASSERT_EQ(replay->done.size(), 1u);
-  EXPECT_EQ(replay->done[0].first, "1:a");
-  EXPECT_EQ(replay->done[0].second, "{\"id\":\"1:a\",\"outcome\":\"ok\"}");
+  EXPECT_EQ(replay->done[0].id, "1:a");
+  EXPECT_EQ(replay->done[0].outcome, "ok");
+  EXPECT_EQ(replay->done[0].line, "{\"id\":\"1:a\"}");
   ASSERT_EQ(replay->pending.size(), 1u);
   EXPECT_EQ(replay->pending[0], "2:b");
-  const std::string* line = replay->FindDone("1:a");
-  ASSERT_NE(line, nullptr);
-  EXPECT_EQ(*line, "{\"id\":\"1:a\",\"outcome\":\"ok\"}");
+  const WalDoneRecord* record = replay->FindDone("1:a");
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->outcome, "ok");
+  EXPECT_EQ(record->line, "{\"id\":\"1:a\"}");
   EXPECT_EQ(replay->FindDone("2:b"), nullptr);
 }
 
@@ -73,7 +75,7 @@ TEST_F(WalTest, PendingPreservesIntentOrder) {
     for (const char* id : {"3:c", "1:a", "2:b"}) {
       ASSERT_TRUE(wal->LogIntent(id).ok());
     }
-    ASSERT_TRUE(wal->LogDone("1:a", "{}").ok());
+    ASSERT_TRUE(wal->LogDone("1:a", "ok", "{}").ok());
   }
   StatusOr<WalReplay> replay = ReplayWal(dir_);
   ASSERT_TRUE(replay.ok());
@@ -87,13 +89,14 @@ TEST_F(WalTest, FirstDoneWinsOnDuplicates) {
     StatusOr<WriteAheadLog> wal = WriteAheadLog::Open(dir_);
     ASSERT_TRUE(wal.ok());
     ASSERT_TRUE(wal->LogIntent("1:a").ok());
-    ASSERT_TRUE(wal->LogDone("1:a", "first outcome").ok());
-    ASSERT_TRUE(wal->LogDone("1:a", "second outcome").ok());
+    ASSERT_TRUE(wal->LogDone("1:a", "ok", "first outcome").ok());
+    ASSERT_TRUE(wal->LogDone("1:a", "failed", "second outcome").ok());
   }
   StatusOr<WalReplay> replay = ReplayWal(dir_);
   ASSERT_TRUE(replay.ok());
   ASSERT_EQ(replay->done.size(), 1u);
-  EXPECT_EQ(replay->done[0].second, "first outcome");
+  EXPECT_EQ(replay->done[0].outcome, "ok");
+  EXPECT_EQ(replay->done[0].line, "first outcome");
 }
 
 TEST_F(WalTest, AccumulatesAcrossReopenCycles) {
@@ -101,19 +104,19 @@ TEST_F(WalTest, AccumulatesAcrossReopenCycles) {
     StatusOr<WriteAheadLog> wal = WriteAheadLog::Open(dir_);
     ASSERT_TRUE(wal.ok());
     ASSERT_TRUE(wal->LogIntent("1:a").ok());
-    ASSERT_TRUE(wal->LogDone("1:a", "run one").ok());
+    ASSERT_TRUE(wal->LogDone("1:a", "ok", "run one").ok());
   }
   {
     StatusOr<WriteAheadLog> wal = WriteAheadLog::Open(dir_);
     ASSERT_TRUE(wal.ok());
     ASSERT_TRUE(wal->LogIntent("2:b").ok());
-    ASSERT_TRUE(wal->LogDone("2:b", "run two").ok());
+    ASSERT_TRUE(wal->LogDone("2:b", "ok", "run two").ok());
   }
   StatusOr<WalReplay> replay = ReplayWal(dir_);
   ASSERT_TRUE(replay.ok());
   ASSERT_EQ(replay->done.size(), 2u);
-  EXPECT_EQ(replay->done[0].second, "run one");
-  EXPECT_EQ(replay->done[1].second, "run two");
+  EXPECT_EQ(replay->done[0].line, "run one");
+  EXPECT_EQ(replay->done[1].line, "run two");
   EXPECT_TRUE(replay->pending.empty());
 }
 
@@ -122,7 +125,7 @@ TEST_F(WalTest, TornTailDropsOnlyTheTear) {
     StatusOr<WriteAheadLog> wal = WriteAheadLog::Open(dir_);
     ASSERT_TRUE(wal.ok());
     ASSERT_TRUE(wal->LogIntent("1:a").ok());
-    ASSERT_TRUE(wal->LogDone("1:a", "{\"outcome\":\"ok\"}").ok());
+    ASSERT_TRUE(wal->LogDone("1:a", "ok", "{\"id\":\"1:a\"}").ok());
     ASSERT_TRUE(wal->LogIntent("2:b").ok());
   }
   const std::string log = WalLogPath(dir_);
@@ -136,8 +139,55 @@ TEST_F(WalTest, TornTailDropsOnlyTheTear) {
   EXPECT_GT(replay->torn_bytes, 0u);
   // The torn record was 2:b's intent; the done before it survives intact.
   ASSERT_EQ(replay->done.size(), 1u);
-  EXPECT_EQ(replay->done[0].first, "1:a");
+  EXPECT_EQ(replay->done[0].id, "1:a");
   EXPECT_TRUE(replay->pending.empty());
+}
+
+TEST_F(WalTest, ZeroFilledTailDoesNotBrickReplay) {
+  {
+    StatusOr<WriteAheadLog> wal = WriteAheadLog::Open(dir_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->LogIntent("1:a").ok());
+    ASSERT_TRUE(wal->LogDone("1:a", "ok", "{\"id\":\"1:a\"}").ok());
+  }
+  // A crash can extend the file without its data blocks ever reaching disk;
+  // those blocks read back as zeros. Replay must treat them as a torn tail
+  // (resume continues), not as records (which would fail decode and brick
+  // the resume with DataLoss).
+  {
+    std::ofstream out(WalLogPath(dir_),
+                      std::ios::binary | std::ios::app);
+    const std::string zeros(64, '\0');
+    out.write(zeros.data(), static_cast<std::streamsize>(zeros.size()));
+  }
+  StatusOr<WalReplay> replay = ReplayWal(dir_);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->torn_bytes, 64u);
+  ASSERT_EQ(replay->done.size(), 1u);
+  EXPECT_EQ(replay->done[0].id, "1:a");
+  EXPECT_TRUE(replay->pending.empty());
+}
+
+TEST_F(WalTest, OpenOnceReplayMatchesReadOnlyReplay) {
+  {
+    StatusOr<WriteAheadLog> wal = WriteAheadLog::Open(dir_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->LogIntent("1:a").ok());
+    ASSERT_TRUE(wal->LogDone("1:a", "rejected", "shed").ok());
+    ASSERT_TRUE(wal->LogIntent("2:b").ok());
+  }
+  StatusOr<WriteAheadLog> wal = WriteAheadLog::Open(dir_);
+  ASSERT_TRUE(wal.ok());
+  StatusOr<WalReplay> from_open = wal->Replay();
+  ASSERT_TRUE(from_open.ok());
+  StatusOr<WalReplay> from_disk = ReplayWal(dir_);
+  ASSERT_TRUE(from_disk.ok());
+  ASSERT_EQ(from_open->done.size(), from_disk->done.size());
+  EXPECT_EQ(from_open->done[0].id, from_disk->done[0].id);
+  EXPECT_EQ(from_open->done[0].outcome, "rejected");
+  EXPECT_EQ(from_open->done[0].line, "shed");
+  ASSERT_EQ(from_open->pending.size(), 1u);
+  EXPECT_EQ(from_open->pending[0], "2:b");
 }
 
 TEST_F(WalTest, CrcPassingButUndecodableRecordIsDataLoss) {

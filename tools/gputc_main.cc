@@ -529,20 +529,6 @@ int CmdDoctor(const FlagParser& flags) {
 
 // -- batch ------------------------------------------------------------------
 
-/// Pulls the string value of `"key":"value"` out of a journal JSON line.
-/// The journal writes its own JSON, so a targeted scan is enough to recover
-/// the outcome of a WAL-replayed line without a JSON parser dependency.
-std::string ExtractJsonStringField(const std::string& json,
-                                   const std::string& key) {
-  const std::string needle = "\"" + key + "\":\"";
-  const size_t begin = json.find(needle);
-  if (begin == std::string::npos) return "";
-  const size_t value = begin + needle.size();
-  const size_t end = json.find('"', value);
-  if (end == std::string::npos) return "";
-  return json.substr(value, end - value);
-}
-
 /// Set by the SIGINT/SIGTERM handler. Plain signal-safe flag; the actual
 /// drain (which takes locks) runs on the watcher thread below.
 std::atomic<int> g_batch_signal{0};
@@ -604,16 +590,26 @@ int CmdBatch(const FlagParser& flags) {
     return kExitOk;
   }
 
-  // -- durability: replay then open the write-ahead log ---------------------
+  // -- durability: open the write-ahead log and fold its replay -------------
   const std::string wal_dir = flags.GetString("wal", "");
   const bool resume = flags.GetBool("resume", false);
   if (resume && wal_dir.empty()) {
     std::cerr << "--resume needs --wal DIR (the log to replay)\n";
     return kExitUsage;
   }
+  // Open recovers the segment (verifying every record's CRC and truncating a
+  // torn tail); Replay folds the records Open already read, so the log is
+  // scanned exactly once no matter how large it has grown.
+  std::optional<WriteAheadLog> wal;
   WalReplay replay;
   if (!wal_dir.empty()) {
-    StatusOr<WalReplay> replayed = ReplayWal(wal_dir);
+    StatusOr<WriteAheadLog> opened = WriteAheadLog::Open(wal_dir);
+    if (!opened.ok()) {
+      std::cerr << "error: " << opened.status().ToString() << "\n";
+      return kExitRuntime;
+    }
+    wal.emplace(*std::move(opened));
+    StatusOr<WalReplay> replayed = wal->Replay();
     if (!replayed.ok()) return ReportInputError(replayed.status());
     if (!resume && !replayed->empty()) {
       std::cerr << "error: WAL '" << wal_dir << "' holds "
@@ -624,15 +620,6 @@ int CmdBatch(const FlagParser& flags) {
       return kExitUsage;
     }
     if (resume) replay = *std::move(replayed);
-  }
-  std::optional<WriteAheadLog> wal;
-  if (!wal_dir.empty()) {
-    StatusOr<WriteAheadLog> opened = WriteAheadLog::Open(wal_dir);
-    if (!opened.ok()) {
-      std::cerr << "error: " << opened.status().ToString() << "\n";
-      return kExitRuntime;
-    }
-    wal.emplace(*std::move(opened));
   }
 
   // The journal streams as JSONL: one line per finished request, to stdout
@@ -676,20 +663,22 @@ int CmdBatch(const FlagParser& flags) {
     for (const BatchRequest& request : *manifest) {
       manifest_ids.insert(request.id);
     }
-    for (const auto& [id, line] : replay.done) {
-      if (manifest_ids.count(id) == 0) {
-        std::cerr << "warning: WAL outcome for '" << id
+    for (const WalDoneRecord& record : replay.done) {
+      if (manifest_ids.count(record.id) == 0) {
+        std::cerr << "warning: WAL outcome for '" << record.id
                   << "' is not in this manifest; ignoring it\n";
         continue;
       }
-      replayed_ids.insert(id);
-      const std::string outcome = ExtractJsonStringField(line, "outcome");
-      if (outcome == "ok" || outcome == "degraded") {
+      replayed_ids.insert(record.id);
+      // The outcome rides in the WAL record as its own field, so
+      // classification never depends on re-parsing the journal JSON.
+      if (record.outcome == RequestOutcomeName(RequestOutcome::kOk) ||
+          record.outcome == RequestOutcomeName(RequestOutcome::kDegraded)) {
         ++replayed_success;
       } else {
         ++replayed_nonsuccess;
       }
-      emit_line(line);
+      emit_line(record.line);
     }
     std::cerr << "batch: resumed from WAL '" << wal_dir << "': "
               << replayed_ids.size() << " request(s) replayed verbatim, "
@@ -711,7 +700,8 @@ int CmdBatch(const FlagParser& flags) {
       // The terminal outcome becomes durable BEFORE the journal line is
       // emitted: a crash in between replays this exact line on --resume
       // instead of re-running (and re-counting) the request.
-      const Status logged = wal->LogDone(report.id, line);
+      const Status logged =
+          wal->LogDone(report.id, RequestOutcomeName(report.outcome), line);
       if (!logged.ok()) {
         journal_write_failed.store(true, std::memory_order_relaxed);
         std::cerr << "error: " << logged.ToString() << "\n";
