@@ -187,6 +187,7 @@ StatusOr<ExecutionResult> ExecuteResilient(
   // Validate once up front: every stage would see the same corrupt CSR, so
   // invalid input is terminal, not a fallback trigger.
   {
+    if (policy.on_stage) policy.on_stage("validate");
     Span validate_span = StartSpan(ctx, "validate");
     validate_span.SetAttr("vertices", static_cast<int64_t>(g.num_vertices()));
     validate_span.SetAttr("edges", g.num_edges());
@@ -233,6 +234,7 @@ StatusOr<ExecutionResult> ExecuteResilient(
       AttemptRecord record;
       record.stage = stage.name();
       record.variant = stage.is_cpu ? "base" : VariantName(variant);
+      if (policy.on_stage) policy.on_stage(record.stage + "/" + record.variant);
 
       // An expired deadline ends the chain before burning another attempt.
       Status may_continue = ctx.CheckContinue("executor");

@@ -2,6 +2,7 @@
 #define GPUTC_CORE_EXECUTOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <string>
 #include <string_view>
@@ -52,6 +53,13 @@ struct ExecutionPolicy {
   /// Span the execution nests under (e.g. the batch service's per-request
   /// root). Zero means top-level.
   uint64_t parent_span = 0;
+  /// Stage-progress hook (optional). Invoked with "validate" before the
+  /// up-front validation pass and "<stage>/<variant>" at the start of every
+  /// attempt. Isolated `gputc worker` processes use it to emit one heartbeat
+  /// frame per executor stage, so their supervisor can tell a *slow* stage
+  /// (heartbeats still flowing) from a *hung* one (heartbeats stopped).
+  /// Must not throw; called on the executing thread.
+  std::function<void(const std::string&)> on_stage;
 };
 
 /// One stage of the fallback chain: a simulated GPU algorithm, or the exact

@@ -149,6 +149,20 @@ BatchService::~BatchService() {
 
 void BatchService::Start() {
   GPUTC_CHECK(!started_.exchange(true)) << "BatchService started twice";
+  if (options_.isolate > 0) {
+    SupervisorOptions supervision;
+    supervision.binary = options_.worker_binary;
+    supervision.workers = options_.isolate;
+    // In isolate mode the global admission budget becomes each worker's
+    // RLIMIT_AS: containment by the kernel instead of by cooperative
+    // accounting.
+    supervision.rlimit_as_bytes = options_.mem_budget_bytes;
+    supervision.heartbeat_interval_ms = options_.heartbeat_interval_ms;
+    supervision.breaker = &breakers_.ForBackend("worker");
+    supervisor_ = std::make_unique<Supervisor>(supervision);
+    const Status started = supervisor_->Start();
+    GPUTC_CHECK(started.ok()) << started.ToString();
+  }
   workers_.reserve(static_cast<size_t>(options_.jobs));
   for (int i = 0; i < options_.jobs; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -212,6 +226,17 @@ void BatchService::RequestDrain(std::string reason) {
   // Wake admission waiters; in-flight executions run until the grace
   // deadline, when the watchdog cancels their tokens.
   admission_.Abort();
+  // Isolated workers are processes, not cooperative threads: the supervisor
+  // kills and reaps idle ones now and busy ones when the grace expires, so a
+  // drain (including the signal-watcher path) leaks no child processes.
+  if (supervisor_ != nullptr) {
+    Deadline grace;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      grace = drain_deadline_;
+    }
+    supervisor_->RequestDrain(grace);
+  }
 }
 
 BatchSummary BatchService::Finish() {
@@ -221,6 +246,9 @@ BatchSummary BatchService::Finish() {
     for (std::thread& worker : workers_) worker.join();
     stop_watchdog_.store(true, std::memory_order_release);
     if (watchdog_.joinable()) watchdog_.join();
+    // All dispatch threads are joined, so every remaining worker is idle:
+    // kill, reap, and account for each — the no-zombies guarantee.
+    if (supervisor_ != nullptr) supervisor_->Shutdown();
   }
   BatchSummary summary;
   {
@@ -305,12 +333,21 @@ void BatchService::Process(int worker_index, QueuedRequest queued) {
     return;
   }
 
-  // Per-request cancellation handle, registered with the watchdog before any
-  // blocking step so deadlines and drain reach admission waits too.
-  CancelToken cancel;
   const double timeout_ms = request.timeout_ms >= 0.0
                                 ? request.timeout_ms
                                 : options_.request_timeout_ms;
+
+  if (supervisor_ != nullptr) {
+    // Process isolation: the worker subprocess materializes and executes;
+    // this thread only dispatches and classifies. Admission is skipped —
+    // each worker's RLIMIT_AS is the memory fence.
+    ProcessIsolated(request, timeout_ms, &report, request_span.id(), finish);
+    return;
+  }
+
+  // Per-request cancellation handle, registered with the watchdog before any
+  // blocking step so deadlines and drain reach admission waits too.
+  CancelToken cancel;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     InflightSlot& slot = slots_[static_cast<size_t>(worker_index)];
@@ -395,6 +432,23 @@ void BatchService::Process(int worker_index, QueuedRequest queued) {
     return;
   }
 
+  // A per-request fail-point schedule arms the process-wide registry here:
+  // without isolation there is no narrower blast radius to offer, which is
+  // exactly what the containment tests demonstrate (a crash schedule on one
+  // manifest line kills the whole in-process service, but only one worker
+  // under --isolate).
+  if (!request.failpoints.empty()) {
+    const Status armed =
+        FailPointRegistry::Instance().ArmFromString(request.failpoints);
+    if (!armed.ok()) {
+      admission_.Release(estimate);
+      unregister();
+      finish(RequestOutcome::kFailed,
+             armed.WithContext("failpoints override"));
+      return;
+    }
+  }
+
   ExecutionPolicy policy = options_.policy;
   policy.timeout_ms = 0.0;  // The watchdog owns the clock.
   policy.cancel = cancel;
@@ -432,6 +486,128 @@ void BatchService::Process(int worker_index, QueuedRequest queued) {
   report.stage = executed->stage;
   report.variant = executed->variant;
   report.triangles = executed->run.triangles;
+  const bool base_config = executed->variant == "base" &&
+                           executed->stage == options_.chain.front().name();
+  finish(base_config ? RequestOutcome::kOk : RequestOutcome::kDegraded,
+         OkStatus());
+}
+
+void BatchService::ProcessIsolated(
+    const BatchRequest& request, double timeout_ms, RequestReport* report,
+    uint64_t parent_span_id,
+    const std::function<void(RequestOutcome, Status)>& finish) {
+  Tracer* const tracer = options_.tracer;
+
+  WorkerRequest wire;
+  wire.id = request.id;
+  wire.source = request.source;
+  wire.kind = request.kind;
+  wire.target = request.target;
+  wire.params = request.params;
+  wire.timeout_ms = timeout_ms;
+  wire.failpoints = request.failpoints;
+  if (!request.fallback.empty()) {
+    wire.chain = request.fallback;
+  } else {
+    for (const FallbackStage& stage : options_.chain) {
+      if (!wire.chain.empty()) wire.chain += ",";
+      wire.chain += stage.name();
+    }
+  }
+
+  Span dispatch_span = tracer != nullptr
+                           ? tracer->StartSpan("worker.dispatch",
+                                               report->trace_id, parent_span_id)
+                           : Span();
+  const Deadline deadline = timeout_ms > 0.0
+                                ? Deadline::AfterMillis(timeout_ms)
+                                : Deadline::Infinite();
+  StatusOr<WorkerDispatch> dispatched = supervisor_->Execute(wire, deadline);
+
+  if (dispatched.ok()) {
+    dispatch_span.SetAttr("worker_pid",
+                          static_cast<int64_t>(dispatched->pid));
+    dispatch_span.SetAttr("worker_index",
+                          static_cast<int64_t>(dispatched->worker_index));
+    dispatch_span.Finish();
+    const WorkerResult& result = dispatched->result;
+    report->materialize_ms = result.materialize_ms;
+    report->attempts = result.attempts;
+    report->trace = result.trace;
+    const Status status = result.status();
+    if (!status.ok()) {
+      finish(RequestOutcome::kFailed, status);
+      return;
+    }
+    report->stage = result.stage;
+    report->variant = result.variant;
+    report->triangles = result.triangles;
+    const bool base_config = result.variant == "base" &&
+                             result.stage == options_.chain.front().name();
+    finish(base_config ? RequestOutcome::kOk : RequestOutcome::kDegraded,
+           OkStatus());
+    return;
+  }
+
+  dispatch_span.SetStatus(dispatched.status());
+  dispatch_span.Finish();
+
+  if (!IsWorkerBreakerOpen(dispatched.status())) {
+    // Crash, hang, rlimit, deadline, or drain: that one request fails (the
+    // poison-pill policy — a request that kills its worker is never retried
+    // across the pool), everything else in flight proceeds.
+    finish(RequestOutcome::kFailed, dispatched.status());
+    return;
+  }
+
+  // Crash loop tripped the "worker" breaker: fail over to the in-process
+  // cpu counter so the batch keeps making (degraded) progress while the
+  // benched worker pool cools down toward its half-open probe.
+  Span failover_span =
+      tracer != nullptr
+          ? tracer->StartSpan("cpu.failover", report->trace_id, parent_span_id)
+          : Span();
+  const Clock::time_point materialize_start = Clock::now();
+  StatusOr<Graph> graph = MaterializeRequest(request);
+  report->materialize_ms = MillisBetween(materialize_start, Clock::now());
+  if (!graph.ok()) {
+    failover_span.SetStatus(graph.status());
+    failover_span.Finish();
+    finish(RequestOutcome::kFailed,
+           graph.status().WithContext("materializing '" + request.source +
+                                      "' for cpu failover"));
+    return;
+  }
+  ExecutionPolicy policy = options_.policy;
+  policy.timeout_ms = timeout_ms;  // No watchdog token here; self-enforced.
+  policy.tracer = tracer;
+  policy.trace_id = report->trace_id;
+  policy.parent_span = failover_span.id();
+  const std::vector<FallbackStage> cpu_chain = {FallbackStage{true}};
+  ExecutionTrace trace;
+  StatusOr<ExecutionResult> executed =
+      ExecuteResilient(*graph, options_.spec, policy, cpu_chain,
+                       options_.preprocess, &trace);
+  failover_span.SetAttr("attempts",
+                        static_cast<int64_t>(trace.attempts.size()));
+  if (!executed.ok()) failover_span.SetStatus(executed.status());
+  failover_span.Finish();
+  report->attempts = static_cast<int>(trace.attempts.size());
+  for (const AttemptRecord& attempt : trace.attempts) {
+    report->trace.push_back(attempt.stage + "/" + attempt.variant + " -> " +
+                            (attempt.status.ok()
+                                 ? "OK"
+                                 : attempt.status.ToString()));
+  }
+  if (!executed.ok()) {
+    finish(RequestOutcome::kFailed,
+           executed.status().WithContext(
+               "cpu failover (worker circuit breaker open)"));
+    return;
+  }
+  report->stage = executed->stage;
+  report->variant = executed->variant;
+  report->triangles = executed->run.triangles;
   const bool base_config = executed->variant == "base" &&
                            executed->stage == options_.chain.front().name();
   finish(base_config ? RequestOutcome::kOk : RequestOutcome::kDegraded,

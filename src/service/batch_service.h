@@ -15,6 +15,7 @@
 #include "service/admission.h"
 #include "service/circuit_breaker.h"
 #include "service/manifest.h"
+#include "service/supervisor.h"
 #include "service/work_queue.h"
 #include "sim/device.h"
 #include "util/deadline.h"
@@ -62,6 +63,21 @@ struct BatchServiceOptions {
   /// {admit, execute > attempts..., journal} — under its own trace id.
   /// Requests always carry a trace id in the journal, tracer or not.
   Tracer* tracer = nullptr;
+
+  /// Process isolation (`gputc batch --isolate[=N]`). When > 0, requests
+  /// execute in N supervised `gputc worker` subprocesses instead of
+  /// in-process: a crash, hang, or memory blowup kills one worker and fails
+  /// that one request, leaving every other in-flight request (and the
+  /// journal/WAL invariants) intact. The global admission gate is skipped —
+  /// mem_budget_bytes becomes each worker's RLIMIT_AS instead — and crash
+  /// looping trips the "worker" backend breaker, failing requests over to
+  /// the in-process cpu counter (degraded) until a half-open probe
+  /// recovers.
+  int isolate = 0;
+  /// gputc binary to exec as workers; required when isolate > 0.
+  std::string worker_binary;
+  /// Heartbeat cadence for isolated workers (supervisor hang detection).
+  double heartbeat_interval_ms = 25.0;
 };
 
 /// Terminal classification of one submitted request. Every Submit produces
@@ -176,6 +192,13 @@ class BatchService {
   void WorkerLoop(int worker_index);
   void WatchdogLoop();
   void Process(int worker_index, QueuedRequest queued);
+  /// The --isolate execution path: dispatches the request to a supervised
+  /// worker subprocess, with cpu failover when the worker breaker is open.
+  /// Fills the execution fields of `report` and calls `finish` exactly once.
+  void ProcessIsolated(const BatchRequest& request, double timeout_ms,
+                       RequestReport* report, uint64_t parent_span_id,
+                       const std::function<void(RequestOutcome, Status)>&
+                           finish);
   /// Appends the report and fires the streaming hook. `parent_span` (with
   /// the report's trace_id) parents the "journal" span when tracing is on.
   void Journal(RequestReport report, uint64_t parent_span = 0);
@@ -190,6 +213,8 @@ class BatchService {
   WorkQueue<QueuedRequest> queue_;
   AdmissionController admission_;
   BreakerBoard breakers_;
+  /// Worker-subprocess pool; null unless options_.isolate > 0.
+  std::unique_ptr<Supervisor> supervisor_;
 
   std::vector<std::thread> workers_;
   std::thread watchdog_;

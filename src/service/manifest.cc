@@ -112,9 +112,20 @@ Status ParseLine(std::string_view line, BatchRequest* request) {
       }
     } else if (key == "fallback") {
       request->fallback = value;
+    } else if (key == "failpoints") {
+      // Only the coarse shape is checked here; ArmFromString validates the
+      // full syntax in the process that arms it (the worker under --isolate)
+      // and a malformed schedule fails that request, not the whole batch.
+      if (value.find('=') == std::string::npos) {
+        return InvalidArgumentError(
+            "failpoints override '" + value +
+            "' is not a 'site=code[@count][%prob][$seed];...' schedule");
+      }
+      request->failpoints = value;
     } else {
-      return InvalidArgumentError("unknown override key '" + key +
-                                  "'; valid keys: timeout-ms fallback");
+      return InvalidArgumentError(
+          "unknown override key '" + key +
+          "'; valid keys: timeout-ms fallback failpoints");
     }
   }
   return OkStatus();

@@ -32,6 +32,13 @@ struct BatchRequest {
   /// Per-request overrides; negative / empty means "use the batch default".
   double timeout_ms = -1.0;
   std::string fallback;
+  /// Fail-point schedule ("site=code[@count];...") armed for this request
+  /// only — the chaos/testing hook that lets a batch poison exactly one
+  /// request. Under `--isolate` the schedule is armed inside the worker
+  /// subprocess that executes the request; in-process it arms the (process
+  /// wide) registry, which is exactly the blast-radius difference the
+  /// isolation tests demonstrate.
+  std::string failpoints;
 };
 
 // Manifest format: one request per line.
@@ -49,6 +56,7 @@ struct BatchRequest {
 // A source may be followed by whitespace-separated per-request overrides:
 //
 //   dataset:gowalla timeout-ms=250 fallback=Hu,cpu
+//   gen:er:nodes=100,edges=300 failpoints=tc.block=crash@1
 //
 // Parsing is strict: unknown generator families, malformed key=value pairs,
 // and unknown override keys fail with InvalidArgument naming the line.

@@ -15,9 +15,23 @@ namespace gputc {
 // RocksDB-style named fail points for fault-injection testing.
 //
 // Sites are compiled into production binaries at the failure boundaries the
-// executor must recover from (io.load, preprocess, sim.memory, the tc.*
-// counter entries and tc.block/tc.cpu loop polls) and the boundaries the
-// batch service sheds at (service.enqueue, service.admit, service.worker).
+// code must recover from. The canonical site list (keep this current — it is
+// the one place every site is documented):
+//
+//   executor        io.load, preprocess, sim.memory, tc.<algorithm> counter
+//                   entries, and the tc.block / tc.cpu loop polls
+//   batch service   service.enqueue, service.admit, service.worker,
+//                   service.journal (between WAL commit and journal emit)
+//   durable I/O     durable.commit, durable.append, durable.append.torn
+//   write-ahead log wal.intent, wal.done
+//   worker pool     worker.spawn (supervisor side, before fork),
+//                   worker.exec (child side: exec a missing binary),
+//                   worker.hang (worker side: stop heartbeating and sleep
+//                   forever instead of failing — exercises the watchdog),
+//                   worker.response.torn (worker side: crash between the two
+//                   halves of a result frame, leaving a torn frame the
+//                   supervisor must classify as a crash)
+//
 // Evaluation is double-gated so a site costs one relaxed
 // atomic load when idle: the process-wide registry must have at least one
 // armed point or observer, AND the calling thread must be inside a

@@ -245,6 +245,101 @@ TEST_F(CrashRecoveryTest, PartialFailureIsExitFiveAcrossResume) {
   AssertJournalComplete();
 }
 
+// -- process isolation (--isolate) ------------------------------------------
+//
+// The same per-request crash schedule, run both ways, pins down the blast
+// radius difference that is the whole point of worker isolation: in-process
+// the schedule kills the entire service; isolated it costs exactly one
+// request.
+
+class IsolationTest : public CrashRecoveryTest {
+ protected:
+  void SetUp() override {
+    CrashRecoveryTest::SetUp();
+    std::ofstream out(manifest_, std::ios::trunc);
+    out << "gen:er:nodes=200,edges=600,seed=1\n"
+        << "gen:er:nodes=200,edges=600,seed=2 failpoints=tc.block=crash@1\n"
+        << "gen:er:nodes=200,edges=600,seed=3\n"
+        << "gen:er:nodes=200,edges=600,seed=4\n";
+    manifest_size_ = 4;
+  }
+
+  std::vector<std::string> IsolateArgs(bool isolate) const {
+    std::vector<std::string> args = {"batch",     "--manifest", manifest_,
+                                     "--jobs",    "2",          "--journal",
+                                     journal_};
+    if (isolate) args.push_back("--isolate=2");
+    return args;
+  }
+};
+
+TEST_F(IsolationTest, IsolatedWorkerCrashFailsOnlyThePoisonedRequest) {
+  const ChildResult run = RunGputc(IsolateArgs(/*isolate=*/true));
+  EXPECT_EQ(run.exit_code, 5) << run.stderr_text;  // Partial, not dead.
+  AssertJournalComplete();
+  int failed = 0;
+  for (const std::string& line : Lines(Slurp(journal_))) {
+    const std::string outcome = JsonField(line, "outcome");
+    if (JsonField(line, "id").rfind("2:", 0) == 0) {
+      EXPECT_EQ(outcome, "failed") << line;
+      EXPECT_NE(JsonField(line, "message").find("worker crashed"),
+                std::string::npos)
+          << line;
+    } else {
+      EXPECT_EQ(outcome, "ok") << line;
+    }
+    if (outcome == "failed") ++failed;
+  }
+  EXPECT_EQ(failed, 1);
+}
+
+TEST_F(IsolationTest, SameScheduleWithoutIsolationKillsTheWholeService) {
+  const ChildResult run = RunGputc(IsolateArgs(/*isolate=*/false));
+  EXPECT_EQ(run.exit_code, 137) << run.stderr_text;
+  // The poisoned request took the service down with it mid-run: the journal
+  // cannot be complete (the crashing request never journals).
+  EXPECT_LT(Lines(Slurp(journal_)).size(), manifest_size_);
+}
+
+TEST_F(IsolationTest, IsolatedWorkerHangFailsOnlyTheWedgedRequest) {
+  {
+    std::ofstream out(manifest_, std::ios::trunc);
+    out << "gen:er:nodes=200,edges=600,seed=1\n"
+        << "gen:er:nodes=200,edges=600,seed=2 "
+           "failpoints=worker.hang=internal@1\n"
+        << "gen:er:nodes=200,edges=600,seed=3\n";
+    manifest_size_ = 3;
+  }
+  const ChildResult run = RunGputc(IsolateArgs(/*isolate=*/true));
+  EXPECT_EQ(run.exit_code, 5) << run.stderr_text;
+  AssertJournalComplete();
+  for (const std::string& line : Lines(Slurp(journal_))) {
+    if (JsonField(line, "id").rfind("2:", 0) == 0) {
+      EXPECT_EQ(JsonField(line, "outcome"), "failed") << line;
+      EXPECT_NE(JsonField(line, "message").find("worker hung"),
+                std::string::npos)
+          << line;
+    } else {
+      EXPECT_EQ(JsonField(line, "outcome"), "ok") << line;
+    }
+  }
+}
+
+TEST_F(IsolationTest, IsolationComposesWithWalResume) {
+  // Crash the *service* (not a worker) after the first outcome is durable;
+  // the resumed isolated run must converge to exactly one line per request.
+  std::vector<std::string> args = IsolateArgs(/*isolate=*/true);
+  args.push_back("--wal");
+  args.push_back(wal_);
+  ASSERT_EQ(RunGputc(args, {"GPUTC_FAILPOINTS=service.journal=crash@1"})
+                .exit_code,
+            137);
+  args.push_back("--resume");
+  const ChildResult resumed = RunGputc(args);
+  EXPECT_EQ(resumed.exit_code, 5) << resumed.stderr_text;  // Poisoned req.
+  AssertJournalComplete();
+}
+
 }  // namespace
 }  // namespace testing
 }  // namespace gputc

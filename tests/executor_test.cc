@@ -111,6 +111,27 @@ TEST_F(ExecutorTest, DegradationLadderWalksVariantsInOrder) {
   EXPECT_EQ(trace.attempts[2].variant, "no-adirection");
 }
 
+TEST_F(ExecutorTest, OnStageHookSeesValidateAndEveryAttempt) {
+  // The progress hook isolated workers use for per-stage heartbeats: it must
+  // fire for the up-front validation pass and once per stage/variant
+  // attempt, in execution order.
+  ASSERT_TRUE(
+      FailPointRegistry::Instance().ArmFromString("tc.hu=internal@1").ok());
+  std::vector<std::string> stages;
+  ExecutionPolicy policy;
+  policy.on_stage = [&stages](const std::string& stage) {
+    stages.push_back(stage);
+  };
+  const StatusOr<ExecutionResult> result =
+      ExecuteResilient(g_, spec_, policy, GpuThenCpu(TcAlgorithm::kHu),
+                       PreprocessOptions{});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(stages.size(), 3u);
+  EXPECT_EQ(stages[0], "validate");
+  EXPECT_EQ(stages[1], "Hu/base");
+  EXPECT_EQ(stages[2], "Hu/no-aorder");
+}
+
 TEST_F(ExecutorTest, TransientFaultRecoversOnFirstRetry) {
   ASSERT_TRUE(
       FailPointRegistry::Instance().ArmFromString("tc.hu=internal@1").ok());

@@ -333,6 +333,15 @@ TEST(ManifestTest, ParsesPerRequestOverrides) {
   EXPECT_EQ((*requests)[0].fallback, "Polak,cpu");
 }
 
+TEST(ManifestTest, ParsesFailpointsOverride) {
+  std::istringstream in(
+      "gen:er:nodes=100,edges=300 failpoints=tc.block=crash@1\n");
+  const StatusOr<std::vector<BatchRequest>> requests = ParseManifest(in);
+  ASSERT_TRUE(requests.ok()) << requests.status().ToString();
+  ASSERT_EQ(requests->size(), 1u);
+  EXPECT_EQ((*requests)[0].failpoints, "tc.block=crash@1");
+}
+
 TEST(ManifestTest, RejectsMalformedLinesNamingTheLineNumber) {
   const auto expect_bad = [](const std::string& text,
                              const std::string& needle) {
@@ -348,6 +357,7 @@ TEST(ManifestTest, RejectsMalformedLinesNamingTheLineNumber) {
   expect_bad("dataset:gowalla retries=3\n", "unknown override key");
   expect_bad("dataset:gowalla timeout-ms=fast\n", "not a number");
   expect_bad("dataset:gowalla timeout-ms=-5\n", "must be >= 0");
+  expect_bad("dataset:gowalla failpoints=nonsense\n", "schedule");
   expect_bad("ok\ngen:mystery:x=1\n", "manifest line 2");
 }
 
@@ -434,6 +444,45 @@ TEST_F(BatchServiceTest, CleanBatchCountsEveryRequestOk) {
     EXPECT_NE(json.find("\"outcome\":\"ok\""), std::string::npos);
     EXPECT_NE(json.find("\"id\":\"" + report.id + "\""), std::string::npos);
   }
+}
+
+TEST_F(BatchServiceTest, PerRequestFailpointsOverrideInjectsInProcess) {
+  BatchServiceOptions options;
+  options.jobs = 1;  // Serial: completion order == submit order.
+  BatchService service(options);
+  service.Start();
+  BatchRequest poisoned = GenRequest(0);
+  // Three count-limited fires: one per Hu variant (base, no-aorder,
+  // no-adirection), exhausting the stage; the cpu stage then rescues the
+  // request. Count-limited so the schedule cannot leak into request 1.
+  poisoned.failpoints = "tc.block=internal@3";
+  service.Submit(poisoned);
+  service.Submit(GenRequest(1));
+  const BatchSummary summary = service.Finish();
+  ASSERT_EQ(summary.reports.size(), 2u);
+  EXPECT_EQ(summary.reports[0].outcome, RequestOutcome::kDegraded);
+  EXPECT_EQ(summary.reports[0].stage, "cpu");
+  EXPECT_GT(summary.reports[0].triangles, 0);
+  EXPECT_EQ(summary.reports[1].outcome, RequestOutcome::kOk);
+  EXPECT_EQ(summary.reports[1].stage, "Hu");
+}
+
+TEST_F(BatchServiceTest, MalformedFailpointsOverrideFailsOnlyThatRequest) {
+  BatchServiceOptions options;
+  options.jobs = 1;
+  BatchService service(options);
+  service.Start();
+  BatchRequest bad = GenRequest(0);
+  bad.failpoints = "not-a-schedule";
+  service.Submit(bad);
+  service.Submit(GenRequest(1));
+  const BatchSummary summary = service.Finish();
+  ASSERT_EQ(summary.reports.size(), 2u);
+  EXPECT_EQ(summary.reports[0].outcome, RequestOutcome::kFailed);
+  EXPECT_NE(summary.reports[0].status.message().find("failpoints override"),
+            std::string::npos)
+      << summary.reports[0].status.ToString();
+  EXPECT_EQ(summary.reports[1].outcome, RequestOutcome::kOk);
 }
 
 TEST_F(BatchServiceTest, StreamingHookSeesEveryReportInJournalOrder) {

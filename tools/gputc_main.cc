@@ -12,8 +12,10 @@
 //   gputc batch --manifest jobs.txt [--jobs N] [--queue-depth Q]
 //               [--mem-budget-mb M] [--shed-policy block|reject|drop-oldest]
 //               [--timeout-ms N] [--drain-grace-ms N] [--fallback Hu,cpu]
-//               [--journal FILE|-] [--wal DIR [--resume]]
+//               [--isolate[=N]] [--journal FILE|-] [--wal DIR [--resume]]
 //               [--trace-out t.json] [--metrics-out m.prom]
+//   gputc worker --request-fd N --response-fd N   (internal: spawned by
+//               `batch --isolate`; speaks the framed worker protocol)
 //   gputc metrics-dump [--json]          exporter smoke test
 //   gputc calibrate                      print the Section 5.3 calibration
 //
@@ -45,12 +47,15 @@
 #include <string>
 #include <thread>
 
+#include <unistd.h>
+
 #include "core/executor.h"
 #include "core/pipeline.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/batch_service.h"
 #include "service/wal.h"
+#include "service/worker_process.h"
 #include "graph/datasets.h"
 #include "graph/generators.h"
 #include "graph/graph_stats.h"
@@ -63,6 +68,7 @@
 #include "util/flags.h"
 #include "util/status.h"
 #include "util/table.h"
+#include "util/timer.h"
 
 namespace gputc {
 namespace {
@@ -96,8 +102,8 @@ int Usage() {
          "             [--mem-budget-mb M] [--shed-policy "
          "block|reject|drop-oldest]\n"
          "             [--timeout-ms N] [--drain-grace-ms N]\n"
-         "             [--fallback A1,...,cpu] [--journal FILE|-]\n"
-         "             [--wal DIR [--resume]]\n"
+         "             [--fallback A1,...,cpu] [--isolate[=N]]\n"
+         "             [--journal FILE|-] [--wal DIR [--resume]]\n"
          "             [--trace-out FILE] [--metrics-out FILE]: run every\n"
          "             manifest request through a concurrent batch service.\n"
          "             --journal - streams JSONL to stdout (the default);\n"
@@ -107,7 +113,13 @@ int Usage() {
          "crash:\n"
          "             finished requests emit their journal lines verbatim,\n"
          "             unfinished ones re-run — exactly one line per "
-         "request\n"
+         "request;\n"
+         "             --isolate[=N] executes requests in N supervised "
+         "worker\n"
+         "             subprocesses (default N = --jobs): a crash or hang "
+         "fails\n"
+         "             only that request, and --mem-budget-mb becomes each\n"
+         "             worker's address-space rlimit\n"
          "  metrics-dump  [--json] print a demo metrics snapshot (exporter "
          "smoke test)\n"
          "  calibrate  print BW(d), p_c(d) and lambda for the device model\n"
@@ -527,10 +539,188 @@ int CmdDoctor(const FlagParser& flags) {
   return kExitOk;
 }
 
+// -- worker (internal) ------------------------------------------------------
+
+/// The `gputc worker` subprocess body: the isolated execution half of
+/// `batch --isolate`. Not listed in --help — it is an implementation detail
+/// of the supervisor, spawned with its request pipe on --request-fd and its
+/// response pipe on --response-fd. The loop reads one framed request at a
+/// time, executes it with the same resilient executor the in-process path
+/// uses, and writes heartbeats (a periodic tick plus one per executor
+/// stage) and finally the result frame back. A clean EOF on the request
+/// pipe is the shutdown signal.
+int CmdWorker(const FlagParser& flags) {
+  const int request_fd = static_cast<int>(flags.GetInt("request-fd", 3));
+  const int response_fd = static_cast<int>(flags.GetInt("response-fd", 4));
+  const auto beat_interval_ms =
+      ParseNumericFlag(flags, "heartbeat-interval-ms", 25.0);
+  if (!beat_interval_ms.has_value()) return kExitUsage;
+
+  // The supervisor may vanish (service killed) while this worker writes; an
+  // EPIPE error, then the EOF on the next read, is the graceful exit path —
+  // not a SIGPIPE death that would read as a crash.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // Heartbeats (beat thread + per-stage hooks) and the result frame share
+  // the response pipe; the mutex keeps their frames from interleaving.
+  std::mutex write_mu;
+  const auto send_beat = [&](const std::string& label) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    (void)WriteFrame(response_fd, kFrameHeartbeat, label);
+  };
+
+  const char* ambient_env = std::getenv("GPUTC_FAILPOINTS");
+  const std::string ambient = ambient_env != nullptr ? ambient_env : "";
+
+  for (;;) {
+    StatusOr<WireFrame> frame = ReadFrame(request_fd);
+    if (!frame.ok()) {
+      // Clean EOF at a frame boundary = supervisor closed the pipe: done.
+      if (frame.status().code() == StatusCode::kFailedPrecondition) {
+        return kExitOk;
+      }
+      std::cerr << "worker: request pipe error: "
+                << frame.status().ToString() << "\n";
+      return kExitRuntime;
+    }
+    if (frame->type != kFrameRequest) {
+      std::cerr << "worker: unexpected frame type '" << frame->type << "'\n";
+      return kExitRuntime;
+    }
+    StatusOr<WorkerRequest> request = DecodeWorkerRequest(frame->body);
+    if (!request.ok()) {
+      std::cerr << "worker: " << request.status().ToString() << "\n";
+      return kExitRuntime;
+    }
+
+    WorkerResult result;
+    // Everything in the request block runs with fail points evaluable: the
+    // per-request schedule is the supervisor's chaos hook, and its blast
+    // radius is exactly this process — the point of isolation.
+    {
+      FailPointScope scope;
+      Status armed = OkStatus();
+      if (!request->failpoints.empty()) {
+        armed = FailPointRegistry::Instance().ArmFromString(
+            request->failpoints);
+      }
+      // Armed "worker.hang" simulates a wedged worker: heartbeats stop and
+      // nothing further happens until the supervisor's watchdog SIGKILLs.
+      // (Checked before the beat thread starts, so the silence is total.)
+      if (armed.ok() && !CheckFailPoint("worker.hang").ok()) {
+        for (;;) {
+          std::this_thread::sleep_for(std::chrono::seconds(3600));
+        }
+      }
+
+      std::atomic<bool> busy{true};
+      std::thread beater([&] {
+        while (busy.load(std::memory_order_acquire)) {
+          send_beat("tick");
+          std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+              *beat_interval_ms));
+        }
+      });
+
+      if (!armed.ok()) {
+        const Status bad = armed.WithContext("failpoints override");
+        result.code = bad.code();
+        result.message = bad.message();
+      } else {
+        result = [&]() -> WorkerResult {
+          WorkerResult r;
+          const auto fail = [&r](const Status& status) {
+            r.code = status.code();
+            r.message = status.message();
+            return r;
+          };
+          StatusOr<std::vector<FallbackStage>> chain =
+              ParseFallbackChain(request->chain);
+          if (!chain.ok()) {
+            return fail(chain.status().WithContext("fallback chain"));
+          }
+          BatchRequest materialized;
+          materialized.id = request->id;
+          materialized.source = request->source;
+          materialized.kind = request->kind;
+          materialized.target = request->target;
+          materialized.params = request->params;
+          Timer materialize_timer;
+          StatusOr<Graph> graph = MaterializeRequest(materialized);
+          r.materialize_ms = materialize_timer.ElapsedMillis();
+          if (!graph.ok()) {
+            return fail(graph.status().WithContext("materializing '" +
+                                                   request->source + "'"));
+          }
+          ExecutionPolicy policy;
+          // The worker self-enforces the deadline; the supervisor's SIGKILL
+          // (deadline + grace) is only the backstop for a wedged executor.
+          policy.timeout_ms = request->timeout_ms;
+          policy.on_stage = [&send_beat](const std::string& stage) {
+            send_beat(stage);
+          };
+          ExecutionTrace trace;
+          Timer exec_timer;
+          StatusOr<ExecutionResult> executed =
+              ExecuteResilient(*graph, DeviceSpec::TitanXpLike(), policy,
+                               *chain, PreprocessOptions{}, &trace);
+          r.exec_ms = exec_timer.ElapsedMillis();
+          r.attempts = static_cast<int>(trace.attempts.size());
+          for (const AttemptRecord& attempt : trace.attempts) {
+            r.trace.push_back(attempt.stage + "/" + attempt.variant + " -> " +
+                              (attempt.status.ok()
+                                   ? "OK"
+                                   : attempt.status.ToString()));
+          }
+          if (!executed.ok()) return fail(executed.status());
+          r.stage = executed->stage;
+          r.variant = executed->variant;
+          r.triangles = executed->run.triangles;
+          return r;
+        }();
+      }
+
+      busy.store(false, std::memory_order_release);
+      beater.join();
+
+      // The result frame passes the "worker.response.torn" site between its
+      // two halves (see WriteFrame) — still inside this request's schedule.
+      Status written;
+      {
+        std::lock_guard<std::mutex> lock(write_mu);
+        written =
+            WriteFrame(response_fd, kFrameResult, EncodeWorkerResult(result));
+      }
+      if (!written.ok()) {
+        std::cerr << "worker: response write failed: " << written.ToString()
+                  << "\n";
+        return kExitRuntime;
+      }
+    }
+    // Revert to the ambient schedule so one request's fail points (and
+    // their hit counters) never leak into the next request on this worker.
+    FailPointRegistry::Instance().Reset();
+    if (!ambient.empty()) {
+      (void)FailPointRegistry::Instance().ArmFromString(ambient);
+    }
+  }
+}
+
 // -- batch ------------------------------------------------------------------
 
-/// Set by the SIGINT/SIGTERM handler. Plain signal-safe flag; the actual
-/// drain (which takes locks) runs on the watcher thread below.
+/// Absolute path of the running binary, for re-exec'ing as `gputc worker`.
+std::string SelfBinaryPath() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return "gputc";  // PATH lookup fallback for exotic /proc-less setups.
+}
+
+/// Set by the SIGINT/SIGTERM/SIGHUP handler. Plain signal-safe flag; the
+/// actual drain (which takes locks) runs on the watcher thread below.
 std::atomic<int> g_batch_signal{0};
 
 void BatchSignalHandler(int sig) {
@@ -580,6 +770,21 @@ int CmdBatch(const FlagParser& flags) {
       return kExitUsage;
     }
     options.chain = *std::move(parsed);
+  }
+  if (flags.Has("isolate")) {
+    const std::string raw = flags.GetString("isolate", "");
+    if (raw == "true") {  // Bare --isolate: pool size follows --jobs.
+      options.isolate = static_cast<int>(*jobs);
+    } else {
+      const auto isolate = ParseNumericFlag(flags, "isolate", 0.0);
+      if (!isolate) return kExitUsage;
+      if (*isolate < 1.0 || *isolate > 256.0) {
+        std::cerr << "--isolate must be in [1, 256]\n";
+        return kExitUsage;
+      }
+      options.isolate = static_cast<int>(*isolate);
+    }
+    options.worker_binary = SelfBinaryPath();
   }
 
   StatusOr<std::vector<BatchRequest>> manifest =
@@ -717,18 +922,23 @@ int CmdBatch(const FlagParser& flags) {
     emit_line(line);
   });
 
-  // SIGINT/SIGTERM request a graceful drain. The handler only sets a flag; a
-  // watcher thread polls it and calls RequestDrain, which needs locks the
-  // handler must not take.
+  // SIGINT/SIGTERM/SIGHUP request a graceful drain (HUP because a batch
+  // driven from a terminal should survive losing it no less gracefully than
+  // a ^C). The handler only sets a flag; a watcher thread polls it and calls
+  // RequestDrain, which needs locks the handler must not take. With
+  // --isolate the drain also reaps every live worker subprocess.
   g_batch_signal.store(0, std::memory_order_relaxed);
   auto prev_int = std::signal(SIGINT, BatchSignalHandler);
   auto prev_term = std::signal(SIGTERM, BatchSignalHandler);
+  auto prev_hup = std::signal(SIGHUP, BatchSignalHandler);
   std::atomic<bool> watcher_stop{false};
   std::thread watcher([&service, &watcher_stop] {
     while (!watcher_stop.load(std::memory_order_acquire)) {
       const int sig = g_batch_signal.load(std::memory_order_relaxed);
       if (sig != 0) {
-        service.RequestDrain(sig == SIGINT ? "SIGINT" : "SIGTERM");
+        service.RequestDrain(sig == SIGINT   ? "SIGINT"
+                             : sig == SIGHUP ? "SIGHUP"
+                                             : "SIGTERM");
         return;
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
@@ -758,6 +968,7 @@ int CmdBatch(const FlagParser& flags) {
   watcher.join();
   std::signal(SIGINT, prev_int);
   std::signal(SIGTERM, prev_term);
+  std::signal(SIGHUP, prev_hup);
 
   if (!ExportTrace(tracer, trace_out) || !ExportMetrics(metrics_out)) {
     return kExitRuntime;
@@ -858,6 +1069,7 @@ int Main(int argc, char** argv) {
   if (command == "count") return CmdCount(flags);
   if (command == "doctor") return CmdDoctor(flags);
   if (command == "batch") return CmdBatch(flags);
+  if (command == "worker") return CmdWorker(flags);
   if (command == "metrics-dump") return CmdMetricsDump(flags);
   if (command == "calibrate") return CmdCalibrate();
   std::cerr << "unknown command '" << command << "'\n";
