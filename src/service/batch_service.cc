@@ -60,6 +60,25 @@ bool IsBackendAttributable(const Status& status) {
          status.code() != StatusCode::kDeadlineExceeded;
 }
 
+/// One pressure counter shared by every overload gate in the stack — the
+/// serve daemon's adaptive limiter and queue bound record "concurrency" and
+/// "queue" here, this service records "queue" (shed policy) and "memory"
+/// (admission refusal) — so a dashboard reads back pressure by cause.
+void CountOverloadRejection(const char* reason) {
+  MetricsRegistry::Global()
+      .GetCounter("gputc_overload_rejections_total",
+                  "Requests shed by an overload gate, by reason",
+                  {{"reason", reason}})
+      .Increment();
+}
+
+void RecordQueueDepth(size_t depth) {
+  MetricsRegistry::Global()
+      .GetGauge("gputc_queue_depth",
+                "Requests waiting in the batch service work queue")
+      .Set(static_cast<double>(depth));
+}
+
 }  // namespace
 
 const char* RequestOutcomeName(RequestOutcome outcome) {
@@ -87,6 +106,9 @@ std::string RequestReport::ToJson() const {
   out += ",\"variant\":\"" + JsonEscape(variant) + "\"";
   out += ",\"triangles\":" + std::to_string(triangles);
   out += ",\"trace_id\":\"" + TraceIdHex(trace_id) + "\"";
+  if (retry_after_ms >= 0) {
+    out += ",\"retry_after_ms\":" + std::to_string(retry_after_ms);
+  }
   out += ",\"queue_ms\":" + std::to_string(queue_ms);
   out += ",\"exec_ms\":" + std::to_string(exec_ms);
   out += ",\"timings\":{";
@@ -189,8 +211,10 @@ void BatchService::Submit(BatchRequest request) {
   }
   QueuedRequest queued{request, now};
   WorkQueue<QueuedRequest>::PushResult pushed = queue_.Push(std::move(queued));
+  RecordQueueDepth(queue_.size());
   if (pushed.shed.has_value()) {
     // drop-oldest evicted the head of the queue to make room.
+    CountOverloadRejection("queue");
     Journal(RejectedReport(
         pushed.shed->request,
         ResourceExhaustedError(
@@ -199,6 +223,9 @@ void BatchService::Submit(BatchRequest request) {
   }
   if (!pushed.status.ok()) {
     // kReject shed, or the queue closed under us (drain won the race).
+    if (pushed.status.code() == StatusCode::kResourceExhausted) {
+      CountOverloadRejection("queue");
+    }
     Journal(RejectedReport(request, pushed.status, 0.0));
   }
 }
@@ -267,6 +294,7 @@ void BatchService::WorkerLoop(int worker_index) {
   while (true) {
     std::optional<QueuedRequest> queued = queue_.Pop();
     if (!queued.has_value()) return;
+    RecordQueueDepth(queue_.size());
     Process(worker_index, *std::move(queued));
   }
 }
@@ -397,6 +425,10 @@ void BatchService::Process(int worker_index, QueuedRequest queued) {
     const RequestOutcome outcome = cancel.cancelled() && !draining()
                                        ? RequestOutcome::kFailed
                                        : RequestOutcome::kRejected;
+    // A genuine budget refusal is back pressure; a drain abort is not.
+    if (outcome == RequestOutcome::kRejected && !draining()) {
+      CountOverloadRejection("memory");
+    }
     finish(outcome, admitted.WithContext("admission (needs ~" +
                                          std::to_string(estimate) +
                                          " bytes)"));
@@ -685,6 +717,10 @@ RequestReport BatchService::RejectedReport(const BatchRequest& request,
   report.outcome = RequestOutcome::kRejected;
   report.status = std::move(reason);
   report.queue_ms = queue_ms;
+  if (options_.reject_retry_after_ms >= 0.0) {
+    report.retry_after_ms =
+        static_cast<int64_t>(options_.reject_retry_after_ms);
+  }
   return report;
 }
 

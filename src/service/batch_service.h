@@ -78,6 +78,11 @@ struct BatchServiceOptions {
   std::string worker_binary;
   /// Heartbeat cadence for isolated workers (supervisor hang detection).
   double heartbeat_interval_ms = 25.0;
+  /// When >= 0, rejected reports carry this retry hint (retry_after_ms in
+  /// the journal line) so shed clients back off instead of hammering. The
+  /// serve daemon sets it; batch mode keeps the default -1 and its journal
+  /// lines stay byte-identical to earlier releases.
+  double reject_retry_after_ms = -1.0;
 };
 
 /// Terminal classification of one submitted request. Every Submit produces
@@ -113,6 +118,10 @@ struct RequestReport {
   double exec_ms = 0.0;     // Worker processing time (load + count).
   int attempts = 0;         // ExecutionTrace length.
   std::vector<std::string> trace;  // One line per attempt, for the journal.
+  /// Backoff hint for kRejected outcomes: how many milliseconds the client
+  /// should wait before retrying. Emitted in ToJson only when >= 0, so
+  /// journals that never set it are unchanged.
+  int64_t retry_after_ms = -1;
 
   /// Single-line JSON object for the machine-readable journal.
   std::string ToJson() const;

@@ -1,0 +1,135 @@
+#include "service/connection.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "util/net_io.h"
+
+namespace gputc {
+namespace {
+
+/// One socket read's worth of buffer. Small enough to keep per-connection
+/// memory boring, large enough that a normal request arrives in one read.
+constexpr size_t kReadChunk = 4096;
+
+}  // namespace
+
+Connection::Connection(int fd, uint64_t id)
+    : fd_(fd),
+      id_(id),
+      last_activity_(Clock::now()),
+      partial_since_(last_activity_),
+      write_pending_since_(last_activity_) {}
+
+Connection::~Connection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Connection::Connection(Connection&& other) noexcept
+    : inflight(other.inflight),
+      close_after_flush(other.close_after_flush),
+      is_health(other.is_health),
+      fd_(other.fd_),
+      id_(other.id_),
+      read_open_(other.read_open_),
+      read_buf_(std::move(other.read_buf_)),
+      write_buf_(std::move(other.write_buf_)),
+      write_off_(other.write_off_),
+      last_activity_(other.last_activity_),
+      partial_since_(other.partial_since_),
+      write_pending_since_(other.write_pending_since_) {
+  other.fd_ = -1;
+}
+
+ReadEvent Connection::ReadLines(size_t max_line_bytes,
+                                std::vector<std::string>* lines) {
+  if (!read_open_) return ReadEvent::kProgress;
+  bool saw_eof = false;
+  for (;;) {
+    char chunk[kReadChunk];
+    bool would_block = false;
+    const StatusOr<size_t> n = ReadRetry(fd_, chunk, sizeof(chunk),
+                                         &would_block);
+    if (!n.ok()) return ReadEvent::kError;
+    if (would_block) break;
+    if (*n == 0) {
+      saw_eof = true;
+      break;
+    }
+    if (read_buf_.empty()) partial_since_ = Clock::now();
+    read_buf_.append(chunk, *n);
+    last_activity_ = Clock::now();
+    // Keep draining: the kernel buffer may hold more than one chunk, and a
+    // level-triggered poll loop must not rely on re-polling to find it.
+  }
+
+  size_t begin = 0;
+  for (;;) {
+    const size_t nl = read_buf_.find('\n', begin);
+    if (nl == std::string::npos) break;
+    size_t end = nl;
+    if (end > begin && read_buf_[end - 1] == '\r') --end;
+    lines->push_back(read_buf_.substr(begin, end - begin));
+    begin = nl + 1;
+  }
+  if (begin > 0) {
+    read_buf_.erase(0, begin);
+    partial_since_ = Clock::now();
+  }
+
+  // The cap applies to what remains unterminated: a client streaming an
+  // endless "line" may not grow this buffer without bound.
+  if (read_buf_.size() > max_line_bytes) return ReadEvent::kLineTooLong;
+  if (saw_eof) {
+    read_open_ = false;
+    return read_buf_.empty() ? ReadEvent::kEof : ReadEvent::kTornEof;
+  }
+  return ReadEvent::kProgress;
+}
+
+void Connection::QueueLine(const std::string& line) {
+  if (!wants_write()) write_pending_since_ = Clock::now();
+  write_buf_ += line;
+  write_buf_ += '\n';
+}
+
+void Connection::QueueRaw(const std::string& bytes) {
+  if (!wants_write()) write_pending_since_ = Clock::now();
+  write_buf_ += bytes;
+}
+
+Status Connection::FlushWrites() {
+  while (wants_write()) {
+    bool would_block = false;
+    // SendRetry, not WriteRetry: MSG_NOSIGNAL turns a departed peer into a
+    // status this loop can handle instead of a SIGPIPE that kills the daemon.
+    const StatusOr<size_t> n =
+        SendRetry(fd_, write_buf_.data() + write_off_,
+                  write_buf_.size() - write_off_, &would_block);
+    if (!n.ok()) return n.status();
+    if (would_block) break;
+    write_off_ += *n;
+    last_activity_ = Clock::now();
+  }
+  if (!wants_write()) {
+    write_buf_.clear();
+    write_off_ = 0;
+  } else if (write_off_ > kReadChunk) {
+    // Compact occasionally so a slow reader cannot pin arbitrarily large
+    // already-sent prefixes in memory.
+    write_buf_.erase(0, write_off_);
+    write_off_ = 0;
+  }
+  return OkStatus();
+}
+
+void Connection::HalfCloseRead() {
+  if (!read_open_) return;
+  read_open_ = false;
+  read_buf_.clear();  // A half-received request will never complete.
+  ::shutdown(fd_, SHUT_RD);
+}
+
+}  // namespace gputc

@@ -1,0 +1,105 @@
+#ifndef GPUTC_SERVICE_CONNECTION_H_
+#define GPUTC_SERVICE_CONNECTION_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gputc {
+
+// One accepted socket of the serve daemon, with the buffering and lifecycle
+// state that makes a network peer safe to talk to: a request-line length
+// cap (a client may not buffer us to death), partial-read/partial-write
+// safe buffered I/O over a non-blocking fd (EINTR handled below in
+// util/net_io), per-connection read/write deadlines plus an idle timeout
+// (the slowloris defenses), and half-close bookkeeping for the drain
+// ladder. The class owns no policy — the server decides what to do with
+// extracted lines and when to kill a connection; Connection only reports.
+
+/// What a read pass produced.
+enum class ReadEvent {
+  kProgress,   // Bytes (maybe lines) arrived; connection still open.
+  kEof,        // Peer closed its write side at a line boundary.
+  kTornEof,    // Peer closed mid-line (mid-request disconnect).
+  kLineTooLong,  // Buffered bytes exceed the line cap with no newline.
+  kError       // Socket error; the connection is unusable.
+};
+
+class Connection {
+ public:
+  /// Takes ownership of `fd` (must already be non-blocking). `id` is the
+  /// server-unique connection number used in request ids and logs.
+  Connection(int fd, uint64_t id);
+  ~Connection();
+
+  Connection(Connection&& other) noexcept;
+  Connection& operator=(Connection&&) = delete;
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Drains the socket until EAGAIN (or EOF/error), splitting complete
+  /// request lines (newline-delimited, '\n' stripped, a trailing '\r'
+  /// tolerated) into `*lines`. Enforces `max_line_bytes` on the unfinished
+  /// remainder. Updates the activity clock on any byte.
+  ReadEvent ReadLines(size_t max_line_bytes, std::vector<std::string>* lines);
+
+  /// Appends `line` + '\n' to the write buffer (does not write yet).
+  void QueueLine(const std::string& line);
+
+  /// Appends raw bytes verbatim (the health listener's HTTP responses own
+  /// their framing).
+  void QueueRaw(const std::string& bytes);
+
+  /// Writes as much buffered output as the socket accepts (partial-write
+  /// safe; stops cleanly on EAGAIN). Error status means the peer is gone.
+  Status FlushWrites();
+
+  /// shutdown(SHUT_RD): stop reading but keep delivering queued responses —
+  /// step two of the drain ladder. Idempotent.
+  void HalfCloseRead();
+
+  bool wants_write() const { return write_off_ < write_buf_.size(); }
+  bool read_open() const { return read_open_; }
+  /// Bytes of an unfinished request line currently buffered.
+  size_t partial_bytes() const { return read_buf_.size(); }
+
+  int fd() const { return fd_; }
+  uint64_t id() const { return id_; }
+
+  /// Requests submitted on this connection whose response has not been
+  /// queued yet (server-maintained).
+  int inflight = 0;
+  /// Server marks: close once the write buffer drains and inflight == 0.
+  bool close_after_flush = false;
+  /// True for sockets accepted on the health listener.
+  bool is_health = false;
+
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point last_activity() const { return last_activity_; }
+  /// When the current unfinished request line started arriving (== activity
+  /// time of its first byte); meaningful while partial_bytes() > 0.
+  Clock::time_point partial_since() const { return partial_since_; }
+  /// When the oldest still-unflushed response was queued; meaningful while
+  /// wants_write().
+  Clock::time_point write_pending_since() const {
+    return write_pending_since_;
+  }
+
+ private:
+  int fd_;
+  uint64_t id_;
+  bool read_open_ = true;
+  std::string read_buf_;
+  std::string write_buf_;
+  size_t write_off_ = 0;
+  Clock::time_point last_activity_;
+  Clock::time_point partial_since_;
+  Clock::time_point write_pending_since_;
+};
+
+}  // namespace gputc
+
+#endif  // GPUTC_SERVICE_CONNECTION_H_

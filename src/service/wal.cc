@@ -4,6 +4,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <map>
 #include <set>
 
 #include "util/failpoint.h"
@@ -13,17 +14,22 @@ namespace gputc {
 namespace {
 
 // Record payload layout (the segment frame already carries length + CRC):
-//   u8  type          'I' (intent) or 'D' (done)
-//   u32 id_len        little-endian
-//   id bytes
+//   u8  type          'I' (intent), 'D' (done), or 'V' (version)
+//   u32 id_len        little-endian ('I'/'D')
+//   id bytes          ('I'/'D')
+//   u32 spec_len      (intent records, optional) little-endian
+//   spec bytes        (intent records, optional) the request's manifest line
 //   u32 outcome_len   (done records only) little-endian
 //   outcome bytes     (done records only) outcome name, e.g. "ok"
 //   journal JSON      (done records only, to end of payload)
+//   version text      (version records, to end of payload)
 // The outcome travels as its own field so resume classifies replayed lines
 // without parsing the journal JSON (a substring scan of the JSON can match
-// inside an escaped message and misread the outcome).
+// inside an escaped message and misread the outcome). The intent spec field
+// is optional on decode — logs written before it existed replay unchanged.
 constexpr char kIntent = 'I';
 constexpr char kDone = 'D';
+constexpr char kVersion = 'V';
 
 void PutLengthPrefixed(std::string* payload, const std::string& field) {
   const uint32_t len = static_cast<uint32_t>(field.size());
@@ -33,11 +39,20 @@ void PutLengthPrefixed(std::string* payload, const std::string& field) {
   *payload += field;
 }
 
-std::string EncodeIntent(const std::string& id) {
+std::string EncodeIntent(const std::string& id, const std::string& spec) {
   std::string payload;
-  payload.reserve(1 + 4 + id.size());
+  payload.reserve(1 + 4 + id.size() + (spec.empty() ? 0 : 4 + spec.size()));
   payload.push_back(kIntent);
   PutLengthPrefixed(&payload, id);
+  if (!spec.empty()) PutLengthPrefixed(&payload, spec);
+  return payload;
+}
+
+std::string EncodeVersion(const std::string& version) {
+  std::string payload;
+  payload.reserve(1 + version.size());
+  payload.push_back(kVersion);
+  payload += version;
   return payload;
 }
 
@@ -56,8 +71,9 @@ std::string EncodeDone(const std::string& id, const std::string& outcome,
 struct DecodedRecord {
   char type = 0;
   std::string id;
+  std::string spec;     // Intent records only ("" when absent).
   std::string outcome;  // Done records only.
-  std::string line;     // Done records only.
+  std::string line;     // Done journal line, or version text.
 };
 
 StatusOr<uint32_t> GetLengthPrefix(const std::string& payload, size_t pos) {
@@ -84,15 +100,26 @@ Status DecodeRecord(const std::string& payload, DecodedRecord* out) {
     return DataLossError("empty WAL record");
   }
   out->type = payload[0];
-  if (out->type != kIntent && out->type != kDone) {
+  if (out->type != kIntent && out->type != kDone && out->type != kVersion) {
     return DataLossError(std::string("unknown WAL record type '") +
                          out->type + "'");
+  }
+  if (out->type == kVersion) {
+    out->line.assign(payload, 1, payload.size() - 1);
+    return OkStatus();
   }
   GPUTC_ASSIGN_OR_RETURN(const uint32_t id_len, GetLengthPrefix(payload, 1));
   size_t pos = 1 + 4;
   out->id.assign(payload, pos, id_len);
   pos += id_len;
-  if (out->type == kIntent) return OkStatus();
+  if (out->type == kIntent) {
+    if (pos < payload.size()) {
+      GPUTC_ASSIGN_OR_RETURN(const uint32_t spec_len,
+                             GetLengthPrefix(payload, pos));
+      out->spec.assign(payload, pos + 4, spec_len);
+    }
+    return OkStatus();
+  }
   GPUTC_ASSIGN_OR_RETURN(const uint32_t outcome_len,
                          GetLengthPrefix(payload, pos));
   pos += 4;
@@ -111,11 +138,14 @@ StatusOr<WalReplay> FoldWalRecords(const SegmentScan& scan,
 
   std::set<std::string> done_ids;
   std::set<std::string> intent_ids;
+  std::map<std::string, std::string> intent_specs;
   for (const std::string& payload : scan.records) {
     DecodedRecord record;
     GPUTC_RETURN_IF_ERROR(
         DecodeRecord(payload, &record).WithContext(context));
-    if (record.type == kDone) {
+    if (record.type == kVersion) {
+      replay.versions.push_back(std::move(record.line));
+    } else if (record.type == kDone) {
       // First terminal outcome wins: a duplicate done for the same id could
       // only come from a run that raced a crash, and re-emitting one line
       // per id is the exactly-once contract.
@@ -125,6 +155,9 @@ StatusOr<WalReplay> FoldWalRecords(const SegmentScan& scan,
                                std::move(record.line)});
       }
     } else {
+      if (!record.spec.empty()) {
+        intent_specs[record.id] = std::move(record.spec);
+      }
       intent_ids.insert(std::move(record.id));
     }
   }
@@ -138,6 +171,10 @@ StatusOr<WalReplay> FoldWalRecords(const SegmentScan& scan,
     DecodedRecord record;
     if (!DecodeRecord(payload, &record).ok()) continue;
     if (intent_ids.count(record.id) > 0 && emitted.insert(record.id).second) {
+      auto spec = intent_specs.find(record.id);
+      if (spec != intent_specs.end()) {
+        replay.pending_specs[record.id] = std::move(spec->second);
+      }
       replay.pending.push_back(std::move(record.id));
     }
   }
@@ -173,14 +210,21 @@ StatusOr<WriteAheadLog> WriteAheadLog::Open(const std::string& dir) {
   return WriteAheadLog(std::move(writer));
 }
 
-Status WriteAheadLog::LogIntent(const std::string& id) {
+Status WriteAheadLog::LogIntent(const std::string& id,
+                                const std::string& spec) {
   // The WAL is a resilient path by construction — a lost or torn intent
   // only means the request re-runs — so it opts into fault injection.
   FailPointScope scope;
   GPUTC_RETURN_IF_ERROR(
       CheckFailPoint("wal.intent").WithContext("intent('" + id + "')"));
-  const Status appended = writer_.Append(EncodeIntent(id));
+  const Status appended = writer_.Append(EncodeIntent(id, spec));
   if (!appended.ok()) return appended.WithContext("WAL intent('" + id + "')");
+  return appended;
+}
+
+Status WriteAheadLog::LogVersion(const std::string& version) {
+  const Status appended = writer_.Append(EncodeVersion(version));
+  if (!appended.ok()) return appended.WithContext("WAL version record");
   return appended;
 }
 

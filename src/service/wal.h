@@ -1,6 +1,7 @@
 #ifndef GPUTC_SERVICE_WAL_H_
 #define GPUTC_SERVICE_WAL_H_
 
+#include <map>
 #include <optional>
 #include <string>
 #include <utility>
@@ -14,12 +15,22 @@ namespace gputc {
 // Write-ahead journal for crash-safe batch execution. One record per state
 // transition of a manifest request:
 //
-//   intent(id)          — the request is about to be submitted to the service
+//   intent(id[, spec])  — the request is about to be submitted to the
+//                         service; `spec` (optional) is its manifest line,
+//                         stored so a resume that has no manifest — the
+//                         serve daemon, whose requests arrive over sockets —
+//                         can re-admit the work. Decoding tolerates records
+//                         without the field, so logs written by earlier
+//                         releases replay unchanged.
 //   done(id, outcome,   — the request reached a terminal outcome; `outcome`
 //        json)            is its outcome name ("ok", "rejected", ...) stored
 //                         as its own field so resume never re-parses the
 //                         journal JSON, and `json` is the complete journal
 //                         line, stored verbatim
+//   version(text)       — the gputc version string of the run that appended
+//                         after it; written at every Open so a resumed log
+//                         records which builds touched it. Ignored by the
+//                         pending/done fold.
 //
 // Records live in `<dir>/wal.log`, an append-only segment with per-record
 // CRC32C framing (util/durable_file). Every append is fsynced before the
@@ -52,6 +63,12 @@ struct WalReplay {
   /// Requests with an intent but no terminal outcome, in intent order —
   /// the work a resume must re-admit.
   std::vector<std::string> pending;
+  /// Manifest line stored with a pending intent, keyed by id; absent when
+  /// the intent carried no spec (batch mode, where the manifest is the
+  /// source of truth).
+  std::map<std::string, std::string> pending_specs;
+  /// Version strings of every run that opened this log, in append order.
+  std::vector<std::string> versions;
   /// Torn tail bytes dropped during recovery (0 on a clean shutdown).
   uint64_t torn_bytes = 0;
 
@@ -68,9 +85,16 @@ class WriteAheadLog {
   /// Creates `dir` if missing and opens `<dir>/wal.log`.
   static StatusOr<WriteAheadLog> Open(const std::string& dir);
 
-  /// Durably records that `id` is about to be submitted. Passes the
-  /// "wal.intent" fail point before the append.
-  Status LogIntent(const std::string& id);
+  /// Durably records that `id` is about to be submitted. A non-empty `spec`
+  /// (the request's manifest line) is stored with the intent so a manifest-
+  /// less resume can re-admit the request. Passes the "wal.intent" fail
+  /// point before the append.
+  Status LogIntent(const std::string& id, const std::string& spec = "");
+
+  /// Durably records `version` (the VersionString of the running build).
+  /// Appended once per Open by the CLI, so the log's history names the
+  /// builds that wrote it.
+  Status LogVersion(const std::string& version);
 
   /// Durably records the terminal outcome of `id`: `outcome` is its outcome
   /// name (RequestOutcomeName) and `journal_json` its journal line, stored

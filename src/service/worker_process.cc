@@ -16,6 +16,7 @@
 
 #include "util/durable_file.h"
 #include "util/failpoint.h"
+#include "util/net_io.h"
 
 // Sanitizer shadow memory reserves terabytes of address space; RLIMIT_AS
 // would kill every worker at startup, so the limit is compiled out of
@@ -61,41 +62,9 @@ uint32_t GetU32(const char* in) {
          (static_cast<uint32_t>(static_cast<unsigned char>(in[3])) << 24);
 }
 
-Status WriteAll(int fd, const char* data, size_t size) {
-  size_t done = 0;
-  while (done < size) {
-    const ssize_t n = ::write(fd, data + done, size - done);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EPIPE) {
-        // The peer is gone. FailedPrecondition (not DataLoss): nothing the
-        // peer read was corrupt, the write simply had no one to land on —
-        // which for an unsent request means it is safe to retry elsewhere.
-        return FailedPreconditionError("peer closed the pipe (EPIPE)");
-      }
-      return InternalError(std::string("write: ") + strerror(errno));
-    }
-    done += static_cast<size_t>(n);
-  }
-  return OkStatus();
-}
-
-/// Reads exactly `size` bytes. Returns the byte count actually read: `size`
-/// on success, 0 on clean EOF before any byte, and anything in between when
-/// the peer died mid-message (the caller classifies that as a torn frame).
-StatusOr<size_t> ReadFull(int fd, char* data, size_t size) {
-  size_t done = 0;
-  while (done < size) {
-    const ssize_t n = ::read(fd, data + done, size - done);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return InternalError(std::string("read: ") + strerror(errno));
-    }
-    if (n == 0) break;
-    done += static_cast<size_t>(n);
-  }
-  return done;
-}
+// EINTR-safe exact I/O lives in util/net_io (WriteAllFd/ReadFullFd), shared
+// with the serve daemon; the EPIPE -> FailedPrecondition classification
+// (peer gone, request safe to retry elsewhere) is part of its contract.
 
 /// Escapes newlines/backslashes so any string survives the line protocol.
 std::string EscapeValue(std::string_view value) {
@@ -212,17 +181,17 @@ Status WriteFrame(int fd, char type, std::string_view body) {
   if (type == kFrameResult) {
     FailPointScope scope;
     const size_t split = kFrameHeaderBytes + (1 + body.size()) / 2;
-    GPUTC_RETURN_IF_ERROR(WriteAll(fd, frame.data(), split));
+    GPUTC_RETURN_IF_ERROR(WriteAllFd(fd, frame.data(), split));
     GPUTC_RETURN_IF_ERROR(CheckFailPoint("worker.response.torn"));
-    return WriteAll(fd, frame.data() + split, frame.size() - split);
+    return WriteAllFd(fd, frame.data() + split, frame.size() - split);
   }
-  return WriteAll(fd, frame.data(), frame.size());
+  return WriteAllFd(fd, frame.data(), frame.size());
 }
 
 StatusOr<WireFrame> ReadFrame(int fd) {
   char header[kFrameHeaderBytes];
   GPUTC_ASSIGN_OR_RETURN(const size_t header_read,
-                         ReadFull(fd, header, sizeof(header)));
+                         ReadFullFd(fd, header, sizeof(header)));
   if (header_read == 0) {
     return FailedPreconditionError("pipe closed at a frame boundary");
   }
@@ -238,7 +207,7 @@ StatusOr<WireFrame> ReadFrame(int fd) {
   }
   std::string payload(payload_len, '\0');
   GPUTC_ASSIGN_OR_RETURN(const size_t payload_read,
-                         ReadFull(fd, &payload[0], payload_len));
+                         ReadFullFd(fd, &payload[0], payload_len));
   if (payload_read < payload_len) {
     return DataLossError("torn frame: EOF after " +
                          std::to_string(payload_read) + " of " +
@@ -270,11 +239,7 @@ StatusOr<WireFrame> ReadFrameWithDeadline(int fd, Deadline deadline,
     }
     int wait_ms = poll_slice_ms;
     if (remaining < wait_ms) wait_ms = remaining < 1.0 ? 1 : static_cast<int>(remaining);
-    const int ready = ::poll(&pfd, 1, wait_ms);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      return InternalError(std::string("poll: ") + strerror(errno));
-    }
+    GPUTC_ASSIGN_OR_RETURN(const int ready, PollRetry(&pfd, 1, wait_ms));
     if (ready == 0) continue;
     // POLLHUP with no POLLIN still reads as EOF below; let ReadFrame decide.
     return ReadFrame(fd);
@@ -534,8 +499,8 @@ StatusOr<WorkerProcess> WorkerProcess::Spawn(
   int exec_errno = 0;
   GPUTC_ASSIGN_OR_RETURN(
       const size_t status_read,
-      ReadFull(status_pipe[0], reinterpret_cast<char*>(&exec_errno),
-               sizeof(exec_errno)));
+      ReadFullFd(status_pipe[0], reinterpret_cast<char*>(&exec_errno),
+                 sizeof(exec_errno)));
   ::close(status_pipe[0]);
   if (status_read != 0) {
     ::close(request_pipe[1]);

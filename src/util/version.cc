@@ -1,0 +1,42 @@
+#include "util/version.h"
+
+namespace gputc {
+
+// CMake stamps these on the tc_util target; the fallbacks keep ad-hoc
+// builds (IDE single-file compiles) honest about not knowing.
+#ifndef GPUTC_VERSION
+#define GPUTC_VERSION "0.0.0-dev"
+#endif
+#ifndef GPUTC_BUILD_TYPE
+#define GPUTC_BUILD_TYPE "unknown"
+#endif
+
+// Sanitizer detection mirrors worker_process.cc: GCC defines
+// __SANITIZE_*__, clang answers __has_feature.
+#if defined(__SANITIZE_THREAD__)
+#define GPUTC_SAN_NAME "thread"
+#elif defined(__SANITIZE_ADDRESS__)
+#define GPUTC_SAN_NAME "address+undefined"
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define GPUTC_SAN_NAME "thread"
+#elif __has_feature(address_sanitizer)
+#define GPUTC_SAN_NAME "address+undefined"
+#endif
+#endif
+#ifndef GPUTC_SAN_NAME
+#define GPUTC_SAN_NAME "none"
+#endif
+
+const char* VersionNumber() { return GPUTC_VERSION; }
+
+const char* BuildType() { return GPUTC_BUILD_TYPE; }
+
+const char* SanitizerConfig() { return GPUTC_SAN_NAME; }
+
+std::string VersionString() {
+  return std::string("gputc ") + GPUTC_VERSION + " (" + GPUTC_BUILD_TYPE +
+         "; sanitizer=" + GPUTC_SAN_NAME + ")";
+}
+
+}  // namespace gputc

@@ -1,0 +1,29 @@
+#ifndef GPUTC_UTIL_VERSION_H_
+#define GPUTC_UTIL_VERSION_H_
+
+#include <string>
+
+namespace gputc {
+
+// The one binary-identity string, stamped everywhere a post-mortem might
+// need it: `gputc version` / `gputc --version`, the serve daemon's hello
+// line, and a version record appended to every write-ahead log on open —
+// so the forensics after a crash can always answer "which binary wrote
+// this?" even when nothing but the WAL survived.
+
+/// Semantic version alone, e.g. "0.8.0".
+const char* VersionNumber();
+
+/// Build type as configured by CMake ("Release", "RelWithDebInfo", ...).
+const char* BuildType();
+
+/// Compiled-in sanitizer config: "none", "address+undefined", or "thread".
+const char* SanitizerConfig();
+
+/// The full identity line:
+///   "gputc 0.8.0 (RelWithDebInfo; sanitizer=none)"
+std::string VersionString();
+
+}  // namespace gputc
+
+#endif  // GPUTC_UTIL_VERSION_H_

@@ -190,6 +190,75 @@ TEST_F(WalTest, OpenOnceReplayMatchesReadOnlyReplay) {
   EXPECT_EQ(from_open->pending[0], "2:b");
 }
 
+TEST_F(WalTest, VersionRecordsAreCollectedNotFolded) {
+  {
+    StatusOr<WriteAheadLog> wal = WriteAheadLog::Open(dir_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->LogVersion("gputc 0.8.0 (Release; sanitizer=none)").ok());
+    ASSERT_TRUE(wal->LogIntent("1:a").ok());
+    ASSERT_TRUE(wal->LogDone("1:a", "ok", "{}").ok());
+  }
+  {
+    StatusOr<WriteAheadLog> wal = WriteAheadLog::Open(dir_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->LogVersion("gputc 0.9.0 (Debug; sanitizer=address)").ok());
+  }
+  StatusOr<WalReplay> replay = ReplayWal(dir_);
+  ASSERT_TRUE(replay.ok());
+  // Version stamps never masquerade as work: done/pending are unaffected.
+  ASSERT_EQ(replay->done.size(), 1u);
+  EXPECT_TRUE(replay->pending.empty());
+  ASSERT_EQ(replay->versions.size(), 2u);
+  EXPECT_EQ(replay->versions[0], "gputc 0.8.0 (Release; sanitizer=none)");
+  EXPECT_EQ(replay->versions[1], "gputc 0.9.0 (Debug; sanitizer=address)");
+}
+
+TEST_F(WalTest, VersionOnlyLogIsStillEmpty) {
+  {
+    StatusOr<WriteAheadLog> wal = WriteAheadLog::Open(dir_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->LogVersion("gputc test").ok());
+  }
+  StatusOr<WalReplay> replay = ReplayWal(dir_);
+  ASSERT_TRUE(replay.ok());
+  // empty() gates "is this a fresh resume" decisions; a bare version stamp
+  // must not make a new WAL look like it has prior work.
+  EXPECT_TRUE(replay->empty());
+}
+
+TEST_F(WalTest, IntentSpecSurvivesReplayForPendingOnly) {
+  {
+    StatusOr<WriteAheadLog> wal = WriteAheadLog::Open(dir_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->LogIntent("net-1-1", "count graph.mtx --alg merge").ok());
+    ASSERT_TRUE(wal->LogIntent("net-1-2", "count big.mtx").ok());
+    ASSERT_TRUE(wal->LogDone("net-1-1", "ok", "{}").ok());
+  }
+  StatusOr<WalReplay> replay = ReplayWal(dir_);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->pending.size(), 1u);
+  EXPECT_EQ(replay->pending[0], "net-1-2");
+  ASSERT_EQ(replay->pending_specs.count("net-1-2"), 1u);
+  EXPECT_EQ(replay->pending_specs.at("net-1-2"), "count big.mtx");
+  // Completed intents do not linger in the spec map.
+  EXPECT_EQ(replay->pending_specs.count("net-1-1"), 0u);
+}
+
+TEST_F(WalTest, SpeclessIntentStaysDecodableForBackCompat) {
+  // Pre-0.8 WALs encode intents as bare ids; replay must keep accepting
+  // them (pending listed, no spec entry) so old logs resume cleanly.
+  {
+    StatusOr<WriteAheadLog> wal = WriteAheadLog::Open(dir_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->LogIntent("7:g").ok());
+  }
+  StatusOr<WalReplay> replay = ReplayWal(dir_);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->pending.size(), 1u);
+  EXPECT_EQ(replay->pending[0], "7:g");
+  EXPECT_TRUE(replay->pending_specs.empty());
+}
+
 TEST_F(WalTest, CrcPassingButUndecodableRecordIsDataLoss) {
   ASSERT_TRUE(WriteAheadLog::Open(dir_).ok());
   {

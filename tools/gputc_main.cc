@@ -14,17 +14,24 @@
 //               [--timeout-ms N] [--drain-grace-ms N] [--fallback Hu,cpu]
 //               [--isolate[=N]] [--journal FILE|-] [--wal DIR [--resume]]
 //               [--trace-out t.json] [--metrics-out m.prom]
+//   gputc serve --listen HOST:PORT|unix:PATH [--health SPEC] [--jobs N]
+//               [--queue-depth Q] [--max-connections C] [--isolate[=N]]
+//               [--journal FILE|-] [--wal DIR [--resume]] ...
+//               newline-delimited network daemon over the batch service
 //   gputc worker --request-fd N --response-fd N   (internal: spawned by
 //               `batch --isolate`; speaks the framed worker protocol)
+//   gputc version                        semantic version, build type,
+//               sanitizer config (also `gputc --version`)
 //   gputc metrics-dump [--json]          exporter smoke test
 //   gputc calibrate                      print the Section 5.3 calibration
 //
 // Exit codes (the documented contract; the same table appears in --help and
 // README.md "Error handling & exit codes" — keep all three in sync):
 //   0  success (batch: every request counted, possibly degraded — including
-//      requests replayed verbatim from the WAL on --resume)
-//   1  runtime failure (cannot write an output/journal/WAL file, journal
-//      accounting incomplete, internal error)
+//      requests replayed verbatim from the WAL on --resume; serve: a clean
+//      signal-driven drain — per-request outcomes live in the journal)
+//   1  runtime failure (cannot write an output/journal/WAL file, cannot
+//      bind a listener, journal accounting incomplete, internal error)
 //   2  usage error (unknown command/flag value, missing required flag,
 //      --resume without --wal, or --wal naming a previous run's non-empty
 //      WAL without --resume)
@@ -35,6 +42,7 @@
 //   5  partial batch failure (some requests counted, others were rejected
 //      or failed — see the journal; replayed outcomes count too)
 
+#include <algorithm>
 #include <atomic>
 #include <cctype>
 #include <csignal>
@@ -54,6 +62,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/batch_service.h"
+#include "service/server.h"
 #include "service/wal.h"
 #include "service/worker_process.h"
 #include "graph/datasets.h"
@@ -66,9 +75,11 @@
 #include "util/durable_file.h"
 #include "util/failpoint.h"
 #include "util/flags.h"
+#include "util/net_io.h"
 #include "util/status.h"
 #include "util/table.h"
 #include "util/timer.h"
+#include "util/version.h"
 
 namespace gputc {
 namespace {
@@ -120,14 +131,40 @@ int Usage() {
          "fails\n"
          "             only that request, and --mem-budget-mb becomes each\n"
          "             worker's address-space rlimit\n"
+         "  serve      --listen HOST:PORT|unix:PATH [--health SPEC]\n"
+         "             [--jobs N] [--queue-depth Q] [--mem-budget-mb M]\n"
+         "             [--timeout-ms N] [--max-connections C]\n"
+         "             [--max-line-bytes B] [--idle-timeout-ms N]\n"
+         "             [--io-timeout-ms N] [--drain-grace-ms N]\n"
+         "             [--target-p99-ms N] [--max-inflight N]\n"
+         "             [--fallback A1,...,cpu] [--isolate[=N]]\n"
+         "             [--journal FILE|-] [--wal DIR [--resume]]: daemon\n"
+         "             speaking one manifest line in / one JSONL journal "
+         "line\n"
+         "             out per request, over TCP or a unix socket. Overload\n"
+         "             is shed with structured rejections carrying\n"
+         "             retry_after_ms (adaptive p99 concurrency limit, "
+         "queue\n"
+         "             bound, memory gate); SIGTERM/SIGINT drain "
+         "gracefully;\n"
+         "             --health serves /healthz /readyz /metrics; --wal "
+         "gives\n"
+         "             accepted requests the same exactly-once crash "
+         "contract\n"
+         "             as batch (--resume re-admits interrupted ones)\n"
+         "  version    print semantic version, build type, and sanitizer "
+         "config\n"
          "  metrics-dump  [--json] print a demo metrics snapshot (exporter "
          "smoke test)\n"
          "  calibrate  print BW(d), p_c(d) and lambda for the device model\n"
          "exit codes (full contract, same table as README.md):\n"
          "  0  success (batch: every request counted, incl. WAL-replayed "
-         "ones)\n"
-         "  1  runtime failure (cannot write output/journal/WAL; journal\n"
-         "     accounting incomplete)\n"
+         "ones;\n"
+         "     serve: clean drain — per-request outcomes are in the "
+         "journal)\n"
+         "  1  runtime failure (cannot write output/journal/WAL; cannot "
+         "bind\n"
+         "     a listener; journal accounting incomplete)\n"
          "  2  usage error (bad command/flag; --resume without --wal; --wal\n"
          "     on a previous run's non-empty log without --resume)\n"
          "  3  invalid input (missing/corrupt/rejected input; unreadable "
@@ -825,6 +862,13 @@ int CmdBatch(const FlagParser& flags) {
       return kExitUsage;
     }
     if (resume) replay = *std::move(replayed);
+    // Every run that opens the log stamps its build into it, so a resumed
+    // WAL names each version that touched it (replay skips the records).
+    const Status stamped = wal->LogVersion(VersionString());
+    if (!stamped.ok()) {
+      std::cerr << "error: " << stamped.ToString() << "\n";
+      return kExitRuntime;
+    }
   }
 
   // The journal streams as JSONL: one line per finished request, to stdout
@@ -1020,6 +1064,312 @@ int CmdBatch(const FlagParser& flags) {
   return kExitPartial;
 }
 
+// -- serve ------------------------------------------------------------------
+
+int CmdServe(const FlagParser& flags) {
+  if (!flags.Has("listen")) {
+    std::cerr << "need --listen HOST:PORT or unix:PATH\n";
+    return kExitUsage;
+  }
+  StatusOr<ListenSpec> listen =
+      ParseListenSpec(flags.GetString("listen", ""));
+  if (!listen.ok()) {
+    std::cerr << listen.status().message() << "\n";
+    return kExitUsage;
+  }
+
+  const auto jobs = ParseNumericFlag(flags, "jobs", 4.0);
+  const auto queue_depth = ParseNumericFlag(flags, "queue-depth", 16.0);
+  const auto mem_budget_mb = ParseNumericFlag(flags, "mem-budget-mb", 0.0);
+  const auto timeout_ms = ParseNumericFlag(flags, "timeout-ms", 0.0);
+  const auto drain_grace_ms =
+      ParseNumericFlag(flags, "drain-grace-ms", 2000.0);
+  const auto max_connections =
+      ParseNumericFlag(flags, "max-connections", 64.0);
+  const auto max_line_bytes =
+      ParseNumericFlag(flags, "max-line-bytes", 65536.0);
+  const auto idle_timeout_ms =
+      ParseNumericFlag(flags, "idle-timeout-ms", 30000.0);
+  const auto io_timeout_ms = ParseNumericFlag(flags, "io-timeout-ms", 10000.0);
+  const auto target_p99_ms = ParseNumericFlag(flags, "target-p99-ms", 1000.0);
+  const auto max_inflight = ParseNumericFlag(flags, "max-inflight", 0.0);
+  if (!jobs || !queue_depth || !mem_budget_mb || !timeout_ms ||
+      !drain_grace_ms || !max_connections || !max_line_bytes ||
+      !idle_timeout_ms || !io_timeout_ms || !target_p99_ms || !max_inflight) {
+    return kExitUsage;
+  }
+  if (*jobs < 1.0 || *jobs > 256.0 || *queue_depth < 1.0 ||
+      *max_connections < 1.0 || *max_line_bytes < 64.0) {
+    std::cerr << "--jobs must be in [1, 256], --queue-depth >= 1, "
+                 "--max-connections >= 1, --max-line-bytes >= 64\n";
+    return kExitUsage;
+  }
+
+  ServerOptions options;
+  options.listen = *listen;
+  if (flags.Has("health")) {
+    StatusOr<ListenSpec> health =
+        ParseListenSpec(flags.GetString("health", ""));
+    if (!health.ok()) {
+      std::cerr << health.status().message() << "\n";
+      return kExitUsage;
+    }
+    options.has_health = true;
+    options.health = *health;
+  }
+  options.max_connections = static_cast<size_t>(*max_connections);
+  options.max_line_bytes = static_cast<size_t>(*max_line_bytes);
+  options.idle_timeout_ms = *idle_timeout_ms;
+  options.io_timeout_ms = *io_timeout_ms;
+  options.drain_grace_ms = *drain_grace_ms;
+
+  options.batch.jobs = static_cast<int>(*jobs);
+  options.batch.queue_depth = static_cast<size_t>(*queue_depth);
+  options.batch.mem_budget_bytes =
+      static_cast<int64_t>(*mem_budget_mb * 1024.0 * 1024.0);
+  options.batch.request_timeout_ms = *timeout_ms;
+  options.batch.drain_grace_ms = *drain_grace_ms;
+  // Service-side sheds (memory gate, queue races) carry the static target
+  // as their backoff hint; the server's own gates use the live p99.
+  options.batch.reject_retry_after_ms = *target_p99_ms;
+  if (flags.Has("fallback")) {
+    StatusOr<std::vector<FallbackStage>> parsed =
+        ParseFallbackChain(flags.GetString("fallback", ""));
+    if (!parsed.ok()) {
+      std::cerr << parsed.status().message() << "\n";
+      return kExitUsage;
+    }
+    options.batch.chain = *std::move(parsed);
+  }
+  if (flags.Has("isolate")) {
+    const std::string raw = flags.GetString("isolate", "");
+    if (raw == "true") {
+      options.batch.isolate = static_cast<int>(*jobs);
+    } else {
+      const auto isolate = ParseNumericFlag(flags, "isolate", 0.0);
+      if (!isolate) return kExitUsage;
+      if (*isolate < 1.0 || *isolate > 256.0) {
+        std::cerr << "--isolate must be in [1, 256]\n";
+        return kExitUsage;
+      }
+      options.batch.isolate = static_cast<int>(*isolate);
+    }
+    options.batch.worker_binary = SelfBinaryPath();
+  }
+
+  options.limiter.target_ms = *target_p99_ms;
+  options.limiter.max_limit =
+      *max_inflight >= 1.0 ? static_cast<int>(*max_inflight)
+                           : static_cast<int>(*queue_depth);
+  options.limiter.initial_limit =
+      std::min(options.limiter.max_limit,
+               std::max(1, static_cast<int>(*jobs)));
+
+  // -- durability: same WAL contract as batch, specs stored with intents ----
+  const std::string wal_dir = flags.GetString("wal", "");
+  const bool resume = flags.GetBool("resume", false);
+  if (resume && wal_dir.empty()) {
+    std::cerr << "--resume needs --wal DIR (the log to replay)\n";
+    return kExitUsage;
+  }
+  std::optional<WriteAheadLog> wal;
+  WalReplay replay;
+  if (!wal_dir.empty()) {
+    StatusOr<WriteAheadLog> opened = WriteAheadLog::Open(wal_dir);
+    if (!opened.ok()) {
+      std::cerr << "error: " << opened.status().ToString() << "\n";
+      return kExitRuntime;
+    }
+    wal.emplace(*std::move(opened));
+    StatusOr<WalReplay> replayed = wal->Replay();
+    if (!replayed.ok()) return ReportInputError(replayed.status());
+    if (!resume && !replayed->empty()) {
+      std::cerr << "error: WAL '" << wal_dir << "' holds "
+                << replayed->done.size() << " done and "
+                << replayed->pending.size()
+                << " pending request(s) from a previous run; pass --resume "
+                   "to continue it or remove the directory to start over\n";
+      return kExitUsage;
+    }
+    if (resume) replay = *std::move(replayed);
+    const Status stamped = wal->LogVersion(VersionString());
+    if (!stamped.ok()) {
+      std::cerr << "error: " << stamped.ToString() << "\n";
+      return kExitRuntime;
+    }
+  }
+
+  const std::string journal_path = flags.GetString("journal", "-");
+  std::optional<LineLog> journal_file;
+  if (journal_path != "-") {
+    StatusOr<LineLog> opened =
+        LineLog::OpenTrunc(journal_path, /*fsync_each=*/wal.has_value());
+    if (!opened.ok()) {
+      std::cerr << "error: " << opened.status().ToString() << "\n";
+      return kExitRuntime;
+    }
+    journal_file.emplace(*std::move(opened));
+  }
+  std::atomic<bool> journal_write_failed{false};
+  const auto emit_line = [&](const std::string& line) {
+    if (!journal_file.has_value()) {
+      std::cout << line << "\n";
+      std::cout.flush();
+      return;
+    }
+    const Status written = journal_file->WriteLine(line);
+    if (!written.ok()) {
+      journal_write_failed.store(true, std::memory_order_relaxed);
+      std::cerr << "error: journal write failed: " << written.ToString()
+                << "\n";
+    }
+  };
+  // The serve journal is a new surface, so it self-identifies: its first
+  // line names the build (batch journals stay line-per-request for the
+  // existing accounting contract).
+  emit_line("{\"version\":\"" + VersionString() + "\"}");
+
+  // Replayed terminal outcomes re-emit verbatim, exactly as batch --resume.
+  for (const WalDoneRecord& record : replay.done) {
+    emit_line(record.line);
+  }
+
+  std::atomic<bool> wal_append_failed{false};
+  if (wal.has_value()) {
+    options.on_intent = [&wal](const std::string& id,
+                               const std::string& line) -> Status {
+      return wal->LogIntent(id, line);
+    };
+  }
+  options.on_report = [&](const RequestReport& report) {
+    const std::string line = report.ToJson();
+    if (wal.has_value()) {
+      const Status logged =
+          wal->LogDone(report.id, RequestOutcomeName(report.outcome), line);
+      if (!logged.ok()) {
+        wal_append_failed.store(true, std::memory_order_relaxed);
+        std::cerr << "error: " << logged.ToString() << "\n";
+      }
+    }
+    {
+      // Same chaos window as batch: between WAL commit and journal emit.
+      FailPointScope scope;
+      (void)CheckFailPoint("service.journal");
+    }
+    emit_line(line);
+  };
+
+  Server server(std::move(options));
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::cerr << "error: " << started.ToString() << "\n";
+    return kExitRuntime;
+  }
+
+  // Interrupted requests from the WAL re-enter through the service; their
+  // original clients are gone, so their outcomes land in the journal only.
+  int recovered = 0;
+  for (const std::string& id : replay.pending) {
+    const auto spec = replay.pending_specs.find(id);
+    Status admitted =
+        spec == replay.pending_specs.end()
+            ? FailedPreconditionError(
+                  "WAL intent carries no request spec (written by a "
+                  "pre-serve build?); cannot re-admit")
+            : server.SubmitRecovered(id, spec->second);
+    if (admitted.ok()) {
+      ++recovered;
+      continue;
+    }
+    // Un-re-admittable work still resolves exactly once: a terminal
+    // rejection, WAL-committed then journaled like any other outcome.
+    RequestReport report;
+    report.id = id;
+    report.outcome = RequestOutcome::kRejected;
+    report.status = std::move(admitted);
+    report.trace_id = GenerateTraceId();
+    const std::string line = report.ToJson();
+    if (wal.has_value()) {
+      const Status logged =
+          wal->LogDone(id, RequestOutcomeName(report.outcome), line);
+      if (!logged.ok()) {
+        wal_append_failed.store(true, std::memory_order_relaxed);
+        std::cerr << "error: " << logged.ToString() << "\n";
+      }
+    }
+    emit_line(line);
+  }
+  if (!replay.empty()) {
+    std::cerr << "serve: resumed from WAL '" << wal_dir << "': "
+              << replay.done.size() << " outcome(s) replayed verbatim, "
+              << recovered << " interrupted request(s) re-admitted\n";
+  }
+
+  g_batch_signal.store(0, std::memory_order_relaxed);
+  // Client departures surface as EPIPE statuses (Connection uses
+  // MSG_NOSIGNAL), but belt-and-braces: no write anywhere in the daemon may
+  // become a SIGPIPE death.
+  std::signal(SIGPIPE, SIG_IGN);
+  auto prev_int = std::signal(SIGINT, BatchSignalHandler);
+  auto prev_term = std::signal(SIGTERM, BatchSignalHandler);
+  auto prev_hup = std::signal(SIGHUP, BatchSignalHandler);
+  std::atomic<bool> watcher_stop{false};
+  std::thread watcher([&server, &watcher_stop] {
+    while (!watcher_stop.load(std::memory_order_acquire)) {
+      const int sig = g_batch_signal.load(std::memory_order_relaxed);
+      if (sig != 0) {
+        server.RequestShutdown(sig == SIGINT   ? "SIGINT"
+                               : sig == SIGHUP ? "SIGHUP"
+                                               : "SIGTERM");
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  // Startup banner on stderr (stdout may BE the journal). Tests parse the
+  // resolved port out of this line, so --listen 127.0.0.1:0 is usable.
+  const std::string display =
+      listen->is_unix
+          ? listen->ToString()
+          : listen->host + ":" + std::to_string(server.listen_port());
+  std::cerr << VersionString() << "\n";
+  std::cerr << "serve: listening on " << display;
+  if (flags.Has("health")) {
+    std::cerr << " (health on " << flags.GetString("health", "") << ")";
+  }
+  std::cerr << "\n";
+
+  ServerSummary summary = server.Run();
+
+  watcher_stop.store(true, std::memory_order_release);
+  watcher.join();
+  std::signal(SIGINT, prev_int);
+  std::signal(SIGTERM, prev_term);
+  std::signal(SIGHUP, prev_hup);
+
+  std::cerr << "serve: drained (" << summary.drain_reason << "): "
+            << summary.connections_accepted << " connection(s), "
+            << summary.requests_received << " request(s), "
+            << summary.responses_sent << " response(s) delivered, "
+            << summary.overload_rejections << " overload rejection(s), "
+            << summary.protocol_errors << " protocol error(s); journal has "
+            << summary.batch.reports.size() << " service outcome(s)\n";
+
+  if (journal_write_failed.load(std::memory_order_relaxed) ||
+      wal_append_failed.load(std::memory_order_relaxed)) {
+    return kExitRuntime;
+  }
+  // A daemon's request outcomes are the journal's business; a clean drain
+  // is a successful run.
+  return kExitOk;
+}
+
+int CmdVersion() {
+  std::cout << VersionString() << "\n";
+  return kExitOk;
+}
+
 /// Smoke path for the exporters: fills a self-contained registry with one
 /// metric of each kind and prints the snapshot, so `gputc metrics-dump |
 /// promtool check metrics` (or a JSON parser) can validate the formats
@@ -1060,6 +1410,7 @@ int CmdCalibrate() {
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
+  if (flags.GetBool("version", false)) return CmdVersion();
   if (flags.positional().empty()) return Usage();
   const std::string command = flags.positional()[0];
   if (command == "datasets") return CmdDatasets();
@@ -1069,7 +1420,9 @@ int Main(int argc, char** argv) {
   if (command == "count") return CmdCount(flags);
   if (command == "doctor") return CmdDoctor(flags);
   if (command == "batch") return CmdBatch(flags);
+  if (command == "serve") return CmdServe(flags);
   if (command == "worker") return CmdWorker(flags);
+  if (command == "version") return CmdVersion();
   if (command == "metrics-dump") return CmdMetricsDump(flags);
   if (command == "calibrate") return CmdCalibrate();
   std::cerr << "unknown command '" << command << "'\n";
