@@ -112,6 +112,10 @@ Status Connection::FlushWrites() {
     if (would_block) break;
     write_off_ += *n;
     last_activity_ = Clock::now();
+    // The stall clock measures lack of PROGRESS, not total residence time:
+    // a slow-but-steadily-draining peer (or one pipelining fast enough that
+    // the buffer never empties) must not be killed by the write deadline.
+    if (*n > 0) write_pending_since_ = last_activity_;
   }
   if (!wants_write()) {
     write_buf_.clear();

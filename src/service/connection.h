@@ -82,7 +82,10 @@ class Connection {
   /// When the current unfinished request line started arriving (== activity
   /// time of its first byte); meaningful while partial_bytes() > 0.
   Clock::time_point partial_since() const { return partial_since_; }
-  /// When the oldest still-unflushed response was queued; meaningful while
+  /// When the socket last made write progress — reset on every successful
+  /// (possibly partial) flush, initialized when bytes are first queued onto
+  /// an empty buffer. The write-stall deadline compares against this, so
+  /// only a peer that stops draining entirely trips it. Meaningful while
   /// wants_write().
   Clock::time_point write_pending_since() const {
     return write_pending_since_;

@@ -37,6 +37,11 @@ void AdaptiveLimiter::Release(double latency_ms) {
   if (static_cast<int>(window_.size()) >= options_.window) AdaptLocked();
 }
 
+void AdaptiveLimiter::ReleaseSlot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (inflight_ > 0) --inflight_;
+}
+
 void AdaptiveLimiter::AdaptLocked() {
   last_window_p99_ = Percentile(window_, options_.percentile);
   window_.clear();

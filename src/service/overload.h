@@ -56,6 +56,12 @@ class AdaptiveLimiter {
   /// Returns the slot and feeds the latency sample to the controller.
   void Release(double latency_ms);
 
+  /// Returns the slot WITHOUT a latency sample — for requests that claimed a
+  /// slot but never executed (shed at a later gate, WAL append failure).
+  /// Feeding those a fake 0 ms sample would drag the window p99 down during
+  /// sustained overload and push the limit up exactly when it should shrink.
+  void ReleaseSlot();
+
   /// How long a rejected client should back off before retrying: the last
   /// observed window p99 (clamped to [25ms, 5s]), or the target while no
   /// window has completed. Monotone in observed load, so a storm of

@@ -122,8 +122,8 @@ Status Server::ParseLine(const std::string& line,
   return OkStatus();
 }
 
-Status Server::SubmitRecovered(const std::string& id,
-                               const std::string& line) {
+Status Server::ValidateRecovered(const std::string& id,
+                                 const std::string& line) const {
   std::vector<BatchRequest> parsed;
   GPUTC_RETURN_IF_ERROR(ParseLine(line, &parsed));
   if (parsed.size() != 1) {
@@ -131,11 +131,26 @@ Status Server::SubmitRecovered(const std::string& id,
                                 "' does not hold exactly one request: '" +
                                 BoundedSource(line) + "'");
   }
+  return OkStatus();
+}
+
+Status Server::SubmitRecovered(const std::string& id,
+                               const std::string& line) {
+  GPUTC_RETURN_IF_ERROR(ValidateRecovered(id, line));
+  std::vector<BatchRequest> parsed;
+  GPUTC_RETURN_IF_ERROR(ParseLine(line, &parsed));
   BatchRequest request = std::move(parsed[0]);
   request.id = id;
   {
     std::lock_guard<std::mutex> lock(pending_mu_);
-    pending_[id] = PendingRequest{0, Clock::now(), false};
+    // Exactly-once: a duplicate id must not clobber a registered request —
+    // the overwritten entry's report would route to the wrong owner and the
+    // orphaned second report would leak an inflight slot.
+    if (!pending_.emplace(id, PendingRequest{0, Clock::now(), false})
+             .second) {
+      return FailedPreconditionError("request id '" + id +
+                                     "' is already registered");
+    }
   }
   inflight_total_.fetch_add(1, std::memory_order_acq_rel);
   service_.Submit(std::move(request));
@@ -212,13 +227,33 @@ size_t Server::DataConnectionCount() const {
   return count;
 }
 
+size_t Server::HealthConnectionCount() const {
+  size_t count = 0;
+  for (const auto& [fd, conn] : conns_) {
+    if (conn.is_health) ++count;
+  }
+  return count;
+}
+
 void Server::AcceptPending(int listener_fd, bool is_health) {
   for (;;) {
-    if (!is_health && DataConnectionCount() >= options_.max_connections) {
-      return;  // Cap reached mid-burst; the rest stays in the backlog.
+    // Each listener has its own cap; a probe flood on the health port must
+    // not be able to exhaust descriptors just because it bypasses the data
+    // cap. Reached mid-burst, the rest stays in the backlog.
+    if (is_health
+            ? HealthConnectionCount() >= options_.max_health_connections
+            : DataConnectionCount() >= options_.max_connections) {
+      return;
     }
     StatusOr<int> accepted = AcceptRetry(listener_fd);
-    if (!accepted.ok() || *accepted < 0) return;
+    if (!accepted.ok()) {
+      // EMFILE/ENFILE (or any other accept error): the listener stays
+      // readable, so a level-triggered poll would spin on it. Deregister
+      // every listener briefly; the idle sweep frees descriptors meanwhile.
+      accept_backoff_ = Deadline::AfterMillis(100.0);
+      return;
+    }
+    if (*accepted < 0) return;
     const int fd = *accepted;
     if (Status nb = SetNonBlocking(fd); !nb.ok()) {
       ::close(fd);
@@ -270,9 +305,28 @@ void Server::HandleRequestLine(Connection& conn, const std::string& line) {
     return;
   }
   BatchRequest request = std::move(parsed[0]);
-  const std::string id = "net-" + std::to_string(conn.id()) + "-" +
-                         std::to_string(++next_request_seq_);
+  // The run epoch (nonzero on a resumed WAL) keeps generated ids unique
+  // across runs: without it, run two's "net-1-1" would collide with a
+  // WAL-recovered pending request registered under the same id by run one.
+  const std::string id =
+      (options_.run_epoch > 0
+           ? "net-r" + std::to_string(options_.run_epoch) + "-"
+           : std::string("net-")) +
+      std::to_string(conn.id()) + "-" + std::to_string(++next_request_seq_);
   request.id = id;
+  {
+    // Structurally impossible given the epoch, but an id collision breaks
+    // the exactly-once contract in three ways at once (misrouted response,
+    // leaked inflight slot, double WAL done) — so belt-and-braces.
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (pending_.count(id) > 0) {
+      QueueErrorLine(conn, id, request.source,
+                     InternalError("generated request id '" + id +
+                                   "' collides with a registered request"),
+                     /*retry_after_ms=*/-1);
+      return;
+    }
+  }
 
   // Overload gate 1: adaptive concurrency (tail-latency AIMD).
   const Status slot = limiter_.TryAcquire();
@@ -286,7 +340,7 @@ void Server::HandleRequestLine(Connection& conn, const std::string& line) {
   // the poll thread, so the server refuses before the queue could.
   if (inflight_total_.load(std::memory_order_acquire) >=
       options_.batch.queue_depth) {
-    limiter_.Release(0.0);
+    limiter_.ReleaseSlot();  // No latency sample: nothing executed.
     ++summary_.overload_rejections;
     ServerRejectionCounter("queue").Increment();
     QueueErrorLine(conn, id, request.source,
@@ -302,7 +356,7 @@ void Server::HandleRequestLine(Connection& conn, const std::string& line) {
   if (options_.on_intent) {
     const Status logged = options_.on_intent(id, line);
     if (!logged.ok()) {
-      limiter_.Release(0.0);
+      limiter_.ReleaseSlot();  // No latency sample: nothing executed.
       QueueErrorLine(conn, id, request.source,
                      logged.WithContext("write-ahead intent"),
                      /*retry_after_ms=*/-1);
@@ -475,11 +529,18 @@ ServerSummary Server::Run() {
 
     std::vector<pollfd> pfds;
     pfds.push_back(pollfd{wake_r_, POLLIN, 0});
+    // Listeners leave the poll set at their connection cap and during an
+    // accept-failure backoff (EMFILE): a readable listener we will not
+    // accept from would spin the level-triggered loop.
+    const bool accepts_ok = accept_backoff_.expired();
     const bool poll_listener =
-        phase == Phase::kServing && listen_fd_ >= 0 &&
+        phase == Phase::kServing && listen_fd_ >= 0 && accepts_ok &&
         DataConnectionCount() < options_.max_connections;
     if (poll_listener) pfds.push_back(pollfd{listen_fd_, POLLIN, 0});
-    if (health_fd_ >= 0) pfds.push_back(pollfd{health_fd_, POLLIN, 0});
+    if (health_fd_ >= 0 && accepts_ok &&
+        HealthConnectionCount() < options_.max_health_connections) {
+      pfds.push_back(pollfd{health_fd_, POLLIN, 0});
+    }
     const size_t conns_at = pfds.size();
     for (const auto& [fd, conn] : conns_) {
       short events = 0;

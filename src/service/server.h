@@ -14,6 +14,7 @@
 #include "service/batch_service.h"
 #include "service/connection.h"
 #include "service/overload.h"
+#include "util/deadline.h"
 #include "util/net_io.h"
 
 namespace gputc {
@@ -58,6 +59,10 @@ struct ServerOptions {
   /// Hard cap on concurrently open data connections; the listener is not
   /// polled while at the cap.
   size_t max_connections = 64;
+  /// Separate (small) cap for the health listener, enforced the same way —
+  /// probes must not be able to exhaust descriptors just because they
+  /// bypass the data cap.
+  size_t max_health_connections = 8;
   /// Request-line length cap (unterminated buffered bytes).
   size_t max_line_bytes = 64 * 1024;
   /// Close connections with no activity, no in-flight work, and nothing
@@ -73,6 +78,15 @@ struct ServerOptions {
   /// Emit the version hello line on accept (protocol clients expect it;
   /// tests may turn it off).
   bool send_hello = true;
+
+  /// How many previous runs already wrote the WAL this daemon resumed
+  /// (`WalReplay::versions.size()`; 0 for a fresh log or no WAL). Folded
+  /// into generated request ids — "net-r<epoch>-<conn>-<seq>" when nonzero —
+  /// so ids are unique across crash/resume cycles: a recovered pending
+  /// request registered under its old id can never collide with a new
+  /// request of the resumed run (which would misroute its response, leak an
+  /// inflight slot, and double-write WAL done for one id).
+  uint64_t run_epoch = 0;
 
   AdaptiveLimiterOptions limiter;
   BatchServiceOptions batch;
@@ -115,9 +129,20 @@ class Server {
   /// Call once, before Run.
   Status Start();
 
+  /// Side-effect-free admissibility check for one WAL-recovered request
+  /// line: parses it and requires exactly one request. Run this over every
+  /// recovered intent (and resolve the failures) BEFORE the first
+  /// SubmitRecovered — once a recovered request is in flight, its report
+  /// can race anything the caller emits outside the journal lock.
+  Status ValidateRecovered(const std::string& id,
+                           const std::string& line) const;
+
   /// Re-submits one WAL-recovered pending request (after Start, before Run).
   /// No live connection owns it, so its outcome goes to the journal hooks
-  /// only; the WAL intent already exists, so on_intent is skipped.
+  /// only; the WAL intent already exists, so on_intent is skipped. Fails
+  /// without side effects on an invalid line (ValidateRecovered) or an id
+  /// that is already registered (exactly-once: never clobber a pending
+  /// entry).
   Status SubmitRecovered(const std::string& id, const std::string& line);
 
   /// The poll loop. Blocks until RequestShutdown's drain ladder completes;
@@ -174,6 +199,7 @@ class Server {
   /// Enforces the idle / partial-read / write-stall deadlines.
   void SweepDeadlines(std::vector<int>* dead);
   size_t DataConnectionCount() const;
+  size_t HealthConnectionCount() const;
   void DestroyConnection(int fd);
   void CloseListeners();
   Status ParseLine(const std::string& line,
@@ -193,6 +219,10 @@ class Server {
 
   uint64_t next_conn_id_ = 0;
   uint64_t next_request_seq_ = 0;
+  /// While unexpired, no listener is polled: accept failed with a resource
+  /// error (EMFILE/ENFILE), and a still-readable listener would otherwise
+  /// make the level-triggered poll loop spin until descriptors free up.
+  Deadline accept_backoff_ = Deadline::AfterMillis(0.0);
   std::map<int, Connection> conns_;            // fd -> connection.
   std::unordered_map<uint64_t, int> conn_fd_;  // connection id -> fd.
 

@@ -107,6 +107,25 @@ TEST(AdaptiveLimiterTest, RetryAfterDefaultsToTargetAndClamps) {
   EXPECT_EQ(limiter.RetryAfterMs(), 5000);
 }
 
+TEST(AdaptiveLimiterTest, ReleaseSlotReturnsTheSlotWithoutASample) {
+  AdaptiveLimiterOptions options;
+  options.initial_limit = 2;
+  options.min_limit = 1;
+  options.max_limit = 4;
+  options.target_ms = 10.0;
+  options.window = 1;  // Any sample would adapt immediately.
+  AdaptiveLimiter limiter(options);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(limiter.TryAcquire().ok());
+    limiter.ReleaseSlot();
+  }
+  // A storm of door rejections feeds the controller nothing: the limit must
+  // not climb on fake-fast samples exactly when the service is saturated.
+  EXPECT_EQ(limiter.limit(), 2);
+  EXPECT_EQ(limiter.inflight(), 0);
+  EXPECT_EQ(limiter.overloaded_windows(), 0);
+}
+
 TEST(AdaptiveLimiterTest, LimitNeverLeavesTheConfiguredBounds) {
   AdaptiveLimiterOptions options;
   options.initial_limit = 2;
@@ -665,11 +684,67 @@ TEST_F(ServerTest, RecoveredLineThatIsNotOneRequestIsRefused) {
   StartServer(BaseOptions());
   EXPECT_EQ(server_->SubmitRecovered("net-0-1", "gen:bogus:nodes=x").ok(),
             false);
+  EXPECT_FALSE(
+      server_->ValidateRecovered("net-0-1", "gen:bogus:nodes=x").ok());
+  EXPECT_TRUE(server_->ValidateRecovered("net-0-2", kSmallGen).ok());
   const Status two = server_->SubmitRecovered(
       "net-0-2", std::string(kSmallGen));
   EXPECT_TRUE(two.ok());
   EXPECT_TRUE(WaitForReport("net-0-2"));
   StopServer();
+}
+
+TEST_F(ServerTest, RunEpochKeepsGeneratedIdsDisjointFromRecoveredOnes) {
+  ServerOptions options = BaseOptions();
+  options.run_epoch = 2;
+  const ListenSpec listen = options.listen;
+  StartServer(std::move(options));
+  // A WAL-recovered pending request registered under the id the PREVIOUS
+  // run generated — exactly what a resumed run's first request would
+  // collide with if generated ids restarted at net-1-1.
+  ASSERT_TRUE(server_->SubmitRecovered("net-1-1", kSmallGen).ok());
+
+  Client client(listen);
+  (void)client.ReadLine();  // hello
+  client.Send(std::string(kSmallGen) + "\n");
+  const std::string response = client.ReadLine();
+  EXPECT_NE(response.find("\"id\":\"net-r2-1-1\""), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("\"outcome\":\"ok\""), std::string::npos)
+      << response;
+  EXPECT_TRUE(WaitForReport("net-1-1"));
+  EXPECT_TRUE(WaitForReport("net-r2-1-1"));
+  client.Close();
+  const ServerSummary& summary = StopServer();
+  // The recovered request resolved into the journal only; the client got
+  // exactly its own response, never the recovered one.
+  EXPECT_EQ(summary.responses_sent, 1);
+  EXPECT_EQ(summary.batch.reports.size(), 2u);
+}
+
+TEST_F(ServerTest, DuplicateRecoveredIdIsRefusedWhileRegistered) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  FailPointRegistry::Instance().SetObserver("service.worker", [&](int64_t) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+  StartServer(BaseOptions());
+  ASSERT_TRUE(server_->SubmitRecovered("net-0-1", kSmallGen).ok());
+  // While the first registration is pending, the same id must be refused —
+  // clobbering it would misroute the first report and leak its slot.
+  const Status dup = server_->SubmitRecovered("net-0-1", kSmallGen);
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.code(), StatusCode::kFailedPrecondition);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  EXPECT_TRUE(WaitForReport("net-0-1"));
+  const ServerSummary& summary = StopServer();
+  ASSERT_EQ(summary.batch.reports.size(), 1u);
 }
 
 // -- Health listener --------------------------------------------------------
@@ -716,6 +791,23 @@ TEST_F(ServerTest, HealthEndpointsAnswerRawAndHttpProbes) {
     const std::string response = probe.ReadAll();
     EXPECT_EQ(response.rfind("HTTP/1.0 404", 0), 0u) << response;
   }
+  StopServer();
+}
+
+TEST_F(ServerTest, HealthListenerHasItsOwnConnectionCap) {
+  ServerOptions options = BaseOptions();
+  WithHealth(&options);
+  options.max_health_connections = 1;
+  const ListenSpec health = options.health;
+  StartServer(std::move(options));
+
+  Client held(health);   // Holds the single health slot, sends nothing.
+  Client probe(health);  // connect() lands in the backlog, not the server.
+  probe.Send("healthz\n");
+  EXPECT_EQ(probe.ReadLine(500), "") << "accepted past the health cap";
+  held.Close();
+  // The freed slot lets the backlogged probe through.
+  EXPECT_EQ(probe.ReadLine(5000), "ok");
   StopServer();
 }
 

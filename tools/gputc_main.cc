@@ -1191,6 +1191,11 @@ int CmdServe(const FlagParser& flags) {
                    "to continue it or remove the directory to start over\n";
       return kExitUsage;
     }
+    // Each Open appends a version record, so the count of prior records is
+    // a monotone per-run epoch. Folding it into generated request ids keeps
+    // them unique across crash/resume cycles — a resumed run's new ids can
+    // never collide with WAL-recovered pending ids from an earlier run.
+    options.run_epoch = replayed->versions.size();
     if (resume) replay = *std::move(replayed);
     const Status stamped = wal->LogVersion(VersionString());
     if (!stamped.ok()) {
@@ -1268,17 +1273,22 @@ int CmdServe(const FlagParser& flags) {
 
   // Interrupted requests from the WAL re-enter through the service; their
   // original clients are gone, so their outcomes land in the journal only.
+  // Two passes: every un-re-admittable intent resolves (WAL done + journal
+  // line) BEFORE the first submission — once a recovered request is in
+  // flight, its report may arrive on a service thread, and journal emission
+  // from this thread would race the journal-lock-serialized on_report path.
   int recovered = 0;
+  std::vector<std::pair<std::string, std::string>> readmittable;
   for (const std::string& id : replay.pending) {
     const auto spec = replay.pending_specs.find(id);
-    Status admitted =
+    Status admissible =
         spec == replay.pending_specs.end()
             ? FailedPreconditionError(
                   "WAL intent carries no request spec (written by a "
                   "pre-serve build?); cannot re-admit")
-            : server.SubmitRecovered(id, spec->second);
-    if (admitted.ok()) {
-      ++recovered;
+            : server.ValidateRecovered(id, spec->second);
+    if (admissible.ok()) {
+      readmittable.emplace_back(id, spec->second);
       continue;
     }
     // Un-re-admittable work still resolves exactly once: a terminal
@@ -1286,7 +1296,7 @@ int CmdServe(const FlagParser& flags) {
     RequestReport report;
     report.id = id;
     report.outcome = RequestOutcome::kRejected;
-    report.status = std::move(admitted);
+    report.status = std::move(admissible);
     report.trace_id = GenerateTraceId();
     const std::string line = report.ToJson();
     if (wal.has_value()) {
@@ -1298,6 +1308,18 @@ int CmdServe(const FlagParser& flags) {
       }
     }
     emit_line(line);
+  }
+  for (const auto& [id, line] : readmittable) {
+    const Status admitted = server.SubmitRecovered(id, line);
+    if (admitted.ok()) {
+      ++recovered;
+      continue;
+    }
+    // Validated above, so only a duplicate id could land here. No journal
+    // line (that would race on_report now): the intent simply stays pending
+    // and the next --resume retries it.
+    std::cerr << "serve: could not re-admit WAL intent '" << id
+              << "': " << admitted.ToString() << "\n";
   }
   if (!replay.empty()) {
     std::cerr << "serve: resumed from WAL '" << wal_dir << "': "
