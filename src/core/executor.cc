@@ -4,6 +4,7 @@
 #include <cctype>
 #include <utility>
 
+#include "core/prep_cache.h"
 #include "graph/validate.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -52,6 +53,9 @@ std::string ValidStageNames() {
 /// The degradation ladder of one stage. Variant 0 is the caller's options;
 /// each further variant gives up one analytic optimization, trading kernel
 /// balance for a simpler preprocessing path that avoids whatever failed.
+/// The copy carries base.prep_cache along, and the edited fields are all
+/// part of the cache fingerprint — so each rung resolves to its own cache
+/// entry, never to a stale artifact of a different variant.
 PreprocessOptions DegradedOptions(const PreprocessOptions& base, int variant) {
   PreprocessOptions options = base;
   if (variant >= 1) options.ordering = OrderingStrategy::kOriginal;
@@ -168,6 +172,19 @@ int64_t EstimateHostBytes(const Graph& g) {
   return (offsets + undirected_adj) + 2 * (offsets + directed_adj) + perms;
 }
 
+int64_t EstimateHostBytesCached(const Graph& g) {
+  const int64_t n = static_cast<int64_t>(g.num_vertices());
+  const int64_t m = g.num_edges();
+  const int64_t offsets = (n + 1) * static_cast<int64_t>(sizeof(EdgeCount));
+  const int64_t undirected_adj =
+      2 * m * static_cast<int64_t>(sizeof(VertexId));
+  const int64_t directed_adj = m * static_cast<int64_t>(sizeof(VertexId));
+  const int64_t perm = n * static_cast<int64_t>(sizeof(VertexId));
+  // Input CSR + the one relabeled copy FromParts builds + the permutation
+  // copy; no intermediate oriented graph and no direction rank on a hit.
+  return (offsets + undirected_adj) + (offsets + directed_adj) + perm;
+}
+
 StatusOr<ExecutionResult> ExecuteResilient(
     const Graph& g, const DeviceSpec& spec, const ExecutionPolicy& policy,
     const std::vector<FallbackStage>& chain,
@@ -201,7 +218,15 @@ StatusOr<ExecutionResult> ExecuteResilient(
   }
 
   if (policy.mem_budget_bytes > 0) {
-    const int64_t needed = EstimateHostBytes(g);
+    // A base-options cache hit skips the preprocessing recompute, so it
+    // peaks lower; degraded variants key separately and may still recompute,
+    // but by then the base attempt's memory has been released.
+    const bool base_cached =
+        base_options.prep_cache != nullptr &&
+        base_options.prep_cache->Contains(
+            PrepFingerprint(g, spec, base_options));
+    const int64_t needed =
+        base_cached ? EstimateHostBytesCached(g) : EstimateHostBytes(g);
     if (needed > policy.mem_budget_bytes) {
       return ResourceExhaustedError(
           "graph needs ~" + std::to_string(needed) +

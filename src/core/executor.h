@@ -109,6 +109,14 @@ struct ExecutionResult {
 /// the quantity ExecutionPolicy::mem_budget_bytes is checked against.
 int64_t EstimateHostBytes(const Graph& g);
 
+/// EstimateHostBytes for a request whose preprocessing artifact is already
+/// cached: the hit path rebuilds the final CSR straight from the artifact
+/// (DirectedGraph::FromParts), so the peak drops the intermediate oriented
+/// copy and the direction-rank array that only the recompute holds. This is
+/// the quantity admission should reserve for cache-hit requests — reserving
+/// the cold estimate double-counts the directed graph.
+int64_t EstimateHostBytesCached(const Graph& g);
+
 /// Runs the fallback chain over `g` under `policy`.
 ///
 /// Semantics:

@@ -4,6 +4,7 @@
 
 #include <utility>
 
+#include "core/prep_cache.h"
 #include "direction/cost_model.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -38,18 +39,17 @@ PreprocessResult Preprocess(const Graph& g, const DeviceSpec& spec,
   return *std::move(result);
 }
 
-StatusOr<PreprocessResult> TryPreprocess(const Graph& g,
-                                         const DeviceSpec& spec,
-                                         const PreprocessOptions& options,
-                                         const ExecContext& ctx) {
-  GPUTC_INJECT_FAULT("preprocess");
-  GPUTC_RETURN_IF_ERROR(ctx.CheckContinue("preprocess"));
-  PreprocessResult result;
+namespace {
 
-  ResourceModel model = ResourceModel::Default();
-  if (options.calibrate) {
-    GPUTC_ASSIGN_OR_RETURN(model, TryCalibratedResourceModel(spec));
-  }
+/// The fused (uncached) pipeline body, shared by the direct path and the
+/// cache's fill function. `model` is resolved by the caller so the cache can
+/// snapshot its BW table into the artifact.
+StatusOr<PreprocessResult> PreprocessWithModel(const Graph& g,
+                                               const DeviceSpec& spec,
+                                               const PreprocessOptions& options,
+                                               const ResourceModel& model,
+                                               const ExecContext& ctx) {
+  PreprocessResult result;
   result.lambda = model.lambda();
 
   Timer direction_timer;
@@ -90,6 +90,73 @@ StatusOr<PreprocessResult> TryPreprocess(const Graph& g,
   }
   RecordStageMillis("order", result.ordering_ms);
   result.total_ms = result.direction_ms + result.ordering_ms;
+  return result;
+}
+
+StatusOr<ResourceModel> ResolveModel(const DeviceSpec& spec,
+                                     const PreprocessOptions& options) {
+  if (options.calibrate) return TryCalibratedResourceModel(spec);
+  return ResourceModel::Default();
+}
+
+}  // namespace
+
+StatusOr<PreprocessResult> TryPreprocess(const Graph& g,
+                                         const DeviceSpec& spec,
+                                         const PreprocessOptions& options,
+                                         const ExecContext& ctx) {
+  GPUTC_INJECT_FAULT("preprocess");
+  GPUTC_RETURN_IF_ERROR(ctx.CheckContinue("preprocess"));
+
+  if (options.prep_cache != nullptr) {
+    const PrepCacheKey key = PrepFingerprint(g, spec, options);
+    GPUTC_ASSIGN_OR_RETURN(
+        const std::shared_ptr<const PrepArtifact> artifact,
+        options.prep_cache->GetOrCompute(key, ctx, [&]() {
+          return ComputePrepArtifact(g, spec, options, ctx);
+        }));
+    return MaterializePreprocess(*artifact, ctx);
+  }
+
+  GPUTC_ASSIGN_OR_RETURN(const ResourceModel model,
+                         ResolveModel(spec, options));
+  return PreprocessWithModel(g, spec, options, model, ctx);
+}
+
+StatusOr<PrepArtifact> ComputePrepArtifact(const Graph& g,
+                                           const DeviceSpec& spec,
+                                           const PreprocessOptions& options,
+                                           const ExecContext& ctx) {
+  GPUTC_ASSIGN_OR_RETURN(const ResourceModel model,
+                         ResolveModel(spec, options));
+  GPUTC_ASSIGN_OR_RETURN(PreprocessResult result,
+                         PreprocessWithModel(g, spec, options, model, ctx));
+  PrepArtifact artifact;
+  artifact.offsets = result.graph.offsets();
+  artifact.adj = result.graph.adjacency();
+  artifact.vertex_perm = std::move(result.vertex_perm);
+  artifact.calibrated = options.calibrate;
+  artifact.lambda = result.lambda;
+  if (options.calibrate) artifact.bw_by_log2_len = model.bw_by_log2_len();
+  artifact.direction_cost = result.direction_cost;
+  artifact.ordering_cost = result.ordering_cost;
+  return artifact;
+}
+
+StatusOr<PreprocessResult> MaterializePreprocess(const PrepArtifact& artifact,
+                                                 const ExecContext& ctx) {
+  GPUTC_RETURN_IF_ERROR(ctx.CheckContinue("prep.cache.materialize"));
+  Timer timer;
+  PreprocessResult result;
+  result.graph = DirectedGraph::FromParts(artifact.offsets, artifact.adj);
+  result.vertex_perm = artifact.vertex_perm;
+  result.lambda = artifact.lambda;
+  result.direction_cost = artifact.direction_cost;
+  result.ordering_cost = artifact.ordering_cost;
+  // A hit's "preprocessing time" is the rebuild, which is the whole point of
+  // the cache; attribute it to the direction slot so total_ms stays honest.
+  result.direction_ms = timer.ElapsedMillis();
+  result.total_ms = result.direction_ms;
   return result;
 }
 

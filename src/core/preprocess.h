@@ -16,6 +16,8 @@
 
 namespace gputc {
 
+class PrepCache;  // core/prep_cache.h
+
 /// Configuration of the paper's preprocessing pipeline: orient the graph
 /// (Section 4), then reorder vertices (Section 5). Either step can be set to
 /// its baseline to isolate the other, exactly as the evaluation does.
@@ -28,6 +30,15 @@ struct PreprocessOptions {
   /// device-specific, so benches enable it.
   bool calibrate = true;
   uint64_t seed = 1;
+  /// Optional preprocessing cache (not owned; null = uncached). When set,
+  /// TryPreprocess fingerprints (graph, spec, options) into the cache: a hit
+  /// rebuilds the oriented+reordered graph from the cached artifact, a miss
+  /// computes it once (single-flight across threads) and fills the cache.
+  /// The pointer itself is excluded from the fingerprint; every other field
+  /// here participates, so the executor's degradation ladder — which copies
+  /// these options and edits direction/ordering/calibrate — keys each rung
+  /// to its own cache entry automatically.
+  PrepCache* prep_cache = nullptr;
 };
 
 /// Output of preprocessing: the graph the unmodified counting kernels

@@ -163,6 +163,22 @@ BatchService::BatchService(BatchServiceOptions options)
   GPUTC_CHECK_GT(options_.jobs, 0);
   GPUTC_CHECK(!options_.chain.empty());
   slots_.resize(static_cast<size_t>(options_.jobs));
+
+  if (options_.prep_cache != nullptr) {
+    prep_cache_ = options_.prep_cache;
+  } else if (options_.prep_cache_mb > 0 || !options_.prep_cache_dir.empty()) {
+    if (!options_.prep_cache_dir.empty()) {
+      cache_store_ = std::make_unique<DiskCacheStore>(options_.prep_cache_dir);
+    }
+    // A dir with no explicit tier-1 budget still gets a working in-memory
+    // tier, so asking only for the durable tier never disables coalescing.
+    const int64_t budget_bytes = options_.prep_cache_mb > 0
+                                     ? options_.prep_cache_mb << 20
+                                     : kDefaultPrepCacheBytes;
+    owned_cache_ = std::make_unique<PrepCache>(budget_bytes,
+                                               cache_store_.get());
+    prep_cache_ = owned_cache_.get();
+  }
 }
 
 BatchService::~BatchService() {
@@ -408,9 +424,21 @@ void BatchService::Process(int worker_index, QueuedRequest queued) {
     return;
   }
 
+  // The per-request preprocess options: the shared cache rides along on a
+  // copy, so options_ stays immutable and every worker thread hits one cache.
+  PreprocessOptions preprocess = options_.preprocess;
+  preprocess.prep_cache = prep_cache_;
+
   // Admission: the injected fault and genuine refusals are both sheds — the
-  // request never started executing.
-  const int64_t estimate = EstimateHostBytes(*graph);
+  // request never started executing. A request whose base fingerprint is
+  // already cached skips the preprocessing recompute, so it is admitted with
+  // the smaller post-cache estimate — reserving the cold estimate would
+  // double-count the directed graph it never rebuilds.
+  const bool base_cached =
+      prep_cache_ != nullptr &&
+      prep_cache_->Contains(PrepFingerprint(*graph, options_.spec, preprocess));
+  const int64_t estimate = base_cached ? EstimateHostBytesCached(*graph)
+                                       : EstimateHostBytes(*graph);
   admit_span.SetAttr("estimate_bytes", estimate);
   const Clock::time_point admit_start = Clock::now();
   Status admitted = CheckFailPoint("service.admit");
@@ -494,7 +522,7 @@ void BatchService::Process(int worker_index, QueuedRequest queued) {
 
   ExecutionTrace trace;
   StatusOr<ExecutionResult> executed = ExecuteResilient(
-      *graph, options_.spec, policy, allowed, options_.preprocess, &trace);
+      *graph, options_.spec, policy, allowed, preprocess, &trace);
   exec_span.SetAttr("attempts", static_cast<int64_t>(trace.attempts.size()));
   if (!executed.ok()) exec_span.SetStatus(executed.status());
   exec_span.Finish();
@@ -538,6 +566,11 @@ void BatchService::ProcessIsolated(
   wire.params = request.params;
   wire.timeout_ms = timeout_ms;
   wire.failpoints = request.failpoints;
+  // Workers keep a private tier 1 but share the durable tier-2 directory, so
+  // an artifact computed by any worker (or by an earlier batch) is reusable
+  // pool-wide across process restarts.
+  wire.prep_cache_dir = options_.prep_cache_dir;
+  wire.prep_cache_mb = options_.prep_cache_mb;
   if (!request.fallback.empty()) {
     wire.chain = request.fallback;
   } else {

@@ -12,7 +12,9 @@
 #include <vector>
 
 #include "core/executor.h"
+#include "core/prep_cache.h"
 #include "service/admission.h"
+#include "service/cache_store.h"
 #include "service/circuit_breaker.h"
 #include "service/manifest.h"
 #include "service/supervisor.h"
@@ -83,6 +85,19 @@ struct BatchServiceOptions {
   /// serve daemon sets it; batch mode keeps the default -1 and its journal
   /// lines stay byte-identical to earlier releases.
   double reject_retry_after_ms = -1.0;
+
+  /// Preprocessing cache shared across requests (`--prep-cache[-mb]`). The
+  /// cache is off by default; either knob turns it on. `prep_cache_mb`
+  /// bounds tier-1 resident bytes (0 with a dir set = a default budget);
+  /// `prep_cache_dir` adds the durable tier 2, which `--isolate` workers
+  /// share — each worker process keeps its own tier 1 but reads/writes the
+  /// same artifact directory.
+  int64_t prep_cache_mb = 0;
+  std::string prep_cache_dir;
+  /// External cache to use instead of an owned one (not owned; must outlive
+  /// the service). Overrides the two knobs above; the serve daemon and tests
+  /// use it to share one cache across service restarts.
+  PrepCache* prep_cache = nullptr;
 };
 
 /// Terminal classification of one submitted request. Every Submit produces
@@ -182,6 +197,8 @@ class BatchService {
   const BatchServiceOptions& options() const { return options_; }
   /// The per-backend breaker board (exposed for tests and reporting).
   BreakerBoard& breakers() { return breakers_; }
+  /// The effective preprocessing cache (external, owned, or null when off).
+  PrepCache* prep_cache() const { return prep_cache_; }
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -219,6 +236,12 @@ class BatchService {
                     const ExecutionTrace& trace);
 
   const BatchServiceOptions options_;
+  /// Tier-2 store + owned tier-1 cache, built from the options knobs when no
+  /// external cache was supplied. `prep_cache_` is the one pointer Process
+  /// consults: external > owned > null.
+  std::unique_ptr<DiskCacheStore> cache_store_;
+  std::unique_ptr<PrepCache> owned_cache_;
+  PrepCache* prep_cache_ = nullptr;
   WorkQueue<QueuedRequest> queue_;
   AdmissionController admission_;
   BreakerBoard breakers_;

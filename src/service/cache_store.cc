@@ -1,0 +1,190 @@
+#include "service/cache_store.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/durable_file.h"
+#include "util/failpoint.h"
+
+namespace gputc {
+namespace {
+
+constexpr char kFileHeader[] = "GPTC-PREP-CACHE-V1\n";
+constexpr size_t kFileHeaderLen = sizeof(kFileHeader) - 1;
+constexpr char kFilePrefix[] = "prep-";
+constexpr char kFileSuffix[] = ".gptc";
+/// A framed section can never legitimately exceed this; anything larger is a
+/// corrupt length field, not a real artifact.
+constexpr uint32_t kMaxSectionBytes = 1u << 30;
+
+void AppendFramed(std::string* out, std::string_view payload) {
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  const uint32_t crc = Crc32c(payload);
+  out->append(reinterpret_cast<const char*>(&len), sizeof(len));
+  out->append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  out->append(payload.data(), payload.size());
+}
+
+/// Reads one [len][crc][bytes] section starting at `*pos`; DataLoss on any
+/// truncation or checksum mismatch.
+StatusOr<std::string> ReadFramed(const std::string& bytes, size_t* pos,
+                                 const char* what) {
+  if (bytes.size() - *pos < 2 * sizeof(uint32_t)) {
+    return DataLossError(std::string("cache file truncated before ") + what +
+                         " frame header");
+  }
+  uint32_t len = 0;
+  uint32_t crc = 0;
+  std::memcpy(&len, bytes.data() + *pos, sizeof(len));
+  std::memcpy(&crc, bytes.data() + *pos + sizeof(len), sizeof(crc));
+  *pos += 2 * sizeof(uint32_t);
+  if (len > kMaxSectionBytes || len > bytes.size() - *pos) {
+    return DataLossError(std::string("cache file truncated inside ") + what +
+                         " section (" + std::to_string(len) + " bytes framed)");
+  }
+  std::string payload = bytes.substr(*pos, len);
+  *pos += len;
+  if (Crc32c(payload) != crc) {
+    return DataLossError(std::string(what) + " section checksum mismatch");
+  }
+  return payload;
+}
+
+}  // namespace
+
+std::string DiskCacheStore::PathFor(const PrepCacheKey& key) const {
+  return dir_ + "/" + kFilePrefix + key.id + kFileSuffix;
+}
+
+Status DiskCacheStore::EnsureDir() const {
+  struct stat st;
+  if (::stat(dir_.c_str(), &st) == 0) {
+    if (!S_ISDIR(st.st_mode)) {
+      return InvalidArgumentError("prep-cache path '" + dir_ +
+                                  "' exists and is not a directory");
+    }
+    return OkStatus();
+  }
+  if (::mkdir(dir_.c_str(), 0777) != 0 && errno != EEXIST) {
+    return InvalidArgumentError("cannot create prep-cache directory '" +
+                                dir_ + "': " + std::strerror(errno));
+  }
+  return OkStatus();
+}
+
+StatusOr<std::string> DiskCacheStore::Load(const PrepCacheKey& key) {
+  // The store is a recoverable boundary by construction — open our own
+  // scope so armed cache.* points land here even from un-scoped callers.
+  FailPointScope scope;
+  GPUTC_INJECT_FAULT("cache.load");
+
+  const std::string path = PathFor(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return NotFoundError("no cached artifact at " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    return DataLossError("short read of cache file " + path);
+  }
+  const std::string bytes = buffer.str();
+
+  if (bytes.size() < kFileHeaderLen ||
+      bytes.compare(0, kFileHeaderLen, kFileHeader) != 0) {
+    return DataLossError("cache file " + path + " has a foreign header");
+  }
+  size_t pos = kFileHeaderLen;
+  GPUTC_ASSIGN_OR_RETURN(const std::string canonical,
+                         ReadFramed(bytes, &pos, "key"));
+  if (canonical != key.canonical) {
+    // A real 64-bit id collision: the file belongs to another fingerprint.
+    // Miss, don't destroy the other key's entry.
+    return NotFoundError("cache file " + path +
+                         " holds a different fingerprint (id collision)");
+  }
+  GPUTC_ASSIGN_OR_RETURN(std::string payload,
+                         ReadFramed(bytes, &pos, "artifact"));
+  if (pos != bytes.size()) {
+    return DataLossError("cache file " + path + " has trailing bytes");
+  }
+  return payload;
+}
+
+Status DiskCacheStore::Store(const PrepCacheKey& key,
+                             std::string_view encoded) {
+  FailPointScope scope;
+  GPUTC_INJECT_FAULT("cache.store");
+  GPUTC_RETURN_IF_ERROR(EnsureDir());
+
+  std::string content;
+  content.reserve(kFileHeaderLen + key.canonical.size() + encoded.size() + 16);
+  content.append(kFileHeader, kFileHeaderLen);
+  AppendFramed(&content, key.canonical);
+  AppendFramed(&content, encoded);
+
+  GPUTC_ASSIGN_OR_RETURN(AtomicFileWriter writer,
+                         AtomicFileWriter::Create(PathFor(key)));
+  GPUTC_RETURN_IF_ERROR(writer.Append(content));
+  return writer.Commit();
+}
+
+StatusOr<DiskCacheStore::DiskStats> DiskCacheStore::ScanStats() const {
+  DiskStats stats;
+  DIR* dir = ::opendir(dir_.c_str());
+  if (dir == nullptr) {
+    if (errno == ENOENT) return stats;  // Never-written cache: empty.
+    return InvalidArgumentError("cannot open prep-cache directory '" + dir_ +
+                                "': " + std::strerror(errno));
+  }
+  while (struct dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name.rfind(kFilePrefix, 0) != 0 ||
+        name.size() <= sizeof(kFileSuffix) - 1 ||
+        name.compare(name.size() - (sizeof(kFileSuffix) - 1),
+                     sizeof(kFileSuffix) - 1, kFileSuffix) != 0) {
+      continue;
+    }
+    struct stat st;
+    if (::stat((dir_ + "/" + name).c_str(), &st) == 0 && S_ISREG(st.st_mode)) {
+      ++stats.files;
+      stats.bytes += static_cast<int64_t>(st.st_size);
+    }
+  }
+  ::closedir(dir);
+  return stats;
+}
+
+StatusOr<int64_t> DiskCacheStore::PurgeAll() {
+  int64_t removed = 0;
+  DIR* dir = ::opendir(dir_.c_str());
+  if (dir == nullptr) {
+    if (errno == ENOENT) return removed;
+    return InvalidArgumentError("cannot open prep-cache directory '" + dir_ +
+                                "': " + std::strerror(errno));
+  }
+  std::vector<std::string> victims;
+  while (struct dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name.rfind(kFilePrefix, 0) == 0 &&
+        name.size() > sizeof(kFileSuffix) - 1 &&
+        name.compare(name.size() - (sizeof(kFileSuffix) - 1),
+                     sizeof(kFileSuffix) - 1, kFileSuffix) == 0) {
+      victims.push_back(dir_ + "/" + name);
+    }
+  }
+  ::closedir(dir);
+  for (const std::string& path : victims) {
+    if (::unlink(path.c_str()) == 0) ++removed;
+  }
+  return removed;
+}
+
+}  // namespace gputc

@@ -1,0 +1,78 @@
+#ifndef GPUTC_SERVICE_CACHE_STORE_H_
+#define GPUTC_SERVICE_CACHE_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/prep_cache.h"
+#include "util/status.h"
+
+namespace gputc {
+
+// Tier 2 of the preprocessing cache (`--prep-cache DIR`): one durable file
+// per fingerprint, written via AtomicFileWriter so a crash mid-store leaves
+// the old artifact (or nothing), never a torn one, and verified on load with
+// the same CRC32C discipline as every other artifact the system persists.
+//
+// On-disk format of `prep-<id>.gptc`:
+//
+//   "GPTC-PREP-CACHE-V1\n"
+//   [u32 key_len][u32 crc32c(key)]      the canonical fingerprint text
+//   key bytes
+//   [u32 payload_len][u32 crc32c(payload)]
+//   payload bytes                       EncodePrepArtifact output
+//
+// The canonical key inside the file is compared against the requested key on
+// load: a 64-bit id collision (two fingerprints, one file name) degrades to
+// NotFound — a miss — never to a wrong artifact. Any structural or checksum
+// failure is DataLoss, which the PrepCache turns into a recompute + rewrite;
+// a bad cache file can cost time, never correctness.
+//
+// The fail-point sites "cache.load" and "cache.store" are compiled into
+// these paths, and the store opens its own FailPointScope like the durable
+// layer does: every injection here lands on a path that recovers by design,
+// and the crash harness kills the process at exactly these boundaries.
+class DiskCacheStore : public PrepCacheStore {
+ public:
+  /// The store is lazy: nothing touches the filesystem until the first
+  /// Load/Store. Call EnsureDir() up front to surface an unusable directory
+  /// as a flag error instead of silent per-request store failures.
+  explicit DiskCacheStore(std::string dir) : dir_(std::move(dir)) {}
+
+  /// Creates `dir` (one level) if missing; InvalidArgument when the path
+  /// exists but is not a directory, or cannot be created.
+  Status EnsureDir() const;
+
+  /// NotFound when absent (or on an id collision), DataLoss on any framing,
+  /// checksum, or truncation failure. Passes the "cache.load" fail point.
+  StatusOr<std::string> Load(const PrepCacheKey& key) override;
+
+  /// Atomically writes/replaces the artifact file. Passes the "cache.store"
+  /// fail point before any byte is written, so a crash armed there leaves
+  /// the previous state intact.
+  Status Store(const PrepCacheKey& key, std::string_view encoded) override;
+
+  struct DiskStats {
+    int64_t files = 0;
+    int64_t bytes = 0;
+  };
+  /// Counts `prep-*.gptc` files and their total size (zeros for a missing
+  /// directory — an empty cache, not an error).
+  StatusOr<DiskStats> ScanStats() const;
+
+  /// Deletes every artifact file; returns how many were removed. In-flight
+  /// readers are unaffected (unlink semantics); concurrent writers simply
+  /// repopulate.
+  StatusOr<int64_t> PurgeAll();
+
+  const std::string& dir() const { return dir_; }
+  std::string PathFor(const PrepCacheKey& key) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace gputc
+
+#endif  // GPUTC_SERVICE_CACHE_STORE_H_

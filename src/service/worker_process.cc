@@ -258,6 +258,8 @@ std::string EncodeWorkerRequest(const WorkerRequest& request) {
   AppendLine(&out, "timeout-ms", FormatDouble(request.timeout_ms));
   AppendLine(&out, "chain", request.chain);
   AppendLine(&out, "failpoints", request.failpoints);
+  AppendLine(&out, "prep-cache-dir", request.prep_cache_dir);
+  AppendLine(&out, "prep-cache-mb", std::to_string(request.prep_cache_mb));
   return out;
 }
 
@@ -294,6 +296,12 @@ StatusOr<WorkerRequest> DecodeWorkerRequest(std::string_view body) {
           request.chain = value;
         } else if (key == "failpoints") {
           request.failpoints = value;
+        } else if (key == "prep-cache-dir") {
+          request.prep_cache_dir = value;
+        } else if (key == "prep-cache-mb") {
+          int64_t mb = 0;
+          GPUTC_RETURN_IF_ERROR(ParseWireInt(value, key, &mb));
+          request.prep_cache_mb = mb;
         } else {
           return InvalidArgumentError("unknown wire field '" +
                                       std::string(key) + "'");

@@ -77,6 +77,11 @@ struct WorkerRequest {
   /// Per-request fail-point schedule armed inside the worker before the
   /// request runs and reverted after (the batch chaos hook).
   std::string failpoints;
+  /// Tier-2 preprocessing-cache directory shared with the supervisor (empty
+  /// = uncached). The worker builds its own in-process tier 1 on first use
+  /// and keeps it across requests; `prep_cache_mb` bounds it (0 = default).
+  std::string prep_cache_dir;
+  int64_t prep_cache_mb = 0;
 };
 
 /// What one worker execution produced, serializable back. `code`/`message`

@@ -23,6 +23,9 @@ namespace gputc {
 //   batch service   service.enqueue, service.admit, service.worker,
 //                   service.journal (between WAL commit and journal emit)
 //   durable I/O     durable.commit, durable.append, durable.append.torn
+//   prep cache      cache.load (tier-2 artifact read), cache.store (tier-2
+//                   artifact write, before any byte lands) — both recover
+//                   by recompute, never by failing the request
 //   write-ahead log wal.intent, wal.done
 //   worker pool     worker.spawn (supervisor side, before fork),
 //                   worker.exec (child side: exec a missing binary),

@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <dirent.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -51,6 +52,17 @@ std::string JsonField(const std::string& json, const std::string& key) {
   if (begin == std::string::npos) return "";
   const size_t value = begin + needle.size();
   const size_t end = json.find('"', value);
+  if (end == std::string::npos) return "";
+  return json.substr(value, end - value);
+}
+
+/// Extracts an unquoted (numeric) JSON field.
+std::string JsonNumber(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t begin = json.find(needle);
+  if (begin == std::string::npos) return "";
+  const size_t value = begin + needle.size();
+  const size_t end = json.find_first_of(",}", value);
   if (end == std::string::npos) return "";
   return json.substr(value, end - value);
 }
@@ -338,6 +350,147 @@ TEST_F(IsolationTest, IsolationComposesWithWalResume) {
   const ChildResult resumed = RunGputc(args);
   EXPECT_EQ(resumed.exit_code, 5) << resumed.stderr_text;  // Poisoned req.
   AssertJournalComplete();
+}
+
+// -- preprocessing cache (--prep-cache) -------------------------------------
+//
+// The durable cache tier adds two fallible sites (cache.load, cache.store)
+// to the crash surface. The contract: a crash at either site, or a torn or
+// corrupt artifact left on disk, may cost recomputes — never a wrong count,
+// a lost request, or a failed resume. The stable journal fields (id,
+// outcome, triangle count) must be invariant under cache state.
+
+class CacheCrashTest : public CrashRecoveryTest {
+ protected:
+  void SetUp() override {
+    CrashRecoveryTest::SetUp();
+    cache_dir_ = dir_ + "/prep-cache";
+  }
+
+  std::vector<std::string> CachedBatchArgs(bool resume) const {
+    std::vector<std::string> args = BatchArgs("block", resume);
+    args.push_back("--prep-cache");
+    args.push_back(cache_dir_);
+    return args;
+  }
+
+  /// A run against the same manifest and cache dir but its own journal and
+  /// no WAL, so it executes every request instead of replaying.
+  std::vector<std::string> FreshCachedArgs(const std::string& journal) const {
+    return {"batch",     "--manifest", manifest_, "--jobs",       "2",
+            "--journal", journal,      "--prep-cache", cache_dir_};
+  }
+
+  /// id -> outcome|triangles: the journal projection that must be invariant
+  /// under cache state (timings and trace ids legitimately differ).
+  static std::map<std::string, std::string> StableFields(
+      const std::string& journal) {
+    std::map<std::string, std::string> stable;
+    for (const std::string& line : Lines(Slurp(journal))) {
+      stable[JsonField(line, "id")] =
+          JsonField(line, "outcome") + "|" + JsonNumber(line, "triangles");
+    }
+    return stable;
+  }
+
+  std::vector<std::string> CacheFiles() const {
+    std::vector<std::string> files;
+    DIR* d = ::opendir(cache_dir_.c_str());
+    if (d == nullptr) return files;
+    while (struct dirent* entry = ::readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name.rfind("prep-", 0) == 0) files.push_back(cache_dir_ + "/" + name);
+    }
+    ::closedir(d);
+    return files;
+  }
+
+  static void FlipByte(const std::string& path, long offset) {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open()) << path;
+    f.seekg(0, std::ios::end);
+    const long size = static_cast<long>(f.tellg());
+    const long pos = offset >= 0 ? offset : size + offset;
+    ASSERT_GE(pos, 0);
+    ASSERT_LT(pos, size);
+    f.seekg(pos);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(pos);
+    f.write(&byte, 1);
+  }
+
+  std::string cache_dir_;
+};
+
+// Crash at the first tier-2 store. The resumed batch must converge, and a
+// later warm run over whatever artifacts survived must report the same
+// counts a cold run would.
+TEST_F(CacheCrashTest, CacheStoreCrashNeverCorruptsResumedBatch) {
+  const ChildResult crashed =
+      RunGputc(CachedBatchArgs(/*resume=*/false),
+               {"GPUTC_FAILPOINTS=cache.store=crash@1"});
+  ASSERT_EQ(crashed.exit_code, 137) << crashed.stderr_text;
+
+  const ChildResult resumed = RunGputc(CachedBatchArgs(/*resume=*/true));
+  EXPECT_EQ(resumed.exit_code, 0) << resumed.stderr_text;
+  AssertJournalComplete();
+  const std::map<std::string, std::string> after_resume =
+      StableFields(journal_);
+
+  // Whatever the crash left in the cache dir, a warm run agrees with the
+  // resumed one on every stable field.
+  const std::string warm_journal = dir_ + "/journal-warm.jsonl";
+  const ChildResult warm = RunGputc(FreshCachedArgs(warm_journal));
+  EXPECT_EQ(warm.exit_code, 0) << warm.stderr_text;
+  EXPECT_EQ(StableFields(warm_journal), after_resume);
+}
+
+// Crash at the first tier-2 load of a warm run: the artifacts are valid,
+// the reader dies anyway. Resume must finish with the cold run's counts.
+TEST_F(CacheCrashTest, CacheLoadCrashOnWarmRunResumesToColdResults) {
+  const std::string cold_journal = dir_ + "/journal-cold.jsonl";
+  ASSERT_EQ(RunGputc(FreshCachedArgs(cold_journal)).exit_code, 0);
+  ASSERT_FALSE(CacheFiles().empty()) << "cold run populated no artifacts";
+  const std::map<std::string, std::string> cold = StableFields(cold_journal);
+
+  const ChildResult crashed =
+      RunGputc(CachedBatchArgs(/*resume=*/false),
+               {"GPUTC_FAILPOINTS=cache.load=crash@1"});
+  ASSERT_EQ(crashed.exit_code, 137) << crashed.stderr_text;
+
+  const ChildResult resumed = RunGputc(CachedBatchArgs(/*resume=*/true));
+  EXPECT_EQ(resumed.exit_code, 0) << resumed.stderr_text;
+  AssertJournalComplete();
+  EXPECT_EQ(StableFields(journal_), cold);
+}
+
+// Bit-flip every artifact a clean run wrote. The warm rerun must detect the
+// corruption (CRC framing), silently recompute, and land on identical
+// results — and the recomputation heals the store for the run after it.
+TEST_F(CacheCrashTest, TornCacheArtifactsNeverChangeResults) {
+  const std::string cold_journal = dir_ + "/journal-cold.jsonl";
+  ASSERT_EQ(RunGputc(FreshCachedArgs(cold_journal)).exit_code, 0);
+  const std::map<std::string, std::string> cold = StableFields(cold_journal);
+
+  const std::vector<std::string> files = CacheFiles();
+  ASSERT_FALSE(files.empty());
+  for (size_t i = 0; i < files.size(); ++i) {
+    // Alternate corruption sites: header-adjacent and payload tail.
+    FlipByte(files[i], i % 2 == 0 ? 24 : -5);
+  }
+
+  const std::string warm_journal = dir_ + "/journal-warm.jsonl";
+  const ChildResult warm = RunGputc(FreshCachedArgs(warm_journal));
+  EXPECT_EQ(warm.exit_code, 0) << warm.stderr_text;
+  EXPECT_EQ(StableFields(warm_journal), cold);
+
+  // The recompute rewrote the artifacts; a third run reads them back clean.
+  const std::string healed_journal = dir_ + "/journal-healed.jsonl";
+  const ChildResult healed = RunGputc(FreshCachedArgs(healed_journal));
+  EXPECT_EQ(healed.exit_code, 0) << healed.stderr_text;
+  EXPECT_EQ(StableFields(healed_journal), cold);
 }
 
 }  // namespace

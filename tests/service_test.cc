@@ -710,6 +710,51 @@ TEST_F(BatchServiceTest, ImpossibleMemoryDemandIsRejectedNotHung) {
             std::string::npos);
 }
 
+// Admission regression for the preprocessing cache: a cache-hit request
+// rebuilds the directed graph from the artifact instead of holding a second
+// working copy, so its honest estimate is EstimateHostBytesCached — below
+// the cold EstimateHostBytes. A budget between the two must reject the cold
+// run but admit the warmed one; charging warm requests the cold estimate
+// (the old double-count) would reject both.
+TEST_F(BatchServiceTest, WarmCacheAdmitsWhatColdAdmissionRejects) {
+  const StatusOr<Graph> probe = MaterializeRequest(GenRequest(0));
+  ASSERT_TRUE(probe.ok());
+  const int64_t cold = EstimateHostBytes(*probe);
+  const int64_t cached = EstimateHostBytesCached(*probe);
+  ASSERT_LT(cached, cold);
+
+  BatchServiceOptions options;
+  options.jobs = 1;
+  options.mem_budget_bytes = (cached + cold) / 2;
+
+  {  // Cold: the estimate exceeds the whole budget — rejected, not hung.
+    BatchService service(options);
+    service.Start();
+    service.Submit(GenRequest(0));
+    const BatchSummary summary = service.Finish();
+    ASSERT_EQ(summary.reports.size(), 1u);
+    EXPECT_EQ(summary.reports[0].outcome, RequestOutcome::kRejected)
+        << summary.reports[0].status.ToString();
+  }
+
+  // Warm an external cache under exactly the service's preprocessing config
+  // (the fingerprint excludes the cache pointer itself).
+  PrepCache cache(0);
+  PreprocessOptions warmup = options.preprocess;
+  warmup.prep_cache = &cache;
+  ASSERT_TRUE(TryPreprocess(*probe, options.spec, warmup, ExecContext()).ok());
+
+  options.prep_cache = &cache;
+  BatchService service(options);
+  service.Start();
+  service.Submit(GenRequest(0));
+  const BatchSummary summary = service.Finish();
+  ASSERT_EQ(summary.reports.size(), 1u);
+  EXPECT_EQ(summary.reports[0].outcome, RequestOutcome::kOk)
+      << summary.reports[0].status.ToString();
+  EXPECT_GE(cache.stats().memory_hits, 1);
+}
+
 TEST_F(BatchServiceTest, ServiceFailPointsShedOrFailButNeverDrop) {
   ASSERT_TRUE(FailPointRegistry::Instance()
                   .ArmFromString(

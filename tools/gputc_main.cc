@@ -7,17 +7,22 @@
 //   gputc count --dataset gowalla [--algorithm Hu] [--direction A-direction]
 //               [--ordering A-order] [--profile] [--timeout-ms N]
 //               [--max-model-ms N] [--mem-budget-mb N] [--fallback Hu,cpu]
+//               [--prep-cache DIR] [--prep-cache-mb N]
 //               [--trace] [--trace-out t.json] [--metrics-out m.prom]
 //   gputc doctor --in g.txt [--repair --out fixed.bin]
 //   gputc batch --manifest jobs.txt [--jobs N] [--queue-depth Q]
 //               [--mem-budget-mb M] [--shed-policy block|reject|drop-oldest]
 //               [--timeout-ms N] [--drain-grace-ms N] [--fallback Hu,cpu]
 //               [--isolate[=N]] [--journal FILE|-] [--wal DIR [--resume]]
+//               [--prep-cache DIR] [--prep-cache-mb N]
 //               [--trace-out t.json] [--metrics-out m.prom]
 //   gputc serve --listen HOST:PORT|unix:PATH [--health SPEC] [--jobs N]
 //               [--queue-depth Q] [--max-connections C] [--isolate[=N]]
-//               [--journal FILE|-] [--wal DIR [--resume]] ...
+//               [--journal FILE|-] [--wal DIR [--resume]]
+//               [--prep-cache DIR] [--prep-cache-mb N] ...
 //               newline-delimited network daemon over the batch service
+//   gputc cache stats|purge --prep-cache DIR
+//               inspect or empty the durable preprocessing-artifact tier
 //   gputc worker --request-fd N --response-fd N   (internal: spawned by
 //               `batch --isolate`; speaks the framed worker protocol)
 //   gputc version                        semantic version, build type,
@@ -49,6 +54,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <set>
@@ -59,9 +65,11 @@
 
 #include "core/executor.h"
 #include "core/pipeline.h"
+#include "core/prep_cache.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/batch_service.h"
+#include "service/cache_store.h"
 #include "service/server.h"
 #include "service/wal.h"
 #include "service/worker_process.h"
@@ -105,6 +113,7 @@ int Usage() {
          "             [--direction D] [--ordering O] [--strict] [--profile]\n"
          "             [--timeout-ms N] [--max-model-ms N] [--mem-budget-mb N]\n"
          "             [--fallback A1,A2,...,cpu] [--trace]\n"
+         "             [--prep-cache DIR] [--prep-cache-mb N]\n"
          "             [--trace-out FILE] [--metrics-out FILE]\n"
          "  doctor     --in FILE [--repair --out FILE]: scan for (and "
          "optionally\n"
@@ -115,6 +124,7 @@ int Usage() {
          "             [--timeout-ms N] [--drain-grace-ms N]\n"
          "             [--fallback A1,...,cpu] [--isolate[=N]]\n"
          "             [--journal FILE|-] [--wal DIR [--resume]]\n"
+         "             [--prep-cache DIR] [--prep-cache-mb N]\n"
          "             [--trace-out FILE] [--metrics-out FILE]: run every\n"
          "             manifest request through a concurrent batch service.\n"
          "             --journal - streams JSONL to stdout (the default);\n"
@@ -130,7 +140,13 @@ int Usage() {
          "             subprocesses (default N = --jobs): a crash or hang "
          "fails\n"
          "             only that request, and --mem-budget-mb becomes each\n"
-         "             worker's address-space rlimit\n"
+         "             worker's address-space rlimit;\n"
+         "             --prep-cache DIR / --prep-cache-mb N reuse "
+         "preprocessing\n"
+         "             across requests with the same graph + options "
+         "(content-\n"
+         "             addressed: any input or option change misses "
+         "cleanly)\n"
          "  serve      --listen HOST:PORT|unix:PATH [--health SPEC]\n"
          "             [--jobs N] [--queue-depth Q] [--mem-budget-mb M]\n"
          "             [--timeout-ms N] [--max-connections C]\n"
@@ -138,6 +154,7 @@ int Usage() {
          "             [--io-timeout-ms N] [--drain-grace-ms N]\n"
          "             [--target-p99-ms N] [--max-inflight N]\n"
          "             [--fallback A1,...,cpu] [--isolate[=N]]\n"
+         "             [--prep-cache DIR] [--prep-cache-mb N]\n"
          "             [--journal FILE|-] [--wal DIR [--resume]]: daemon\n"
          "             speaking one manifest line in / one JSONL journal "
          "line\n"
@@ -152,6 +169,9 @@ int Usage() {
          "             accepted requests the same exactly-once crash "
          "contract\n"
          "             as batch (--resume re-admits interrupted ones)\n"
+         "  cache      stats|purge --prep-cache DIR: inspect or empty the\n"
+         "             durable preprocessing-artifact tier (purge is safe\n"
+         "             mid-run: running services recompute and refill)\n"
          "  version    print semantic version, build type, and sanitizer "
          "config\n"
          "  metrics-dump  [--json] print a demo metrics snapshot (exporter "
@@ -357,6 +377,42 @@ std::optional<double> ParseNumericFlag(const FlagParser& flags,
   return value;
 }
 
+// -- preprocessing cache flags ----------------------------------------------
+
+/// The shared `--prep-cache DIR` / `--prep-cache-mb N` knobs (count, batch,
+/// serve, cache). Either knob enables the cache: the dir adds the durable
+/// tier 2, the MB bound sizes tier 1 (0 with a dir = a default budget).
+struct PrepCacheFlags {
+  std::string dir;
+  int64_t mb = 0;
+  bool enabled() const { return mb > 0 || !dir.empty(); }
+  int64_t budget_bytes() const {
+    return mb > 0 ? mb << 20 : kDefaultPrepCacheBytes;
+  }
+};
+
+/// Parses the knobs; nullopt = usage error (already reported on stderr).
+std::optional<PrepCacheFlags> ParsePrepCacheFlags(const FlagParser& flags) {
+  PrepCacheFlags out;
+  if (flags.Has("prep-cache")) {
+    out.dir = flags.GetString("prep-cache", "");
+    // A bare `--prep-cache` parses as the value "true"; the flag needs a
+    // directory (use --prep-cache-mb for a memory-only cache).
+    if (out.dir.empty() || out.dir == "true") {
+      std::cerr << "--prep-cache needs a DIR value\n";
+      return std::nullopt;
+    }
+  }
+  const auto mb = ParseNumericFlag(flags, "prep-cache-mb", 0.0);
+  if (!mb.has_value()) return std::nullopt;
+  if (*mb < 0.0 || *mb > 1024.0 * 1024.0) {
+    std::cerr << "--prep-cache-mb must be in [0, 1048576]\n";
+    return std::nullopt;
+  }
+  out.mb = static_cast<int64_t>(*mb);
+  return out;
+}
+
 // -- observability exports --------------------------------------------------
 
 /// Writes `content` to `path` ("-" streams to stdout). File targets go
@@ -430,6 +486,8 @@ int CmdCount(const FlagParser& flags) {
   if (!max_model_ms.has_value()) return kExitUsage;
   const auto mem_budget_mb = ParseNumericFlag(flags, "mem-budget-mb", 0.0);
   if (!mem_budget_mb.has_value()) return kExitUsage;
+  const auto prep_cache_flags = ParsePrepCacheFlags(flags);
+  if (!prep_cache_flags.has_value()) return kExitUsage;
 
   // The fallback chain defaults to just --algorithm, so runs without
   // --fallback behave exactly as before the executor existed.
@@ -470,6 +528,22 @@ int CmdCount(const FlagParser& flags) {
   options.direction = *direction;
   options.ordering = *ordering;
   const DeviceSpec spec = DeviceSpec::TitanXpLike();
+
+  // A single count only profits from the durable tier (the in-process tier
+  // dies with the command), but both knobs work so a count can pre-warm the
+  // artifact directory a later batch/serve will read.
+  std::unique_ptr<DiskCacheStore> cache_store;
+  std::unique_ptr<PrepCache> prep_cache;
+  if (prep_cache_flags->enabled()) {
+    if (!prep_cache_flags->dir.empty()) {
+      cache_store = std::make_unique<DiskCacheStore>(prep_cache_flags->dir);
+      const Status dir_ok = cache_store->EnsureDir();
+      if (!dir_ok.ok()) return ReportInputError(dir_ok);
+    }
+    prep_cache = std::make_unique<PrepCache>(prep_cache_flags->budget_bytes(),
+                                             cache_store.get());
+    options.prep_cache = prep_cache.get();
+  }
 
   ExecutionPolicy policy;
   policy.timeout_ms = *timeout_ms;
@@ -576,6 +650,46 @@ int CmdDoctor(const FlagParser& flags) {
   return kExitOk;
 }
 
+// -- cache ------------------------------------------------------------------
+
+/// `gputc cache stats|purge --prep-cache DIR`: operator tooling for the
+/// durable artifact tier. `stats` scans the directory (file count + bytes);
+/// `purge` unlinks every artifact. Both are safe against concurrent
+/// services: stores are atomic renames, loads verify checksums, and a
+/// mid-run purge just turns the next lookups into recomputes.
+int CmdCache(const FlagParser& flags) {
+  if (flags.positional().size() < 2) {
+    std::cerr << "need a subcommand: gputc cache stats|purge "
+                 "--prep-cache DIR\n";
+    return kExitUsage;
+  }
+  const std::string sub = flags.positional()[1];
+  if (sub != "stats" && sub != "purge") {
+    std::cerr << "unknown cache subcommand '" << sub
+              << "' (expected stats or purge)\n";
+    return kExitUsage;
+  }
+  const std::string dir = flags.GetString("prep-cache", "");
+  if (dir.empty() || dir == "true") {
+    std::cerr << "need --prep-cache DIR\n";
+    return kExitUsage;
+  }
+
+  DiskCacheStore store(dir);
+  if (sub == "stats") {
+    const StatusOr<DiskCacheStore::DiskStats> stats = store.ScanStats();
+    if (!stats.ok()) return ReportInputError(stats.status());
+    std::cout << "directory:  " << dir << "\n"
+              << "artifacts:  " << stats->files << "\n"
+              << "bytes:      " << stats->bytes << "\n";
+    return kExitOk;
+  }
+  const StatusOr<int64_t> purged = store.PurgeAll();
+  if (!purged.ok()) return ReportInputError(purged.status());
+  std::cout << "purged " << *purged << " artifact(s) from '" << dir << "'\n";
+  return kExitOk;
+}
+
 // -- worker (internal) ------------------------------------------------------
 
 /// The `gputc worker` subprocess body: the isolated execution half of
@@ -608,6 +722,14 @@ int CmdWorker(const FlagParser& flags) {
 
   const char* ambient_env = std::getenv("GPUTC_FAILPOINTS");
   const std::string ambient = ambient_env != nullptr ? ambient_env : "";
+
+  // The preprocessing cache outlives individual requests: tier 1 amortizes
+  // repeated graphs across this worker's lifetime, and tier 2 (the
+  // supervisor's --prep-cache directory, carried on the wire) is shared with
+  // every other worker in the pool. Built lazily from the first
+  // cache-enabled request; the supervisor never changes the knobs mid-run.
+  std::unique_ptr<DiskCacheStore> worker_cache_store;
+  std::unique_ptr<PrepCache> worker_prep_cache;
 
   for (;;) {
     StatusOr<WireFrame> frame = ReadFrame(request_fd);
@@ -696,11 +818,27 @@ int CmdWorker(const FlagParser& flags) {
           policy.on_stage = [&send_beat](const std::string& stage) {
             send_beat(stage);
           };
+          PreprocessOptions preprocess;
+          if (!request->prep_cache_dir.empty() ||
+              request->prep_cache_mb > 0) {
+            if (worker_prep_cache == nullptr) {
+              if (!request->prep_cache_dir.empty()) {
+                worker_cache_store = std::make_unique<DiskCacheStore>(
+                    request->prep_cache_dir);
+              }
+              worker_prep_cache = std::make_unique<PrepCache>(
+                  request->prep_cache_mb > 0
+                      ? request->prep_cache_mb << 20
+                      : kDefaultPrepCacheBytes,
+                  worker_cache_store.get());
+            }
+            preprocess.prep_cache = worker_prep_cache.get();
+          }
           ExecutionTrace trace;
           Timer exec_timer;
           StatusOr<ExecutionResult> executed =
               ExecuteResilient(*graph, DeviceSpec::TitanXpLike(), policy,
-                               *chain, PreprocessOptions{}, &trace);
+                               *chain, preprocess, &trace);
           r.exec_ms = exec_timer.ElapsedMillis();
           r.attempts = static_cast<int>(trace.attempts.size());
           for (const AttemptRecord& attempt : trace.attempts) {
@@ -783,6 +921,8 @@ int CmdBatch(const FlagParser& flags) {
     std::cerr << "--jobs must be in [1, 256] and --queue-depth >= 1\n";
     return kExitUsage;
   }
+  const auto prep_cache_flags = ParsePrepCacheFlags(flags);
+  if (!prep_cache_flags.has_value()) return kExitUsage;
 
   StatusOr<ShedPolicy> shed =
       ParseShedPolicy(flags.GetString("shed-policy", "block"));
@@ -799,6 +939,15 @@ int CmdBatch(const FlagParser& flags) {
       static_cast<int64_t>(*mem_budget_mb * 1024.0 * 1024.0);
   options.request_timeout_ms = *timeout_ms;
   options.drain_grace_ms = *drain_grace_ms;
+  if (prep_cache_flags->enabled()) {
+    options.prep_cache_mb = prep_cache_flags->mb;
+    options.prep_cache_dir = prep_cache_flags->dir;
+    if (!prep_cache_flags->dir.empty()) {
+      // Fail a bad cache directory up front, not on the first request.
+      const Status dir_ok = DiskCacheStore(prep_cache_flags->dir).EnsureDir();
+      if (!dir_ok.ok()) return ReportInputError(dir_ok);
+    }
+  }
   if (flags.Has("fallback")) {
     StatusOr<std::vector<FallbackStage>> parsed =
         ParseFallbackChain(flags.GetString("fallback", ""));
@@ -1104,6 +1253,8 @@ int CmdServe(const FlagParser& flags) {
                  "--max-connections >= 1, --max-line-bytes >= 64\n";
     return kExitUsage;
   }
+  const auto prep_cache_flags = ParsePrepCacheFlags(flags);
+  if (!prep_cache_flags.has_value()) return kExitUsage;
 
   ServerOptions options;
   options.listen = *listen;
@@ -1132,6 +1283,14 @@ int CmdServe(const FlagParser& flags) {
   // Service-side sheds (memory gate, queue races) carry the static target
   // as their backoff hint; the server's own gates use the live p99.
   options.batch.reject_retry_after_ms = *target_p99_ms;
+  if (prep_cache_flags->enabled()) {
+    options.batch.prep_cache_mb = prep_cache_flags->mb;
+    options.batch.prep_cache_dir = prep_cache_flags->dir;
+    if (!prep_cache_flags->dir.empty()) {
+      const Status dir_ok = DiskCacheStore(prep_cache_flags->dir).EnsureDir();
+      if (!dir_ok.ok()) return ReportInputError(dir_ok);
+    }
+  }
   if (flags.Has("fallback")) {
     StatusOr<std::vector<FallbackStage>> parsed =
         ParseFallbackChain(flags.GetString("fallback", ""));
@@ -1443,6 +1602,7 @@ int Main(int argc, char** argv) {
   if (command == "doctor") return CmdDoctor(flags);
   if (command == "batch") return CmdBatch(flags);
   if (command == "serve") return CmdServe(flags);
+  if (command == "cache") return CmdCache(flags);
   if (command == "worker") return CmdWorker(flags);
   if (command == "version") return CmdVersion();
   if (command == "metrics-dump") return CmdMetricsDump(flags);
