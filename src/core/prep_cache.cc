@@ -110,6 +110,7 @@ struct ByteReader {
       ok = false;
       return v;
     }
+    if (count == 0) return v;
     v.resize(count);
     std::memcpy(v.data(), p, count * sizeof(T));
     p += count * sizeof(T);

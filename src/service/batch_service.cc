@@ -109,6 +109,11 @@ std::string RequestReport::ToJson() const {
   if (retry_after_ms >= 0) {
     out += ",\"retry_after_ms\":" + std::to_string(retry_after_ms);
   }
+  if (!durable) {
+    // Emitted only in the degraded state, so journals written with a
+    // healthy disk stay byte-identical to earlier releases.
+    out += ",\"durable\":false";
+  }
   out += ",\"queue_ms\":" + std::to_string(queue_ms);
   out += ",\"exec_ms\":" + std::to_string(exec_ms);
   out += ",\"timings\":{";

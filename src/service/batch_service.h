@@ -137,6 +137,11 @@ struct RequestReport {
   /// should wait before retrying. Emitted in ToJson only when >= 0, so
   /// journals that never set it are unchanged.
   int64_t retry_after_ms = -1;
+  /// False when this line lost its durability cover: the WAL is running
+  /// under --wal-policy degrade and could not persist the done record, so a
+  /// crash after this line may re-run the request. Emitted in ToJson only
+  /// when false ("durable":false), so healthy-disk journals are unchanged.
+  bool durable = true;
 
   /// Single-line JSON object for the machine-readable journal.
   std::string ToJson() const;

@@ -79,61 +79,130 @@ Status DiskCacheStore::EnsureDir() const {
   return OkStatus();
 }
 
+Status DiskCacheStore::CheckDir() const {
+  struct stat st;
+  if (::stat(dir_.c_str(), &st) != 0) {
+    if (errno == ENOENT) {
+      return NotFoundError("prep-cache directory '" + dir_ +
+                           "' does not exist");
+    }
+    return FailedPreconditionError("cannot stat prep-cache directory '" +
+                                   dir_ + "': " + std::strerror(errno));
+  }
+  if (!S_ISDIR(st.st_mode)) {
+    return InvalidArgumentError("prep-cache path '" + dir_ +
+                                "' exists and is not a directory");
+  }
+  if (::access(dir_.c_str(), R_OK | W_OK | X_OK) != 0) {
+    return FailedPreconditionError("prep-cache directory '" + dir_ +
+                                   "' is not readable+writable: " +
+                                   std::strerror(errno));
+  }
+  return OkStatus();
+}
+
+void DiskCacheStore::RecordOutcome(const Status& status, bool benign) {
+  if (status.ok() || benign) {
+    breaker_.RecordSuccess();
+    return;
+  }
+  breaker_.RecordFailure();
+  if (health_ != nullptr) {
+    health_->RecordError("cache", status);
+    if (breaker_.state() == CircuitBreaker::State::kOpen) {
+      health_->NoteDegraded("cache",
+                            "tier-2 disk benched after consecutive faults "
+                            "(last: " +
+                                status.message() + ")");
+    }
+  }
+}
+
 StatusOr<std::string> DiskCacheStore::Load(const PrepCacheKey& key) {
   // The store is a recoverable boundary by construction — open our own
   // scope so armed cache.* points land here even from un-scoped callers.
   FailPointScope scope;
-  GPUTC_INJECT_FAULT("cache.load");
+  // A benched tier-2 answers every load as a miss without touching the
+  // disk: tier 1 keeps serving, the request recomputes at worst.
+  if (!breaker_.Allow()) {
+    return NotFoundError("prep-cache tier-2 breaker open (disk benched)");
+  }
+  {
+    const Status injected = CheckFailPoint("cache.load");
+    if (!injected.ok()) {
+      RecordOutcome(injected, /*benign=*/false);
+      return injected;
+    }
+  }
 
   const std::string path = PathFor(key);
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return NotFoundError("no cached artifact at " + path);
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  if (!in.good() && !in.eof()) {
-    return DataLossError("short read of cache file " + path);
-  }
-  const std::string bytes = buffer.str();
+  StatusOr<std::string> result = [&]() -> StatusOr<std::string> {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      return NotFoundError("no cached artifact at " + path);
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (!in.good() && !in.eof()) {
+      return DataLossError("short read of cache file " + path);
+    }
+    const std::string bytes = buffer.str();
 
-  if (bytes.size() < kFileHeaderLen ||
-      bytes.compare(0, kFileHeaderLen, kFileHeader) != 0) {
-    return DataLossError("cache file " + path + " has a foreign header");
-  }
-  size_t pos = kFileHeaderLen;
-  GPUTC_ASSIGN_OR_RETURN(const std::string canonical,
-                         ReadFramed(bytes, &pos, "key"));
-  if (canonical != key.canonical) {
-    // A real 64-bit id collision: the file belongs to another fingerprint.
-    // Miss, don't destroy the other key's entry.
-    return NotFoundError("cache file " + path +
-                         " holds a different fingerprint (id collision)");
-  }
-  GPUTC_ASSIGN_OR_RETURN(std::string payload,
-                         ReadFramed(bytes, &pos, "artifact"));
-  if (pos != bytes.size()) {
-    return DataLossError("cache file " + path + " has trailing bytes");
-  }
-  return payload;
+    if (bytes.size() < kFileHeaderLen ||
+        bytes.compare(0, kFileHeaderLen, kFileHeader) != 0) {
+      return DataLossError("cache file " + path + " has a foreign header");
+    }
+    size_t pos = kFileHeaderLen;
+    GPUTC_ASSIGN_OR_RETURN(const std::string canonical,
+                           ReadFramed(bytes, &pos, "key"));
+    if (canonical != key.canonical) {
+      // A real 64-bit id collision: the file belongs to another fingerprint.
+      // Miss, don't destroy the other key's entry.
+      return NotFoundError("cache file " + path +
+                           " holds a different fingerprint (id collision)");
+    }
+    GPUTC_ASSIGN_OR_RETURN(std::string payload,
+                           ReadFramed(bytes, &pos, "artifact"));
+    if (pos != bytes.size()) {
+      return DataLossError("cache file " + path + " has trailing bytes");
+    }
+    return payload;
+  }();
+  // A miss (absent file, id collision) is the disk doing its job, not a
+  // fault: only real I/O or corruption failures feed the breaker.
+  const bool benign =
+      !result.ok() && result.status().code() == StatusCode::kNotFound;
+  RecordOutcome(result.ok() ? OkStatus() : result.status(), benign);
+  return result;
 }
 
 Status DiskCacheStore::Store(const PrepCacheKey& key,
                              std::string_view encoded) {
   FailPointScope scope;
-  GPUTC_INJECT_FAULT("cache.store");
-  GPUTC_RETURN_IF_ERROR(EnsureDir());
+  // Benched tier: skip the disk entirely. The caller treats any store
+  // failure as "lost future reuse", never as a failed request.
+  if (!breaker_.Allow()) {
+    return FailedPreconditionError(
+        "prep-cache tier-2 breaker open (store skipped)");
+  }
+  const Status stored = [&]() -> Status {
+    GPUTC_INJECT_FAULT("cache.store");
+    GPUTC_RETURN_IF_ERROR(EnsureDir());
 
-  std::string content;
-  content.reserve(kFileHeaderLen + key.canonical.size() + encoded.size() + 16);
-  content.append(kFileHeader, kFileHeaderLen);
-  AppendFramed(&content, key.canonical);
-  AppendFramed(&content, encoded);
+    std::string content;
+    content.reserve(kFileHeaderLen + key.canonical.size() + encoded.size() +
+                    16);
+    content.append(kFileHeader, kFileHeaderLen);
+    AppendFramed(&content, key.canonical);
+    AppendFramed(&content, encoded);
 
-  GPUTC_ASSIGN_OR_RETURN(AtomicFileWriter writer,
-                         AtomicFileWriter::Create(PathFor(key)));
-  GPUTC_RETURN_IF_ERROR(writer.Append(content));
-  return writer.Commit();
+    GPUTC_ASSIGN_OR_RETURN(AtomicFileWriter writer,
+                           AtomicFileWriter::Create(PathFor(key)));
+    GPUTC_RETURN_IF_ERROR(writer.Append(content));
+    return writer.Commit();
+  }();
+  RecordOutcome(stored, /*benign=*/false);
+  return stored;
 }
 
 StatusOr<DiskCacheStore::DiskStats> DiskCacheStore::ScanStats() const {
@@ -181,8 +250,22 @@ StatusOr<int64_t> DiskCacheStore::PurgeAll() {
     }
   }
   ::closedir(dir);
+  int failures = 0;
+  std::string first_error;
   for (const std::string& path : victims) {
-    if (::unlink(path.c_str()) == 0) ++removed;
+    if (::unlink(path.c_str()) == 0) {
+      ++removed;
+    } else if (errno != ENOENT) {  // Lost a race to another purger: fine.
+      ++failures;
+      if (first_error.empty()) {
+        first_error = "cannot remove '" + path + "': " + std::strerror(errno);
+      }
+    }
+  }
+  if (failures > 0) {
+    return FailedPreconditionError(
+        "purge left " + std::to_string(failures) + " artifact(s) behind (" +
+        first_error + ")");
   }
   return removed;
 }

@@ -2,10 +2,13 @@
 #define GPUTC_SERVICE_CACHE_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 
 #include "core/prep_cache.h"
+#include "service/circuit_breaker.h"
+#include "service/storage_health.h"
 #include "util/status.h"
 
 namespace gputc {
@@ -33,16 +36,38 @@ namespace gputc {
 // these paths, and the store opens its own FailPointScope like the durable
 // layer does: every injection here lands on a path that recovers by design,
 // and the crash harness kills the process at exactly these boundaries.
+//
+// Storage-fault policy: the tier is optional by construction, so a failing
+// disk must never fail a request. A per-sink circuit breaker watches
+// Load/Store outcomes — after `failure_threshold` consecutive storage
+// faults the tier-2 disk is benched (loads miss, stores are skipped, no
+// syscalls issued) while tier 1 keeps serving from memory; a half-open
+// probe re-admits the disk once it recovers. A wired StorageHealthMonitor
+// hears every fault (gputc_storage_errors_total{sink="cache"}) and the
+// benched state (degraded header on /readyz).
 class DiskCacheStore : public PrepCacheStore {
  public:
   /// The store is lazy: nothing touches the filesystem until the first
   /// Load/Store. Call EnsureDir() up front to surface an unusable directory
   /// as a flag error instead of silent per-request store failures.
-  explicit DiskCacheStore(std::string dir) : dir_(std::move(dir)) {}
+  /// The breaker options/clock are injectable for tests; the default
+  /// cooldown is long enough that a flapping disk is probed at a trickle.
+  explicit DiskCacheStore(std::string dir,
+                          CircuitBreakerOptions breaker_options =
+                              CircuitBreakerOptions{3, 5000.0, 1},
+                          std::function<double()> now_ms = {})
+      : dir_(std::move(dir)),
+        breaker_(breaker_options, std::move(now_ms)) {}
 
   /// Creates `dir` (one level) if missing; InvalidArgument when the path
   /// exists but is not a directory, or cannot be created.
   Status EnsureDir() const;
+
+  /// Classifies the directory for the CLI cache commands without creating
+  /// it: kNotFound when it vanished, kInvalidArgument when the path is not
+  /// a directory (a flag error), kFailedPrecondition when it exists but is
+  /// not readable+writable. OkStatus when usable.
+  Status CheckDir() const;
 
   /// NotFound when absent (or on an id collision), DataLoss on any framing,
   /// checksum, or truncation failure. Passes the "cache.load" fail point.
@@ -69,8 +94,21 @@ class DiskCacheStore : public PrepCacheStore {
   const std::string& dir() const { return dir_; }
   std::string PathFor(const PrepCacheKey& key) const;
 
+  /// Health monitor notified of every storage fault and of the tier being
+  /// benched (not owned; must outlive the store). Optional.
+  void set_health(StorageHealthMonitor* health) { health_ = health; }
+
+  /// The tier-2 breaker (exposed for tests and reporting).
+  CircuitBreaker& breaker() { return breaker_; }
+
  private:
+  /// Routes one Load/Store outcome into the breaker and the health monitor.
+  /// `benign` outcomes (a miss, an id collision) count as disk successes.
+  void RecordOutcome(const Status& status, bool benign);
+
   std::string dir_;
+  CircuitBreaker breaker_;
+  StorageHealthMonitor* health_ = nullptr;
 };
 
 }  // namespace gputc

@@ -61,10 +61,12 @@ Gauge& ConnectionsGauge() {
 /// Minimal HTTP/1.0 response for probe clients (curl, kubelet); plain-text
 /// clients that send a bare endpoint name get the body alone.
 std::string HttpResponse(int code, const std::string& reason,
-                         const std::string& body) {
+                         const std::string& body,
+                         const std::string& extra_header = "") {
   std::string out = "HTTP/1.0 " + std::to_string(code) + " " + reason + "\r\n";
   out += "Content-Type: text/plain; version=0.0.4\r\n";
   out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  if (!extra_header.empty()) out += extra_header + "\r\n";
   out += "Connection: close\r\n\r\n";
   out += body;
   return out;
@@ -173,6 +175,11 @@ std::string Server::shutdown_reason() const {
 
 bool Server::ready() const {
   if (shutdown_requested_.load(std::memory_order_acquire)) return false;
+  if (options_.storage != nullptr && options_.storage->strict_stopped()) {
+    // The strict-WAL fail-stop fired: the daemon is finishing in-flight
+    // work on its way to exit code 6 and must take no new traffic.
+    return false;
+  }
   if (options_.batch.isolate > 0) {
     // A daemon whose worker pool is crash-looping still answers (degraded
     // cpu failover), but a load balancer should stop preferring it.
@@ -391,15 +398,25 @@ void Server::HandleHealthLine(Connection& conn, const std::string& line) {
   int code = 200;
   std::string reason = "OK";
   std::string body;
+  std::string extra_header;
   if (token == "healthz") {
     body = "ok\n";
   } else if (token == "readyz") {
+    const bool storage_stopped =
+        options_.storage != nullptr && options_.storage->strict_stopped();
     if (ready()) {
       body = "ready\n";
+      if (options_.storage != nullptr && options_.storage->degraded()) {
+        // Serving, but a sink lost its disk (journal mirroring to stderr,
+        // cache tier benched, low free space): tell the load balancer
+        // without failing the probe.
+        extra_header = "X-Gputc-Storage: degraded";
+      }
     } else {
       code = 503;
       reason = "Service Unavailable";
-      body = shutdown_requested_.load(std::memory_order_acquire)
+      body = storage_stopped ? "storage-degraded\n"
+             : shutdown_requested_.load(std::memory_order_acquire)
                  ? "draining\n"
                  : "worker breaker open\n";
     }
@@ -410,7 +427,7 @@ void Server::HandleHealthLine(Connection& conn, const std::string& line) {
     reason = "Not Found";
     body = "unknown endpoint (healthz | readyz | metrics)\n";
   }
-  conn.QueueRaw(http ? HttpResponse(code, reason, body) : body);
+  conn.QueueRaw(http ? HttpResponse(code, reason, body, extra_header) : body);
   conn.close_after_flush = true;
   conn.HalfCloseRead();
 }
@@ -488,6 +505,10 @@ ServerSummary Server::Run() {
   bool service_drained = false;
 
   for (;;) {
+    // Disk-health heartbeat: rate-limited inside the monitor, so this is a
+    // cheap call per poll tick that keeps gputc_disk_free_bytes and the
+    // /readyz degraded header current.
+    if (options_.storage != nullptr) options_.storage->MaybeProbe();
     if (phase == Phase::kServing &&
         shutdown_requested_.load(std::memory_order_acquire)) {
       // Drain ladder, rungs one and two: stop accepting (readiness already

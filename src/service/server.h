@@ -14,6 +14,7 @@
 #include "service/batch_service.h"
 #include "service/connection.h"
 #include "service/overload.h"
+#include "service/storage_health.h"
 #include "util/deadline.h"
 #include "util/net_io.h"
 
@@ -101,6 +102,12 @@ struct ServerOptions {
   /// order (the WAL done append + journal file write), before the response
   /// line is queued to the client.
   std::function<void(const RequestReport&)> on_report;
+
+  /// Disk-health view (not owned; must outlive the server). The poll loop
+  /// drives MaybeProbe every tick; /readyz flips to 503 "storage-degraded"
+  /// once a strict-WAL stop is recorded and carries an
+  /// "X-Gputc-Storage: degraded" header while any sink runs degraded.
+  StorageHealthMonitor* storage = nullptr;
 };
 
 /// What Run() returns once the drain ladder completes.
@@ -156,8 +163,9 @@ class Server {
   /// Actual bound TCP port (resolves --listen HOST:0); 0 for unix sockets.
   /// Valid after Start.
   int listen_port() const { return listen_port_; }
-  /// False once shutdown has been requested or the worker backend breaker
-  /// is open — what /readyz reports.
+  /// False once shutdown has been requested, the worker backend breaker is
+  /// open, or the storage monitor recorded a strict-WAL stop — what /readyz
+  /// reports.
   bool ready() const;
 
   const AdaptiveLimiter& limiter() const { return limiter_; }

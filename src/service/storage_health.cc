@@ -1,0 +1,225 @@
+#include "service/storage_health.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/failpoint.h"
+#include "util/fs_io.h"
+#include "util/logging.h"
+
+namespace gputc {
+namespace {
+
+constexpr char kErrorsMetric[] = "gputc_storage_errors_total";
+constexpr char kErrorsHelp[] =
+    "Storage faults observed per durable sink, labeled by errno.";
+constexpr char kFreeMetric[] = "gputc_disk_free_bytes";
+constexpr char kFreeHelp[] =
+    "Free bytes on the filesystem holding the watched storage directory.";
+constexpr char kProbeFile[] = ".gputc-health-probe";
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+StatusOr<StoragePolicy> ParseStoragePolicy(std::string_view text) {
+  if (text == "strict") return StoragePolicy::kStrict;
+  if (text == "degrade") return StoragePolicy::kDegrade;
+  return InvalidArgumentError("unknown storage policy '" + std::string(text) +
+                              "' (expected strict or degrade)");
+}
+
+const char* StoragePolicyName(StoragePolicy policy) {
+  switch (policy) {
+    case StoragePolicy::kStrict:
+      return "strict";
+    case StoragePolicy::kDegrade:
+      return "degrade";
+  }
+  return "unknown";
+}
+
+const char* StorageHealthMonitor::DiskStateName(DiskState state) {
+  switch (state) {
+    case DiskState::kUnknown:
+      return "unknown";
+    case DiskState::kOk:
+      return "ok";
+    case DiskState::kLow:
+      return "low";
+    case DiskState::kCritical:
+      return "critical";
+  }
+  return "unknown";
+}
+
+StorageHealthMonitor::StorageHealthMonitor(Options options)
+    : options_(std::move(options)) {}
+
+void StorageHealthMonitor::RecordError(std::string_view sink,
+                                       const Status& status) {
+  if (status.ok()) return;
+  MetricsRegistry::Global()
+      .GetCounter(kErrorsMetric, kErrorsHelp,
+                  {{"sink", std::string(sink)},
+                   {"errno", StorageErrnoLabelFromStatus(status)}})
+      .Increment();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++errors_total_;
+}
+
+void StorageHealthMonitor::NoteDegraded(std::string_view sink,
+                                        std::string reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  degraded_sinks_.emplace(std::string(sink), std::move(reason));
+}
+
+void StorageHealthMonitor::RecordStrictStop(std::string reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (strict_stopped_) return;
+  strict_stopped_ = true;
+  strict_stop_reason_ = std::move(reason);
+}
+
+bool StorageHealthMonitor::strict_stopped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return strict_stopped_;
+}
+
+std::string StorageHealthMonitor::strict_stop_reason() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return strict_stop_reason_;
+}
+
+bool StorageHealthMonitor::degraded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !degraded_sinks_.empty() || disk_state_ == DiskState::kLow ||
+         disk_state_ == DiskState::kCritical;
+}
+
+std::string StorageHealthMonitor::degraded_reason() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string reason;
+  for (const auto& [sink, why] : degraded_sinks_) {
+    if (!reason.empty()) reason += "; ";
+    reason += sink + ": " + why;
+  }
+  if (disk_state_ == DiskState::kLow || disk_state_ == DiskState::kCritical) {
+    if (!reason.empty()) reason += "; ";
+    reason += std::string("disk ") + DiskStateName(disk_state_) + " (" +
+              std::to_string(free_bytes_) + " bytes free)";
+  }
+  return reason;
+}
+
+int64_t StorageHealthMonitor::errors_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return errors_total_;
+}
+
+StorageHealthMonitor::DiskState StorageHealthMonitor::disk_state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return disk_state_;
+}
+
+uint64_t StorageHealthMonitor::free_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_bytes_;
+}
+
+void StorageHealthMonitor::MaybeProbe() {
+  if (options_.probe_dir.empty()) return;
+  const int64_t now =
+      options_.now_ms ? options_.now_ms() : SteadyNowMs();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (last_probe_ms_ >= 0 &&
+        now - last_probe_ms_ < static_cast<int64_t>(options_.probe_interval_ms))
+      return;
+    last_probe_ms_ = now;
+  }
+  const Status probed = ProbeNow();
+  (void)probed;  // Failures already recorded + logged inside ProbeNow.
+}
+
+Status StorageHealthMonitor::ProbeNow() {
+  if (options_.probe_dir.empty()) return OkStatus();
+
+  // Free-space watermarks first: statvfs failure is not itself a degraded
+  // state (some filesystems cannot report it), so it only warns.
+  DiskState space_state = DiskState::kUnknown;
+  uint64_t free = 0;
+  StatusOr<FsSpace> space = FsStatvfs(options_.probe_dir);
+  if (space.ok()) {
+    free = space->free_bytes;
+    MetricsRegistry::Global()
+        .GetGauge(kFreeMetric, kFreeHelp, {{"dir", options_.probe_dir}})
+        .Set(static_cast<double>(free));
+    space_state = free <= options_.critical_free_bytes ? DiskState::kCritical
+                  : free <= options_.low_free_bytes    ? DiskState::kLow
+                                                       : DiskState::kOk;
+  } else {
+    GPUTC_LOG(Warning) << "storage probe: " << space.status().ToString();
+  }
+
+  // Probe write: can this directory still take a durable byte? A failure
+  // here is the earliest warning a full or read-only disk gives.
+  Status probe = OkStatus();
+  const std::string path = options_.probe_dir + "/" + kProbeFile;
+  StatusOr<int> fd = FsOpen(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd.ok()) {
+    char payload[64] = "gputc-storage-probe";
+    probe = FsWriteFully(*fd, payload, sizeof(payload), path);
+    if (probe.ok()) probe = FsFsync(*fd, path);
+    ::close(*fd);
+    ::unlink(path.c_str());
+  } else {
+    probe = fd.status();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    disk_state_ = probe.ok() ? space_state : DiskState::kCritical;
+    free_bytes_ = free;
+  }
+  if (!probe.ok()) RecordError("probe", probe);
+  return probe;
+}
+
+Status PreflightSpaceCheck(const std::string& dir, uint64_t projected_bytes) {
+  FailPointScope scope;
+  GPUTC_RETURN_IF_ERROR(CheckFailPoint("storage.preflight")
+                            .WithContext("preflight '" + dir + "'"));
+  StatusOr<FsSpace> space = FsStatvfs(dir);
+  if (!space.ok()) {
+    GPUTC_LOG(Warning) << "storage preflight: cannot measure free space: "
+                       << space.status().ToString() << "; admitting anyway";
+    return OkStatus();
+  }
+  if (space->free_bytes < projected_bytes) {
+    return ResourceExhaustedError(
+        "storage preflight: '" + dir + "' has " +
+        std::to_string(space->free_bytes) + " bytes free but the manifest " +
+        "projects " + std::to_string(projected_bytes) +
+        " bytes of WAL + journal; free space or shrink the batch");
+  }
+  return OkStatus();
+}
+
+uint64_t EstimateBatchStorageBytes(size_t requests) {
+  // Intent record (request spec) + done record (journal line copy) + the
+  // journal line itself, with frame overhead and headroom for long traces.
+  constexpr uint64_t kPerRequestBytes = 4096;
+  constexpr uint64_t kFixedBytes = 64 * 1024;  // Version records, header.
+  return kFixedBytes + kPerRequestBytes * static_cast<uint64_t>(requests);
+}
+
+}  // namespace gputc

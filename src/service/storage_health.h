@@ -1,0 +1,142 @@
+#ifndef GPUTC_SERVICE_STORAGE_HEALTH_H_
+#define GPUTC_SERVICE_STORAGE_HEALTH_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace gputc {
+
+// Storage-fault policy and health tracking for the durable sinks (WAL,
+// journal, disk cache tier, trace/metrics exports). Three pieces:
+//
+//  * StoragePolicy — what a sink does when the disk fails underneath it.
+//    The WAL is the one sink whose policy the operator chooses
+//    (`--wal-policy`): `strict` (default) is fail-stop — stop admitting,
+//    finish in-flight work, exit with code 6, journal holding exactly the
+//    durable prefix — because a WAL that cannot persist intents can no
+//    longer back the exactly-once guarantee. `degrade` keeps serving and
+//    stamps every journal line that lost its durability cover with
+//    "durable":false. The other sinks have fixed policies: the journal
+//    degrades to stderr mirroring, the disk cache tier trips a circuit
+//    breaker while the memory tier keeps serving, trace/metrics exports are
+//    best-effort warn-once.
+//
+//  * StorageHealthMonitor — the serve loop's view of the disk. Sinks report
+//    faults through RecordError (metric:
+//    gputc_storage_errors_total{sink,errno}); MaybeProbe periodically
+//    statvfs-es the watched directory (gputc_disk_free_bytes) and performs a
+//    small probe write+fsync, classifying free space against low/critical
+//    watermarks. /readyz flips to 503 "storage-degraded" under a strict-WAL
+//    stop and carries a degraded header otherwise.
+//
+//  * PreflightSpaceCheck — batch refuses a manifest whose projected WAL +
+//    journal bytes exceed the free space up front, instead of failing
+//    halfway through.
+
+/// What a sink does when storage fails beneath it.
+enum class StoragePolicy {
+  kStrict,   // Fail-stop: stop admitting, finish in-flight, exit code 6.
+  kDegrade,  // Keep serving; lines that lost durability say "durable":false.
+};
+
+/// Parses "strict" / "degrade" (the --wal-policy values).
+StatusOr<StoragePolicy> ParseStoragePolicy(std::string_view text);
+const char* StoragePolicyName(StoragePolicy policy);
+
+class StorageHealthMonitor {
+ public:
+  enum class DiskState {
+    kUnknown,   // Never probed (or probing disabled).
+    kOk,        // Free space above the low watermark, probe writes succeed.
+    kLow,       // Below the low watermark: degraded header on /readyz.
+    kCritical,  // Below the critical watermark or probe write failed.
+  };
+
+  struct Options {
+    /// Directory to statvfs and probe-write; empty disables probing (sinks
+    /// can still RecordError).
+    std::string probe_dir;
+    double probe_interval_ms = 1000.0;
+    uint64_t low_free_bytes = 64ull << 20;      // 64 MiB
+    uint64_t critical_free_bytes = 8ull << 20;  // 8 MiB
+    /// Injectable clock for tests; defaults to steady_clock.
+    std::function<int64_t()> now_ms;
+  };
+
+  StorageHealthMonitor() : StorageHealthMonitor(Options{}) {}
+  explicit StorageHealthMonitor(Options options);
+
+  StorageHealthMonitor(const StorageHealthMonitor&) = delete;
+  StorageHealthMonitor& operator=(const StorageHealthMonitor&) = delete;
+
+  /// One storage fault at `sink` ("wal", "journal", "cache", "export",
+  /// "probe"). Bumps gputc_storage_errors_total{sink,errno} — the errno
+  /// label recovered from the status message, identical for real and
+  /// injected faults.
+  void RecordError(std::string_view sink, const Status& status);
+
+  /// Marks a sink as running in its degraded mode (sticky; first reason per
+  /// sink wins). Flips degraded() without stopping the service.
+  void NoteDegraded(std::string_view sink, std::string reason);
+
+  /// The strict-WAL fail-stop fired: /readyz becomes 503 "storage-degraded"
+  /// and the process is on its way to exit code 6.
+  void RecordStrictStop(std::string reason);
+
+  bool strict_stopped() const;
+  std::string strict_stop_reason() const;
+
+  /// True when any sink runs degraded or the disk is at/below the low
+  /// watermark — the "serving, but tell the load balancer" state.
+  bool degraded() const;
+  std::string degraded_reason() const;
+
+  int64_t errors_total() const;
+  DiskState disk_state() const;
+  uint64_t free_bytes() const;
+
+  /// Rate-limited probe: statvfs + a small write+fsync+unlink in probe_dir.
+  /// The serve loop calls this every poll tick; it no-ops until
+  /// probe_interval_ms has passed. No-op when probe_dir is empty.
+  void MaybeProbe();
+
+  /// One probe immediately, ignoring the interval. Returns the probe-write
+  /// status (statvfs failures only warn — a disk that cannot report free
+  /// space can still take writes).
+  Status ProbeNow();
+
+  static const char* DiskStateName(DiskState state);
+
+ private:
+  const Options options_;
+  mutable std::mutex mu_;
+  bool strict_stopped_ = false;
+  std::string strict_stop_reason_;
+  std::map<std::string, std::string> degraded_sinks_;
+  int64_t errors_total_ = 0;
+  DiskState disk_state_ = DiskState::kUnknown;
+  uint64_t free_bytes_ = 0;
+  int64_t last_probe_ms_ = -1;
+};
+
+/// Refuses up front when the filesystem holding `dir` has less free space
+/// than `projected_bytes` (kResourceExhausted). statvfs failure is not a
+/// refusal — it warns and admits, because a disk that cannot report free
+/// space may still take writes. Passes the "storage.preflight" fail point
+/// (inject `enospc` there to force a refusal deterministically).
+Status PreflightSpaceCheck(const std::string& dir, uint64_t projected_bytes);
+
+/// Projected WAL + journal footprint of a manifest of `requests` requests:
+/// intent + done records plus one journal line, with headroom. The batch
+/// preflight compares this against the free space of the WAL directory.
+uint64_t EstimateBatchStorageBytes(size_t requests);
+
+}  // namespace gputc
+
+#endif  // GPUTC_SERVICE_STORAGE_HEALTH_H_

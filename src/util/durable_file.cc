@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "util/failpoint.h"
+#include "util/fs_io.h"
 #include "util/logging.h"
 
 namespace gputc {
@@ -24,8 +25,7 @@ constexpr size_t kFrameHeaderBytes = 2 * sizeof(uint32_t);
 constexpr uint32_t kMaxRecordBytes = 1u << 30;
 
 Status ErrnoStatus(const std::string& op, const std::string& path) {
-  return Status(StatusCode::kInternal,
-                op + " '" + path + "': " + std::strerror(errno));
+  return ErrnoToStatus(errno, op + " '" + path + "'");
 }
 
 std::string ParentDir(const std::string& path) {
@@ -47,22 +47,6 @@ void SyncParentDir(const std::string& path) {
                        << "' failed: " << std::strerror(errno);
   }
   ::close(dir_fd);
-}
-
-Status WriteFully(int fd, const void* data, size_t size,
-                  const std::string& path) {
-  const char* p = static_cast<const char*>(data);
-  size_t remaining = size;
-  while (remaining > 0) {
-    const ssize_t n = ::write(fd, p, remaining);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return ErrnoStatus("write to", path);
-    }
-    p += n;
-    remaining -= static_cast<size_t>(n);
-  }
-  return OkStatus();
 }
 
 void PutU32(std::string* out, uint32_t v) {
@@ -146,7 +130,14 @@ AtomicFileWriter& AtomicFileWriter::operator=(
 
 Status AtomicFileWriter::Append(const void* data, size_t size) {
   if (fd_ < 0) return InternalError("Append on a finished AtomicFileWriter");
-  return WriteFully(fd_, data, size, temp_path_);
+  const Status written = FsWriteFully(fd_, data, size, temp_path_);
+  if (!written.ok()) {
+    // ENOSPC mid-write: the temp file must not linger (it is occupying the
+    // very space that ran out) and the target stays untouched. Abort here so
+    // every error path — not just the destructor — leaves a clean directory.
+    Abort();
+  }
+  return written;
 }
 
 Status AtomicFileWriter::Commit() {
@@ -163,19 +154,24 @@ Status AtomicFileWriter::Commit() {
       return injected.WithContext("durable.commit('" + final_path_ + "')");
     }
   }
-  if (::fsync(fd_) != 0) {
-    const Status s = ErrnoStatus("fsync", temp_path_);
-    Abort();
-    return s;
+  {
+    // fsyncgate: a failed fsync may have dropped the dirty pages, so the
+    // temp file cannot be salvaged — unlink it and report. No retry.
+    const Status synced = FsFsync(fd_, temp_path_);
+    if (!synced.ok()) {
+      Abort();
+      return synced;
+    }
   }
   ::close(fd_);
   fd_ = -1;
-  if (::rename(temp_path_.c_str(), final_path_.c_str()) != 0) {
-    const Status s = ErrnoStatus("rename '" + temp_path_ + "' to",
-                                 final_path_);
-    ::unlink(temp_path_.c_str());
-    committed_ = true;  // Nothing further to clean up.
-    return s;
+  {
+    const Status renamed = FsRename(temp_path_, final_path_);
+    if (!renamed.ok()) {
+      ::unlink(temp_path_.c_str());
+      committed_ = true;  // Nothing further to clean up.
+      return renamed;
+    }
   }
   SyncParentDir(final_path_);
   committed_ = true;
@@ -279,7 +275,8 @@ SegmentWriter::SegmentWriter(SegmentWriter&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       path_(std::move(other.path_)),
       recovered_(std::move(other.recovered_)),
-      append_mu_(std::move(other.append_mu_)) {}
+      poison_(std::move(other.poison_)),
+      state_mu_(std::move(other.state_mu_)) {}
 
 SegmentWriter& SegmentWriter::operator=(SegmentWriter&& other) noexcept {
   if (this != &other) {
@@ -287,9 +284,16 @@ SegmentWriter& SegmentWriter::operator=(SegmentWriter&& other) noexcept {
     fd_ = std::exchange(other.fd_, -1);
     path_ = std::move(other.path_);
     recovered_ = std::move(other.recovered_);
-    append_mu_ = std::move(other.append_mu_);
+    poison_ = std::move(other.poison_);
+    state_mu_ = std::move(other.state_mu_);
   }
   return *this;
+}
+
+Status SegmentWriter::poisoned() const {
+  if (state_mu_ == nullptr) return OkStatus();  // Moved-from.
+  std::lock_guard<std::mutex> lock(*state_mu_);
+  return poison_;
 }
 
 Status SegmentWriter::Append(std::string_view payload) {
@@ -309,7 +313,10 @@ Status SegmentWriter::Append(std::string_view payload) {
   // and interleaving frames from concurrent appenders would corrupt the log
   // mid-record — recovery would then silently drop every record after the
   // interleave point.
-  std::lock_guard<std::mutex> lock(*append_mu_);
+  std::lock_guard<std::mutex> lock(*state_mu_);
+  if (!poison_.ok()) {
+    return poison_.WithContext("poisoned segment '" + path_ + "'");
+  }
   FailPointScope scope;
   GPUTC_RETURN_IF_ERROR(
       CheckFailPoint("durable.append").WithContext("append('" + path_ + "')"));
@@ -320,22 +327,48 @@ Status SegmentWriter::Append(std::string_view payload) {
   PutU32(&frame, Crc32c(payload));
   frame.append(payload.data(), payload.size());
 
+  // The rollback point for a torn write: the fd is O_APPEND, so the current
+  // size is where this frame starts.
+  const off_t frame_start = ::lseek(fd_, 0, SEEK_END);
+
   // Split the frame so an armed "durable.append.torn" crash produces a
   // genuinely torn record — header plus partial payload — for the recovery
   // path to truncate. Unarmed, this is just two sequential writes.
   const size_t split = kFrameHeaderBytes + payload.size() / 2;
-  GPUTC_RETURN_IF_ERROR(WriteFully(fd_, frame.data(), split, path_));
-  {
+  Status written = FsWriteFully(fd_, frame.data(), split, path_);
+  if (written.ok()) {
     const Status injected = CheckFailPoint("durable.append.torn");
     if (!injected.ok()) {
       // An injected *error* (rather than a crash) intentionally leaves the
       // torn prefix in place; the next Open truncates it.
       return injected.WithContext("torn append('" + path_ + "')");
     }
+    written =
+        FsWriteFully(fd_, frame.data() + split, frame.size() - split, path_);
   }
-  GPUTC_RETURN_IF_ERROR(
-      WriteFully(fd_, frame.data() + split, frame.size() - split, path_));
-  if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_);
+  if (!written.ok()) {
+    // A torn frame mid-log would make the scanner drop every record after
+    // it, so the tear cannot be left for later appends to bury: roll the
+    // file back to the frame start. A failed rollback poisons the writer —
+    // appending after an unremovable tear would silently lose records.
+    if (frame_start >= 0 && ::ftruncate(fd_, frame_start) == 0) {
+      return written;
+    }
+    poison_ = written;
+    return written.WithContext("segment '" + path_ +
+                               "' poisoned (torn frame could not be rolled "
+                               "back)");
+  }
+  {
+    const Status synced = FsFsync(fd_, path_);
+    if (!synced.ok()) {
+      // fsyncgate: the kernel may have dropped this frame's dirty pages and
+      // cleared the error, so no later fsync on this fd can be trusted.
+      // Poison the writer; the owner must reopen or fail the record.
+      poison_ = synced;
+      return synced;
+    }
+  }
   return OkStatus();
 }
 
@@ -343,9 +376,9 @@ Status SegmentWriter::Append(std::string_view payload) {
 
 StatusOr<LineLog> LineLog::OpenTrunc(const std::string& path,
                                      bool fsync_each) {
-  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return ErrnoStatus("cannot open journal", path);
-  return LineLog(fd, fsync_each);
+  GPUTC_ASSIGN_OR_RETURN(const int fd,
+                         FsOpen(path, O_WRONLY | O_CREAT | O_TRUNC, 0644));
+  return LineLog(fd, path, fsync_each);
 }
 
 LineLog::~LineLog() {
@@ -353,28 +386,60 @@ LineLog::~LineLog() {
 }
 
 LineLog::LineLog(LineLog&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), fsync_each_(other.fsync_each_) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      path_(std::move(other.path_)),
+      fsync_each_(other.fsync_each_),
+      offset_(other.offset_),
+      poison_(std::move(other.poison_)) {}
 
 LineLog& LineLog::operator=(LineLog&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
     fsync_each_ = other.fsync_each_;
+    offset_ = other.offset_;
+    poison_ = std::move(other.poison_);
   }
   return *this;
 }
 
 Status LineLog::WriteLine(std::string_view line) {
   if (fd_ < 0) return InternalError("WriteLine on a moved-from LineLog");
+  if (!poison_.ok()) {
+    return poison_.WithContext("poisoned journal '" + path_ + "'");
+  }
   std::string buffer;
   buffer.reserve(line.size() + 1);
   buffer.append(line.data(), line.size());
   buffer.push_back('\n');
-  GPUTC_RETURN_IF_ERROR(WriteFully(fd_, buffer.data(), buffer.size(),
-                                   "journal"));
-  if (fsync_each_ && ::fsync(fd_) != 0) {
-    return ErrnoStatus("fsync", "journal");
+  const Status written =
+      FsWriteFully(fd_, buffer.data(), buffer.size(), path_);
+  if (!written.ok()) {
+    // All-or-nothing: a short write (ENOSPC mid-line) must not leave a torn
+    // half-line for a journal consumer to choke on. Roll back to the last
+    // complete line; if even that fails, poison — appending after an
+    // unremovable tear would corrupt every following line. ftruncate leaves
+    // the fd position past the cut, so reseek or the next line would sit
+    // behind a hole of NUL bytes.
+    if (::ftruncate(fd_, static_cast<off_t>(offset_)) != 0 ||
+        ::lseek(fd_, static_cast<off_t>(offset_), SEEK_SET) < 0) {
+      poison_ = written;
+      return written.WithContext("journal '" + path_ +
+                                 "' poisoned (torn line could not be rolled "
+                                 "back)");
+    }
+    return written;
   }
+  if (fsync_each_) {
+    const Status synced = FsFsync(fd_, path_);
+    if (!synced.ok()) {
+      // fsyncgate: this fd can no longer prove durability — poison it.
+      poison_ = synced;
+      return synced;
+    }
+  }
+  offset_ += buffer.size();
   return OkStatus();
 }
 

@@ -33,6 +33,16 @@ namespace gputc {
 // injection here lands on a path that is recoverable *by design*, and the
 // crash harness depends on being able to kill the process at exactly these
 // boundaries.
+//
+// All syscalls go through util/fs_io.h, so the storage-fault sites
+// (fs.write, fs.write.short, fs.fsync, ...) inject beneath every writer
+// here. Fault semantics follow the fsyncgate rule: after any fsync failure
+// the fd is poisoned — the writer never fsyncs it again (the kernel may have
+// dropped the dirty pages and a retry would falsely succeed) and every
+// subsequent operation fails fast with the original fault until the caller
+// reopens. Failed writes roll back (ftruncate to the record start) where
+// the file must stay clean — a journal never keeps a torn half-line — and
+// poison the sink when even the rollback fails.
 
 /// CRC32C (Castagnoli polynomial, as used by ext4, RocksDB, and gRPC).
 /// `seed` chains partial computations: Crc32c(b, nb, Crc32c(a, na)).
@@ -57,6 +67,9 @@ class AtomicFileWriter {
   AtomicFileWriter(const AtomicFileWriter&) = delete;
   AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
 
+  /// Writes into the temp file. On any failure (ENOSPC mid-write included)
+  /// the temp file is unlinked on the spot and the target stays untouched;
+  /// the writer is dead afterwards — further Append/Commit calls fail.
   Status Append(const void* data, size_t size);
   Status Append(std::string_view data) {
     return Append(data.data(), data.size());
@@ -64,7 +77,8 @@ class AtomicFileWriter {
 
   /// fsync + rename + directory fsync. Passes the "durable.commit" fail
   /// point *before* the rename, so a crash armed there leaves the target
-  /// untouched and only a temp file behind.
+  /// untouched and only a temp file behind. On any failure the temp file is
+  /// unlinked and the target stays untouched.
   Status Commit();
 
   /// Discards the temp file. Idempotent; Commit after Abort is an error.
@@ -133,20 +147,27 @@ class SegmentWriter {
   const SegmentScan& recovered() const { return recovered_; }
   const std::string& path() const { return path_; }
 
+  /// Non-OK once the writer is poisoned: a failed fsync (fsyncgate — the
+  /// kernel may have dropped the dirty pages, so no further fsync can be
+  /// trusted) or a failed rollback after a torn write. Every Append after
+  /// poisoning fails fast with this status; the owner must reopen.
+  Status poisoned() const;
+
  private:
   SegmentWriter(int fd, std::string path, SegmentScan recovered)
       : fd_(fd),
         path_(std::move(path)),
         recovered_(std::move(recovered)),
-        append_mu_(std::make_unique<std::mutex>()) {}
+        state_mu_(std::make_unique<std::mutex>()) {}
 
   int fd_ = -1;
   std::string path_;
   SegmentScan recovered_;
+  Status poison_;
   /// Serializes Append across threads: a frame is written in (deliberately)
   /// more than one write(2), and interleaved frames from two threads would
-  /// corrupt the log mid-record, not just at the tail.
-  std::unique_ptr<std::mutex> append_mu_;
+  /// corrupt the log mid-record, not just at the tail. Also guards poison_.
+  std::unique_ptr<std::mutex> state_mu_;
 };
 
 /// Line-oriented streaming log for the batch journal: each WriteLine issues
@@ -154,6 +175,12 @@ class SegmentWriter {
 /// journal line handed back OK has reached the disk before the caller moves
 /// on. OpenTrunc truncates (resume rewrites the journal from its replayed
 /// prefix, keeping exactly one line per request).
+///
+/// Short-write discipline: a line is all-or-nothing. When the write fails
+/// partway (ENOSPC mid-line), WriteLine rolls the file back to the line
+/// start with ftruncate — the journal never keeps a torn half-line. If even
+/// the rollback fails, or an fsync fails (fsyncgate: the fd can no longer
+/// be trusted), the log is poisoned and every later WriteLine fails fast.
 class LineLog {
  public:
   static StatusOr<LineLog> OpenTrunc(const std::string& path, bool fsync_each);
@@ -166,11 +193,19 @@ class LineLog {
 
   Status WriteLine(std::string_view line);
 
+  /// Non-OK once the log is poisoned (failed rollback or failed fsync).
+  const Status& poisoned() const { return poison_; }
+
  private:
-  LineLog(int fd, bool fsync_each) : fd_(fd), fsync_each_(fsync_each) {}
+  LineLog(int fd, std::string path, bool fsync_each)
+      : fd_(fd), path_(std::move(path)), fsync_each_(fsync_each) {}
 
   int fd_ = -1;
+  std::string path_;
   bool fsync_each_ = false;
+  /// Bytes of intact, complete lines — the rollback point for a torn write.
+  uint64_t offset_ = 0;
+  Status poison_;
 };
 
 }  // namespace gputc

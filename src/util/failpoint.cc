@@ -24,30 +24,40 @@ uint64_t NextRandom(uint64_t* state) {
   return x * 0x2545F4914F6CDD1DULL;
 }
 
-std::optional<StatusCode> ParseCode(std::string_view name) {
-  struct Entry {
-    std::string_view name;
-    StatusCode code;
+struct CodeEntry {
+  std::string_view name;
+  StatusCode code;
+  /// Non-empty for the errno aliases: the detail text carrying the symbolic
+  /// errno name into the injected message.
+  std::string_view detail;
+};
+
+std::optional<CodeEntry> ParseCode(std::string_view name) {
+  static constexpr CodeEntry kCodes[] = {
+      {"internal", StatusCode::kInternal, ""},
+      {"data_loss", StatusCode::kDataLoss, ""},
+      {"resource_exhausted", StatusCode::kResourceExhausted, ""},
+      {"deadline_exceeded", StatusCode::kDeadlineExceeded, ""},
+      {"cancelled", StatusCode::kCancelled, ""},
+      {"invalid_argument", StatusCode::kInvalidArgument, ""},
+      {"out_of_range", StatusCode::kOutOfRange, ""},
+      {"failed_precondition", StatusCode::kFailedPrecondition, ""},
+      {"unimplemented", StatusCode::kUnimplemented, ""},
+      {"not_found", StatusCode::kNotFound, ""},
+      // Errno aliases: inject the Status a real storage fault maps to (see
+      // ErrnoToStatus), with the symbolic name in the message so the errno
+      // metric label matches a genuine kernel-reported fault.
+      {"enospc", StatusCode::kResourceExhausted, "injected ENOSPC"},
+      {"eio", StatusCode::kDataLoss, "injected EIO"},
+      {"edquot", StatusCode::kResourceExhausted, "injected EDQUOT"},
   };
-  static constexpr Entry kCodes[] = {
-      {"internal", StatusCode::kInternal},
-      {"data_loss", StatusCode::kDataLoss},
-      {"resource_exhausted", StatusCode::kResourceExhausted},
-      {"deadline_exceeded", StatusCode::kDeadlineExceeded},
-      {"cancelled", StatusCode::kCancelled},
-      {"invalid_argument", StatusCode::kInvalidArgument},
-      {"out_of_range", StatusCode::kOutOfRange},
-      {"failed_precondition", StatusCode::kFailedPrecondition},
-      {"unimplemented", StatusCode::kUnimplemented},
-      {"not_found", StatusCode::kNotFound},
-  };
-  for (const Entry& e : kCodes) {
-    if (e.name == name) return e.code;
+  for (const CodeEntry& e : kCodes) {
+    if (e.name == name) return e;
   }
   return std::nullopt;
 }
 
-/// Parses one "site=code[@count][%prob][$seed]" entry.
+/// Parses one "site=code[@count][%prob][$seed][^skip]" entry.
 Status ParseEntry(std::string_view entry, std::string* site,
                   FailPointSpec* spec) {
   const size_t eq = entry.find('=');
@@ -62,7 +72,7 @@ Status ParseEntry(std::string_view entry, std::string* site,
   // most once and they compose in any order.
   *spec = FailPointSpec{};
   while (true) {
-    const size_t marker = rest.find_last_of("@%$");
+    const size_t marker = rest.find_last_of("@%$^");
     if (marker == std::string_view::npos) break;
     const char kind = rest[marker];
     const std::string value(rest.substr(marker + 1));
@@ -72,6 +82,12 @@ Status ParseEntry(std::string_view entry, std::string* site,
       spec->count = std::strtoll(value.c_str(), &end, 10);
       if (end == value.c_str() || *end != '\0' || spec->count < 0) {
         return InvalidArgumentError("fail-point count '@" + value +
+                                    "' is not a non-negative integer");
+      }
+    } else if (kind == '^') {
+      spec->skip = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || spec->skip < 0) {
+        return InvalidArgumentError("fail-point skip '^" + value +
                                     "' is not a non-negative integer");
       }
     } else if (kind == '%') {
@@ -94,15 +110,17 @@ Status ParseEntry(std::string_view entry, std::string* site,
     spec->action = FailPointSpec::Action::kCrash;
     return OkStatus();
   }
-  const std::optional<StatusCode> code = ParseCode(rest);
+  const std::optional<CodeEntry> code = ParseCode(rest);
   if (!code.has_value()) {
     return InvalidArgumentError(
         "unknown fail-point error code '" + std::string(rest) +
         "'; valid codes: internal data_loss resource_exhausted "
         "deadline_exceeded cancelled invalid_argument out_of_range "
-        "failed_precondition unimplemented not_found crash");
+        "failed_precondition unimplemented not_found crash "
+        "enospc eio edquot");
   }
-  spec->code = *code;
+  spec->code = code->code;
+  spec->detail = std::string(code->detail);
   return OkStatus();
 }
 
@@ -112,6 +130,7 @@ struct FailPointRegistry::Impl {
   struct ArmedPoint {
     FailPointSpec spec;
     int64_t fired = 0;       // Times this point has injected an error.
+    int64_t seen = 0;        // In-scope hits of this armed point (for ^skip).
     uint64_t rng_state = 1;  // Seeded from spec.seed; 0 is invalid.
   };
 
@@ -218,9 +237,10 @@ Status FailPointRegistry::Evaluate(std::string_view site) {
     if (observer_it != impl_->observers.end()) observer = observer_it->second;
     if (armed_it != impl_->armed.end()) {
       Impl::ArmedPoint& point = armed_it->second;
+      ++point.seen;
       const bool budget_left =
           point.spec.count < 0 || point.fired < point.spec.count;
-      bool fires = budget_left;
+      bool fires = budget_left && point.seen > point.spec.skip;
       if (fires && point.spec.probability < 1.0) {
         const double draw =
             static_cast<double>(NextRandom(&point.rng_state) >> 11) /
@@ -237,9 +257,12 @@ Status FailPointRegistry::Evaluate(std::string_view site) {
           // crash harness asserts on.
           std::_Exit(137);
         }
-        injected = Status(point.spec.code,
-                          "fail point '" + std::string(site) + "' fired (hit " +
-                              std::to_string(hit) + ")");
+        std::string message = "fail point '" + std::string(site) +
+                              "' fired (hit " + std::to_string(hit) + ")";
+        if (!point.spec.detail.empty()) {
+          message += ": " + point.spec.detail;
+        }
+        injected = Status(point.spec.code, std::move(message));
       }
     }
   }

@@ -23,6 +23,13 @@ namespace gputc {
 //   batch service   service.enqueue, service.admit, service.worker,
 //                   service.journal (between WAL commit and journal emit)
 //   durable I/O     durable.commit, durable.append, durable.append.torn
+//   storage syscalls fs.write (before any byte), fs.write.short (first half
+//                   lands for real, then the error returns — a genuine torn
+//                   write), fs.fsync (never retried: fsyncgate), fs.rename,
+//                   fs.statvfs — the util/fs_io.h boundary every durable
+//                   sink writes through; arm with the errno aliases below
+//   storage policy  storage.preflight (batch space estimate, before the
+//                   manifest is admitted)
 //   prep cache      cache.load (tier-2 artifact read), cache.store (tier-2
 //                   artifact write, before any byte lands) — both recover
 //                   by recompute, never by failing the request
@@ -46,21 +53,28 @@ namespace gputc {
 // environment variable, read once at first registry use. The format is a
 // ';'-separated list of
 //
-//   site=code[@count][%prob][$seed]
+//   site=code[@count][%prob][$seed][^skip]
 //
 //   code    error to inject: internal, data_loss, resource_exhausted,
 //           deadline_exceeded, cancelled, invalid_argument, out_of_range,
-//           failed_precondition, unimplemented, not_found — or the special
-//           action `crash`, which terminates the process with _Exit(137)
-//           the instant the site fires (no destructors, no stream flushes:
-//           the closest user-space approximation of SIGKILL). The crash
-//           harness arms it at the durable-layer sites to prove that every
-//           artifact survives an ill-timed death.
+//           failed_precondition, unimplemented, not_found — or an errno
+//           alias (enospc, eio, edquot) which injects the Status a real
+//           storage fault of that errno maps to, with the symbolic errno
+//           name embedded in the message so metrics label it the same way —
+//           or the special action `crash`, which terminates the process
+//           with _Exit(137) the instant the site fires (no destructors, no
+//           stream flushes: the closest user-space approximation of
+//           SIGKILL). The crash harness arms it at the durable-layer sites
+//           to prove that every artifact survives an ill-timed death.
 //   @count  fire only on the first `count` hits (default: every hit)
 //   %prob   fire with probability `prob` per hit (seeded xorshift, $seed)
+//   ^skip   let the first `skip` hits pass untouched before the point is
+//           eligible to fire — "the disk was fine, then it filled":
+//           fs.fsync=enospc^4 succeeds four fsyncs, then fails every one
 //
 // e.g. GPUTC_FAILPOINTS="tc.hu=internal@2;io.load=data_loss%0.01$7"
 //      GPUTC_FAILPOINTS="wal.done=crash@1"
+//      GPUTC_FAILPOINTS="fs.fsync=enospc^6"
 
 /// What happens at an armed site.
 struct FailPointSpec {
@@ -73,6 +87,13 @@ struct FailPointSpec {
   /// Per-hit firing probability in [0, 1], drawn from a seeded xorshift.
   double probability = 1.0;
   uint64_t seed = 1;
+  /// Let the first `skip` hits pass before the point may fire — models a
+  /// disk that worked, then failed.
+  int64_t skip = 0;
+  /// Extra text appended to the injected message ("injected ENOSPC" for the
+  /// errno aliases), so StorageErrnoLabelFromStatus sees the same symbolic
+  /// name a real fault would carry.
+  std::string detail;
 };
 
 class FailPointRegistry {

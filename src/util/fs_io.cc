@@ -1,0 +1,155 @@
+#include "util/fs_io.h"
+
+#include <fcntl.h>
+#include <sys/statvfs.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/failpoint.h"
+
+namespace gputc {
+namespace {
+
+struct ErrnoEntry {
+  int err;
+  const char* label;
+  StatusCode code;
+};
+
+constexpr ErrnoEntry kErrnoTable[] = {
+    {ENOSPC, "ENOSPC", StatusCode::kResourceExhausted},
+    {EDQUOT, "EDQUOT", StatusCode::kResourceExhausted},
+    {EIO, "EIO", StatusCode::kDataLoss},
+    {ENOENT, "ENOENT", StatusCode::kNotFound},
+    {EACCES, "EACCES", StatusCode::kFailedPrecondition},
+    {EPERM, "EPERM", StatusCode::kFailedPrecondition},
+    {EROFS, "EROFS", StatusCode::kFailedPrecondition},
+    {EMFILE, "EMFILE", StatusCode::kResourceExhausted},
+    {ENFILE, "ENFILE", StatusCode::kResourceExhausted},
+    {EFBIG, "EFBIG", StatusCode::kOutOfRange},
+};
+
+const ErrnoEntry* LookupErrno(int err) {
+  for (const ErrnoEntry& e : kErrnoTable) {
+    if (e.err == err) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Status ErrnoToStatus(int err, const std::string& op) {
+  const ErrnoEntry* entry = LookupErrno(err);
+  const StatusCode code = entry ? entry->code : StatusCode::kInternal;
+  std::string message = op + ": " + std::strerror(err);
+  if (entry != nullptr) {
+    message += " (";
+    message += entry->label;
+    message += ")";
+  }
+  return Status(code, std::move(message));
+}
+
+const char* StorageErrnoLabel(int err) {
+  const ErrnoEntry* entry = LookupErrno(err);
+  return entry ? entry->label : "other";
+}
+
+const char* StorageErrnoLabelFromStatus(const Status& status) {
+  const std::string& message = status.message();
+  for (const ErrnoEntry& e : kErrnoTable) {
+    if (message.find(e.label) != std::string::npos) return e.label;
+  }
+  return "other";
+}
+
+Status FsWriteFully(int fd, const void* data, size_t size,
+                    const std::string& what) {
+  FailPointScope scope;
+  GPUTC_RETURN_IF_ERROR(
+      CheckFailPoint("fs.write").WithContext("write '" + what + "'"));
+  const char* p = static_cast<const char*>(data);
+  size_t remaining = size;
+  {
+    // The short-write site genuinely lands the first half on disk before the
+    // injected error returns — the torn state a real ENOSPC mid-write leaves,
+    // which the rollback/poisoning paths above this layer must clean up.
+    const Status injected = CheckFailPoint("fs.write.short");
+    if (!injected.ok()) {
+      size_t half = size / 2;
+      while (half > 0) {
+        const ssize_t n = ::write(fd, p, half);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          break;
+        }
+        p += n;
+        half -= static_cast<size_t>(n);
+      }
+      return injected.WithContext("short write '" + what + "'");
+    }
+  }
+  while (remaining > 0) {
+    const ssize_t n = ::write(fd, p, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoToStatus(errno, "write '" + what + "'");
+    }
+    p += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+Status FsFsync(int fd, const std::string& what) {
+  FailPointScope scope;
+  GPUTC_RETURN_IF_ERROR(
+      CheckFailPoint("fs.fsync").WithContext("fsync '" + what + "'"));
+  // One shot, no retry: after a failed fsync the kernel may already have
+  // dropped the dirty pages, so retrying can "succeed" for data that never
+  // hit the platter. Callers poison the fd instead (see fs_io.h).
+  if (::fsync(fd) != 0) {
+    return ErrnoToStatus(errno, "fsync '" + what + "'");
+  }
+  return OkStatus();
+}
+
+Status FsRename(const std::string& from, const std::string& to) {
+  FailPointScope scope;
+  GPUTC_RETURN_IF_ERROR(CheckFailPoint("fs.rename")
+                            .WithContext("rename '" + from + "' to '" + to +
+                                         "'"));
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoToStatus(errno, "rename '" + from + "' to '" + to + "'");
+  }
+  return OkStatus();
+}
+
+StatusOr<int> FsOpen(const std::string& path, int flags, int mode) {
+  while (true) {
+    const int fd = ::open(path.c_str(), flags, mode);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    return ErrnoToStatus(errno, "open '" + path + "'");
+  }
+}
+
+StatusOr<FsSpace> FsStatvfs(const std::string& path) {
+  FailPointScope scope;
+  GPUTC_RETURN_IF_ERROR(
+      CheckFailPoint("fs.statvfs").WithContext("statvfs '" + path + "'"));
+  struct statvfs vfs;
+  if (::statvfs(path.c_str(), &vfs) != 0) {
+    return ErrnoToStatus(errno, "statvfs '" + path + "'");
+  }
+  FsSpace space;
+  space.free_bytes =
+      static_cast<uint64_t>(vfs.f_bavail) * static_cast<uint64_t>(vfs.f_frsize);
+  space.total_bytes =
+      static_cast<uint64_t>(vfs.f_blocks) * static_cast<uint64_t>(vfs.f_frsize);
+  return space;
+}
+
+}  // namespace gputc

@@ -1,0 +1,86 @@
+#ifndef GPUTC_UTIL_FS_IO_H_
+#define GPUTC_UTIL_FS_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace gputc {
+
+// The storage-syscall boundary every durable sink writes through — the
+// filesystem sibling of net_io's socket wrappers. All storage-fault
+// injection happens here, at the exact layer where ENOSPC/EIO/EDQUOT arrive
+// from a real kernel, so the recovery machinery above (WAL fail-stop,
+// journal degradation, cache breakers) is exercised by the same error shapes
+// production would produce.
+//
+// Fail-point sites (each wrapper opens its own FailPointScope — storage
+// faults land on paths that are recoverable by design):
+//
+//   fs.write        injected before any byte is written
+//   fs.write.short  first half of the buffer is genuinely written, then the
+//                   injected error returns — a real torn write for rollback
+//                   and poisoning paths to handle
+//   fs.fsync        injected instead of calling fsync(2)
+//   fs.rename       injected before the rename
+//   fs.statvfs      injected instead of calling statvfs(3)
+//
+// Arm them with the errno aliases (`enospc`, `eio`, `edquot`) so the
+// injected Status carries the same code and errno label a real fault would:
+// e.g. GPUTC_FAILPOINTS="fs.fsync=enospc^4" (skip the first 4 fsyncs, then
+// fail every one — the shape of a disk filling up mid-run).
+//
+// fsyncgate note: these wrappers do NOT retry fsync. After fsync fails the
+// kernel may have dropped the dirty pages while clearing the error flag, so
+// a retried fsync can return success for data that never reached the disk
+// (the PostgreSQL "fsyncgate" failure). The owning writer must treat the fd
+// as poisoned: reopen, or fail the record. SegmentWriter and LineLog
+// implement exactly that discipline on top of FsFsync.
+
+/// statvfs snapshot of the filesystem holding a path.
+struct FsSpace {
+  uint64_t free_bytes = 0;   // Available to unprivileged writers (f_bavail).
+  uint64_t total_bytes = 0;  // Filesystem capacity (f_blocks).
+};
+
+/// Maps an errno from a storage syscall to the Status taxonomy:
+/// ENOSPC/EDQUOT -> kResourceExhausted, EIO -> kDataLoss, ENOENT ->
+/// kNotFound, EACCES/EPERM/EROFS -> kFailedPrecondition, else kInternal.
+/// The message embeds the symbolic errno name so metrics can label by it.
+Status ErrnoToStatus(int err, const std::string& op);
+
+/// The symbolic label for a storage errno ("ENOSPC", "EIO", "EDQUOT",
+/// "EACCES", "EROFS", "ENOENT", ...; "other" for anything unlisted). Used as
+/// the {errno=...} metric label value.
+const char* StorageErrnoLabel(int err);
+
+/// Recovers the errno label from a Status message (both real faults via
+/// ErrnoToStatus and injected faults via the errno aliases embed the
+/// symbolic name). "other" when no known label is present.
+const char* StorageErrnoLabelFromStatus(const Status& status);
+
+/// write(2) until the whole buffer is out: EINTR retries, short writes
+/// continue from where they stopped. Passes "fs.write" before writing and
+/// "fs.write.short" which writes the first half for real before failing.
+/// `what` names the sink in error messages (usually the path).
+Status FsWriteFully(int fd, const void* data, size_t size,
+                    const std::string& what);
+
+/// fsync(2), once — never retried (see the fsyncgate note above). Passes
+/// "fs.fsync". A non-OK return means the fd must be considered poisoned.
+Status FsFsync(int fd, const std::string& what);
+
+/// rename(2). Passes "fs.rename".
+Status FsRename(const std::string& from, const std::string& to);
+
+/// open(2) with EINTR retry. Returns the fd, or the mapped errno Status.
+StatusOr<int> FsOpen(const std::string& path, int flags, int mode = 0644);
+
+/// statvfs(3) on `path`. Passes "fs.statvfs".
+StatusOr<FsSpace> FsStatvfs(const std::string& path);
+
+}  // namespace gputc
+
+#endif  // GPUTC_UTIL_FS_IO_H_

@@ -67,6 +67,18 @@ std::string JsonNumber(const std::string& json, const std::string& key) {
   return json.substr(value, end - value);
 }
 
+/// id -> outcome|triangles: the journal projection that must be invariant
+/// under cache state and storage faults (timings and trace ids legitimately
+/// differ between runs).
+std::map<std::string, std::string> StableFields(const std::string& journal) {
+  std::map<std::string, std::string> stable;
+  for (const std::string& line : Lines(Slurp(journal))) {
+    stable[JsonField(line, "id")] =
+        JsonField(line, "outcome") + "|" + JsonNumber(line, "triangles");
+  }
+  return stable;
+}
+
 /// Per-test scratch directory holding the manifest, WAL, and journal.
 class CrashRecoveryTest : public ::testing::Test {
  protected:
@@ -381,18 +393,6 @@ class CacheCrashTest : public CrashRecoveryTest {
             "--journal", journal,      "--prep-cache", cache_dir_};
   }
 
-  /// id -> outcome|triangles: the journal projection that must be invariant
-  /// under cache state (timings and trace ids legitimately differ).
-  static std::map<std::string, std::string> StableFields(
-      const std::string& journal) {
-    std::map<std::string, std::string> stable;
-    for (const std::string& line : Lines(Slurp(journal))) {
-      stable[JsonField(line, "id")] =
-          JsonField(line, "outcome") + "|" + JsonNumber(line, "triangles");
-    }
-    return stable;
-  }
-
   std::vector<std::string> CacheFiles() const {
     std::vector<std::string> files;
     DIR* d = ::opendir(cache_dir_.c_str());
@@ -491,6 +491,135 @@ TEST_F(CacheCrashTest, TornCacheArtifactsNeverChangeResults) {
   const ChildResult healed = RunGputc(FreshCachedArgs(healed_journal));
   EXPECT_EQ(healed.exit_code, 0) << healed.stderr_text;
   EXPECT_EQ(StableFields(healed_journal), cold);
+}
+
+// -- storage faults (ENOSPC/EIO at the fs_io boundary) -----------------------
+//
+// The failure under test is not a crash but a disk that stops taking bytes:
+// fs.fsync=enospc^K lets the first K fsyncs succeed and fails every later
+// one — the exact shape of a filesystem filling up mid-batch. The contract
+// per --wal-policy:
+//
+//   strict (default)  exit 6, journal holds exactly a clean prefix (complete
+//                     lines only, never torn), and --resume after the space
+//                     comes back converges on the fault-free run's results.
+//   degrade           exit 0, every request finishes, lines that lost their
+//                     durability cover say "durable":false.
+
+class StorageFaultCliTest : public CrashRecoveryTest {
+ protected:
+  /// Single worker so the run cannot finish before the armed fsync failures
+  /// land; the fault-free baseline uses the same shape.
+  std::vector<std::string> WalArgs(bool resume,
+                                   const std::string& policy = "") const {
+    std::vector<std::string> args = {"batch", "--manifest", manifest_,
+                                     "--jobs", "1",         "--journal",
+                                     journal_, "--wal",     wal_};
+    if (!policy.empty()) {
+      args.push_back("--wal-policy");
+      args.push_back(policy);
+    }
+    if (resume) args.push_back("--resume");
+    return args;
+  }
+};
+
+TEST_F(StorageFaultCliTest, StrictStopThenResumeConvergesOnBaseline) {
+  // Fault-free baseline (no WAL, own journal) for the stable fields.
+  const std::string baseline_journal = dir_ + "/journal-baseline.jsonl";
+  ASSERT_EQ(RunGputc({"batch", "--manifest", manifest_, "--jobs", "1",
+                      "--journal", baseline_journal})
+                .exit_code,
+            0);
+  const std::map<std::string, std::string> baseline =
+      StableFields(baseline_journal);
+
+  // Disk fills after the third fsync; strict (the default) must fail-stop.
+  const ChildResult stopped = RunGputc(
+      WalArgs(/*resume=*/false), {"GPUTC_FAILPOINTS=fs.fsync=enospc^3"});
+  EXPECT_EQ(stopped.exit_code, 6) << stopped.stderr_text;
+  EXPECT_NE(stopped.stderr_text.find("storage fail-stop"), std::string::npos)
+      << stopped.stderr_text;
+  EXPECT_NE(stopped.stderr_text.find("--resume"), std::string::npos)
+      << "the operator hint must name the recovery path";
+
+  // The journal holds a clean prefix: fewer lines than the manifest, every
+  // one a complete JSON object with a terminal outcome.
+  const std::vector<std::string> prefix = Lines(Slurp(journal_));
+  EXPECT_LT(prefix.size(), manifest_size_);
+  for (const std::string& line : prefix) {
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    EXPECT_FALSE(JsonField(line, "outcome").empty()) << line;
+  }
+
+  // Space comes back (the harness strips the fail points); --resume must
+  // finish the manifest and agree with the baseline on every stable field.
+  const ChildResult resumed = RunGputc(WalArgs(/*resume=*/true));
+  EXPECT_EQ(resumed.exit_code, 0) << resumed.stderr_text;
+  AssertJournalComplete();
+  EXPECT_EQ(StableFields(journal_), baseline);
+}
+
+TEST_F(StorageFaultCliTest, DegradePolicyFinishesEveryRequest) {
+  std::vector<std::string> args = {"batch",    "--manifest",   manifest_,
+                                   "--jobs",   "1",            "--journal",
+                                   "-",        "--wal",        wal_,
+                                   "--wal-policy", "degrade"};
+  const ChildResult run =
+      RunGputc(args, {"GPUTC_FAILPOINTS=fs.fsync=enospc^2"});
+  EXPECT_EQ(run.exit_code, 0) << run.stderr_text;
+
+  // Every request finished; the lines that lost their durability cover are
+  // stamped, and at least one must be (the WAL degraded mid-run).
+  const std::vector<std::string> lines = Lines(run.stdout_text);
+  ASSERT_EQ(lines.size(), manifest_size_) << run.stdout_text;
+  size_t stamped = 0;
+  for (const std::string& line : lines) {
+    EXPECT_EQ(JsonField(line, "outcome"), "ok") << line;
+    if (line.find("\"durable\":false") != std::string::npos) ++stamped;
+  }
+  EXPECT_GE(stamped, 1u) << run.stdout_text;
+  EXPECT_NE(run.stderr_text.find("degrade"), std::string::npos)
+      << "the degradation must be announced on stderr: " << run.stderr_text;
+}
+
+TEST_F(StorageFaultCliTest, PreflightRefusesTheManifestUpFront) {
+  const ChildResult refused = RunGputc(
+      WalArgs(/*resume=*/false), {"GPUTC_FAILPOINTS=storage.preflight=enospc"});
+  EXPECT_EQ(refused.exit_code, 6) << refused.stderr_text;
+  EXPECT_NE(refused.stderr_text.find("injected ENOSPC"), std::string::npos)
+      << refused.stderr_text;
+  // Refused up front: nothing was admitted, nothing was journaled.
+  EXPECT_TRUE(Lines(Slurp(journal_)).empty()) << Slurp(journal_);
+}
+
+TEST_F(StorageFaultCliTest, WalPolicyFlagContract) {
+  // 2: unknown policy value.
+  EXPECT_EQ(RunGputc(WalArgs(false, "lenient")).exit_code, 2);
+  // 2: --wal-policy without --wal is a contradiction, not a no-op.
+  EXPECT_EQ(RunGputc({"batch", "--manifest", manifest_, "--journal", "-",
+                      "--wal-policy", "strict"})
+                .exit_code,
+            2);
+  // 0: both policies are accepted on a healthy disk.
+  EXPECT_EQ(RunGputc(WalArgs(false, "strict")).exit_code, 0);
+  EXPECT_EQ(RunGputc(WalArgs(true, "degrade")).exit_code, 0);
+}
+
+TEST_F(StorageFaultCliTest, CacheStoreFaultsNeverFailRequests) {
+  // A persistently failing cache disk trips the tier-2 breaker; the work
+  // itself must stay green — the cache is an accelerator, not a dependency.
+  const std::string cache_dir = dir_ + "/prep-cache";
+  const ChildResult run =
+      RunGputc({"batch", "--manifest", manifest_, "--jobs", "2", "--journal",
+                journal_, "--prep-cache", cache_dir},
+               {"GPUTC_FAILPOINTS=cache.store=eio"});
+  EXPECT_EQ(run.exit_code, 0) << run.stderr_text;
+  AssertJournalComplete();
+  for (const std::string& line : Lines(Slurp(journal_))) {
+    EXPECT_EQ(JsonField(line, "outcome"), "ok") << line;
+  }
 }
 
 }  // namespace

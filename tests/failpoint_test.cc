@@ -106,6 +106,52 @@ TEST_F(FailPointTest, ArmFromStringParsesFullGrammar) {
   EXPECT_TRUE(CheckFailPoint("tc.hu").ok()) << "@2 budget spent";
 }
 
+TEST_F(FailPointTest, ErrnoAliasesInjectTheMappedStatusWithLabel) {
+  ASSERT_TRUE(FailPointRegistry::Instance()
+                  .ArmFromString("fsa=enospc;fsb=eio;fsc=edquot")
+                  .ok());
+  FailPointScope scope;
+  const Status enospc = CheckFailPoint("fsa");
+  EXPECT_EQ(enospc.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(enospc.ToString().find("injected ENOSPC"), std::string::npos)
+      << enospc.ToString();
+  const Status eio = CheckFailPoint("fsb");
+  EXPECT_EQ(eio.code(), StatusCode::kDataLoss);
+  EXPECT_NE(eio.ToString().find("injected EIO"), std::string::npos);
+  const Status edquot = CheckFailPoint("fsc");
+  EXPECT_EQ(edquot.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(edquot.ToString().find("injected EDQUOT"), std::string::npos);
+}
+
+TEST_F(FailPointTest, SkipLetsEarlyHitsPassThenFiresForever) {
+  // ^3 with no @count: three passes, then every hit fails — the disk that
+  // worked until it filled. The storage suite leans on this shape.
+  ASSERT_TRUE(
+      FailPointRegistry::Instance().ArmFromString("fs.x=enospc^3").ok());
+  FailPointScope scope;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(CheckFailPoint("fs.x").ok()) << "skip hit " << i;
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(CheckFailPoint("fs.x").code(), StatusCode::kResourceExhausted)
+        << "post-skip hit " << i;
+  }
+  EXPECT_EQ(FailPointRegistry::Instance().hits("fs.x"), 8);
+}
+
+TEST_F(FailPointTest, SkipComposesWithCount) {
+  // ^2@2: two passes, two failures, then the budget is spent and the site
+  // goes quiet — a transient fault window.
+  ASSERT_TRUE(
+      FailPointRegistry::Instance().ArmFromString("fs.y=eio@2^2").ok());
+  FailPointScope scope;
+  EXPECT_TRUE(CheckFailPoint("fs.y").ok());
+  EXPECT_TRUE(CheckFailPoint("fs.y").ok());
+  EXPECT_FALSE(CheckFailPoint("fs.y").ok());
+  EXPECT_FALSE(CheckFailPoint("fs.y").ok());
+  EXPECT_TRUE(CheckFailPoint("fs.y").ok()) << "@2 budget spent";
+}
+
 TEST_F(FailPointTest, ArmFromStringRejectsBadEntriesAtomically) {
   EXPECT_FALSE(
       FailPointRegistry::Instance().ArmFromString("tc.hu=bogus_code").ok());

@@ -7,6 +7,8 @@
 // tier-2 corruption recovery (a bad cache file costs a recompute, never a
 // wrong answer).
 
+#include "crash_harness.h"
+
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -779,6 +781,67 @@ TEST(PrepCacheExecutorTest, CachedEstimateIsBelowColdEstimate) {
   const Graph g = GenerateErdosRenyi(200, 800, 12);
   EXPECT_LT(EstimateHostBytesCached(g), EstimateHostBytes(g));
   EXPECT_GT(EstimateHostBytesCached(g), 0);
+}
+
+// -- CLI cache-command exit codes on a broken directory -----------------------
+//
+// `gputc cache stats|purge` against a vanished or unusable directory must
+// answer with the documented exit codes (2 = flag error, 3 = I/O error), not
+// silently report an empty cache (stats on a missing dir used to print
+// zeros) and not crash.
+
+TEST(CacheCliTest, StatsAndPurgeOnVanishedDirExitThree) {
+  const std::string dir = ::testing::TempDir() + "/cache_cli_vanished_" +
+                          std::to_string(::getpid());
+  for (const char* verb : {"stats", "purge"}) {
+    const testing::ChildResult run =
+        testing::RunGputc({"cache", verb, "--prep-cache", dir});
+    EXPECT_EQ(run.exit_code, 3) << verb << ": " << run.stderr_text;
+    EXPECT_NE(run.stderr_text.find("does not exist"), std::string::npos)
+        << verb << ": " << run.stderr_text;
+  }
+}
+
+TEST(CacheCliTest, StatsAndPurgeOnNonDirectoryExitTwo) {
+  // The path exists but is a file: a flag error, the operator pointed the
+  // command somewhere that can never be a cache.
+  const std::string path = ::testing::TempDir() + "/cache_cli_file_" +
+                           std::to_string(::getpid());
+  { std::ofstream out(path); out << "not a directory"; }
+  for (const char* verb : {"stats", "purge"}) {
+    const testing::ChildResult run =
+        testing::RunGputc({"cache", verb, "--prep-cache", path});
+    EXPECT_EQ(run.exit_code, 2) << verb << ": " << run.stderr_text;
+    EXPECT_NE(run.stderr_text.find("not a directory"), std::string::npos)
+        << verb << ": " << run.stderr_text;
+  }
+  ::unlink(path.c_str());
+}
+
+TEST(CacheCliTest, StatsAndPurgeOnUnreadableDirExitThree) {
+  if (::geteuid() == 0) {
+    GTEST_SKIP() << "root ignores permission bits; the access() gate cannot "
+                    "trip";
+  }
+  const std::string dir = FreshDir("cache_cli_unreadable");
+  ASSERT_EQ(::chmod(dir.c_str(), 0000), 0);
+  for (const char* verb : {"stats", "purge"}) {
+    const testing::ChildResult run =
+        testing::RunGputc({"cache", verb, "--prep-cache", dir});
+    EXPECT_EQ(run.exit_code, 3) << verb << ": " << run.stderr_text;
+    EXPECT_NE(run.stderr_text.find("readable"), std::string::npos)
+        << verb << ": " << run.stderr_text;
+  }
+  ASSERT_EQ(::chmod(dir.c_str(), 0755), 0);
+}
+
+TEST(CacheCliTest, StatsOnHealthyDirStillWorks) {
+  const std::string dir = FreshDir("cache_cli_ok");
+  const testing::ChildResult run =
+      testing::RunGputc({"cache", "stats", "--prep-cache", dir});
+  EXPECT_EQ(run.exit_code, 0) << run.stderr_text;
+  EXPECT_NE(run.stdout_text.find("artifacts:"), std::string::npos)
+      << run.stdout_text;
 }
 
 }  // namespace

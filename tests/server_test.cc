@@ -858,6 +858,57 @@ TEST_F(ServerTest, ReadyzFlipsToDrainingDuringShutdown) {
   StopServer();
 }
 
+TEST_F(ServerTest, ReadyzReportsStorageStateThroughMonitor) {
+  ServerOptions options = BaseOptions();
+  WithHealth(&options);
+  const ListenSpec health = options.health;
+  // No probe_dir: the poll loop's MaybeProbe no-ops and the test drives the
+  // monitor's state transitions directly, the way the WAL/journal sinks do.
+  StorageHealthMonitor storage;
+  options.storage = &storage;
+  StartServer(std::move(options));
+
+  {
+    // Healthy disk: plain ready, no degraded header.
+    Client probe(health);
+    probe.Send("GET /readyz HTTP/1.0\r\n\r\n");
+    const std::string response = probe.ReadAll();
+    EXPECT_EQ(response.rfind("HTTP/1.0 200 OK", 0), 0u) << response;
+    EXPECT_EQ(response.find("X-Gputc-Storage"), std::string::npos)
+        << response;
+  }
+
+  // A sink degrades (journal mirroring to stderr): still ready — the load
+  // balancer keeps routing — but the header says the disk is in trouble.
+  storage.NoteDegraded("journal", "mirroring to stderr");
+  {
+    Client probe(health);
+    probe.Send("GET /readyz HTTP/1.0\r\n\r\n");
+    const std::string response = probe.ReadAll();
+    EXPECT_EQ(response.rfind("HTTP/1.0 200 OK", 0), 0u) << response;
+    EXPECT_NE(response.find("X-Gputc-Storage: degraded"), std::string::npos)
+        << response;
+  }
+
+  // Strict-WAL fail-stop: readiness flips hard so traffic moves away while
+  // the daemon finishes in-flight work and exits 6.
+  storage.RecordStrictStop("WAL done append failed");
+  EXPECT_FALSE(server_->ready());
+  {
+    Client probe(health);
+    probe.Send("GET /readyz HTTP/1.0\r\n\r\n");
+    const std::string response = probe.ReadAll();
+    EXPECT_EQ(response.rfind("HTTP/1.0 503", 0), 0u) << response;
+    EXPECT_NE(response.find("storage-degraded"), std::string::npos)
+        << response;
+  }
+
+  // The monitor outlives the server: join the poll loop before `storage`
+  // leaves scope.
+  StopServer();
+  server_.reset();
+}
+
 // -- Soak -------------------------------------------------------------------
 
 TEST_F(ServerTest, SequentialSoakAnswersEveryRequestInOrder) {

@@ -13,12 +13,14 @@
 //   gputc batch --manifest jobs.txt [--jobs N] [--queue-depth Q]
 //               [--mem-budget-mb M] [--shed-policy block|reject|drop-oldest]
 //               [--timeout-ms N] [--drain-grace-ms N] [--fallback Hu,cpu]
-//               [--isolate[=N]] [--journal FILE|-] [--wal DIR [--resume]]
+//               [--isolate[=N]] [--journal FILE|-]
+//               [--wal DIR [--resume] [--wal-policy strict|degrade]]
 //               [--prep-cache DIR] [--prep-cache-mb N]
 //               [--trace-out t.json] [--metrics-out m.prom]
 //   gputc serve --listen HOST:PORT|unix:PATH [--health SPEC] [--jobs N]
 //               [--queue-depth Q] [--max-connections C] [--isolate[=N]]
-//               [--journal FILE|-] [--wal DIR [--resume]]
+//               [--journal FILE|-]
+//               [--wal DIR [--resume] [--wal-policy strict|degrade]]
 //               [--prep-cache DIR] [--prep-cache-mb N] ...
 //               newline-delimited network daemon over the batch service
 //   gputc cache stats|purge --prep-cache DIR
@@ -46,6 +48,11 @@
 //      batch: no request — fresh or replayed — produced a count)
 //   5  partial batch failure (some requests counted, others were rejected
 //      or failed — see the journal; replayed outcomes count too)
+//   6  storage fail-stop (--wal-policy strict, the default, and the WAL
+//      could not persist a record — ENOSPC/EIO/quota; the journal holds
+//      exactly the durable prefix, so freeing space and re-running with
+//      --resume converges; batch also exits 6 when the preflight space
+//      check refuses the manifest up front)
 
 #include <algorithm>
 #include <atomic>
@@ -71,6 +78,7 @@
 #include "service/batch_service.h"
 #include "service/cache_store.h"
 #include "service/server.h"
+#include "service/storage_health.h"
 #include "service/wal.h"
 #include "service/worker_process.h"
 #include "graph/datasets.h"
@@ -98,6 +106,11 @@ constexpr int kExitUsage = 2;
 constexpr int kExitBadInput = 3;
 constexpr int kExitExhausted = 4;
 constexpr int kExitPartial = 5;
+/// Storage fail-stop: the strict-policy WAL lost the disk underneath it (or
+/// the batch preflight refused the manifest for projected space). Distinct
+/// from kExitRuntime so operators can alert on "free disk space and
+/// --resume" without parsing stderr.
+constexpr int kExitStorage = 6;
 
 int Usage() {
   std::cerr
@@ -123,7 +136,8 @@ int Usage() {
          "block|reject|drop-oldest]\n"
          "             [--timeout-ms N] [--drain-grace-ms N]\n"
          "             [--fallback A1,...,cpu] [--isolate[=N]]\n"
-         "             [--journal FILE|-] [--wal DIR [--resume]]\n"
+         "             [--journal FILE|-]\n"
+         "             [--wal DIR [--resume] [--wal-policy strict|degrade]]\n"
          "             [--prep-cache DIR] [--prep-cache-mb N]\n"
          "             [--trace-out FILE] [--metrics-out FILE]: run every\n"
          "             manifest request through a concurrent batch service.\n"
@@ -135,6 +149,13 @@ int Usage() {
          "             finished requests emit their journal lines verbatim,\n"
          "             unfinished ones re-run — exactly one line per "
          "request;\n"
+         "             --wal-policy picks what a WAL disk fault does: "
+         "strict\n"
+         "             (default) fail-stops with exit 6 and a journal "
+         "holding\n"
+         "             exactly the durable prefix, degrade keeps serving "
+         "and\n"
+         "             stamps undurable lines with \"durable\":false;\n"
          "             --isolate[=N] executes requests in N supervised "
          "worker\n"
          "             subprocesses (default N = --jobs): a crash or hang "
@@ -155,7 +176,8 @@ int Usage() {
          "             [--target-p99-ms N] [--max-inflight N]\n"
          "             [--fallback A1,...,cpu] [--isolate[=N]]\n"
          "             [--prep-cache DIR] [--prep-cache-mb N]\n"
-         "             [--journal FILE|-] [--wal DIR [--resume]]: daemon\n"
+         "             [--journal FILE|-] [--wal DIR [--resume]\n"
+         "             [--wal-policy strict|degrade]]: daemon\n"
          "             speaking one manifest line in / one JSONL journal "
          "line\n"
          "             out per request, over TCP or a unix socket. Overload\n"
@@ -192,7 +214,13 @@ int Usage() {
          "  4  exhausted (deadline/budget spent after all fallbacks; batch:\n"
          "     nothing counted, fresh or replayed)\n"
          "  5  partial batch failure (some counted, some rejected/failed —\n"
-         "     see the journal; replayed outcomes count too)\n";
+         "     see the journal; replayed outcomes count too)\n"
+         "  6  storage fail-stop (strict --wal-policy and the WAL lost the\n"
+         "     disk — ENOSPC/EIO/quota — or the batch preflight space "
+         "check\n"
+         "     refused the manifest; journal = durable prefix, so free "
+         "space\n"
+         "     and re-run with --resume)\n";
   return kExitUsage;
 }
 
@@ -417,8 +445,10 @@ std::optional<PrepCacheFlags> ParsePrepCacheFlags(const FlagParser& flags) {
 
 /// Writes `content` to `path` ("-" streams to stdout). File targets go
 /// through the atomic temp -> fsync -> rename writer, so a crash mid-export
-/// never leaves a torn trace or metrics file. Returns false (after printing
-/// the error) when the file cannot be written.
+/// never leaves a torn trace or metrics file. Exports are best-effort
+/// observability, not results: a failure warns (and returns false) but must
+/// never change the command's exit code — a full disk should cost the trace
+/// file, not the run.
 bool WriteTextFile(const std::string& path, const std::string& content) {
   if (path == "-") {
     std::cout << content;
@@ -426,7 +456,7 @@ bool WriteTextFile(const std::string& path, const std::string& content) {
   }
   const Status saved = WriteFileAtomic(path, content);
   if (!saved.ok()) {
-    std::cerr << "error: cannot write '" << path
+    std::cerr << "warning: export skipped, cannot write '" << path
               << "': " << saved.ToString() << "\n";
     return false;
   }
@@ -560,11 +590,11 @@ int CmdCount(const FlagParser& flags) {
   const StatusOr<ExecutionResult> executed =
       ExecuteResilient(*g, spec, policy, chain, options, &trace);
   // The exports run on failure too: a trace of what went wrong is exactly
-  // when observability pays for itself.
+  // when observability pays for itself. Best-effort: a failed export warns
+  // and the count's own exit code stands.
   root.Finish();
-  if (!ExportTrace(tracer, trace_out) || !ExportMetrics(metrics_out)) {
-    return kExitRuntime;
-  }
+  (void)ExportTrace(tracer, trace_out);
+  (void)ExportMetrics(metrics_out);
   if (flags.GetBool("trace", false) && !trace.attempts.empty()) {
     std::cerr << trace.Summary();
   }
@@ -676,6 +706,16 @@ int CmdCache(const FlagParser& flags) {
   }
 
   DiskCacheStore store(dir);
+  // Probe the directory first so a vanished, non-directory, or unwritable
+  // path is one clean diagnostic instead of a per-file error cascade:
+  // a flag-shaped mistake (path exists but is not a directory) is a usage
+  // error, everything else is an input/IO error.
+  const Status dir_ok = store.CheckDir();
+  if (!dir_ok.ok()) {
+    std::cerr << "error: " << dir_ok.ToString() << "\n";
+    return dir_ok.code() == StatusCode::kInvalidArgument ? kExitUsage
+                                                         : kExitBadInput;
+  }
   if (sub == "stats") {
     const StatusOr<DiskCacheStore::DiskStats> stats = store.ScanStats();
     if (!stats.ok()) return ReportInputError(stats.status());
@@ -988,6 +1028,21 @@ int CmdBatch(const FlagParser& flags) {
     std::cerr << "--resume needs --wal DIR (the log to replay)\n";
     return kExitUsage;
   }
+  StoragePolicy wal_policy = StoragePolicy::kStrict;
+  if (flags.Has("wal-policy")) {
+    if (wal_dir.empty()) {
+      std::cerr << "--wal-policy needs --wal DIR (it governs the WAL's "
+                   "storage-fault response)\n";
+      return kExitUsage;
+    }
+    const StatusOr<StoragePolicy> parsed =
+        ParseStoragePolicy(flags.GetString("wal-policy", "strict"));
+    if (!parsed.ok()) {
+      std::cerr << parsed.status().message() << "\n";
+      return kExitUsage;
+    }
+    wal_policy = *parsed;
+  }
   // Open recovers the segment (verifying every record's CRC and truncating a
   // torn tail); Replay folds the records Open already read, so the log is
   // scanned exactly once no matter how large it has grown.
@@ -1018,6 +1073,15 @@ int CmdBatch(const FlagParser& flags) {
       std::cerr << "error: " << stamped.ToString() << "\n";
       return kExitRuntime;
     }
+    // Preflight: refuse the manifest up front when the WAL directory's free
+    // space cannot plausibly hold its projected WAL + journal bytes —
+    // failing at admission beats failing halfway through the batch.
+    const Status space = PreflightSpaceCheck(
+        wal_dir, EstimateBatchStorageBytes(manifest->size()));
+    if (!space.ok()) {
+      std::cerr << "error: " << space.ToString() << "\n";
+      return kExitStorage;
+    }
   }
 
   // The journal streams as JSONL: one line per finished request, to stdout
@@ -1036,19 +1100,33 @@ int CmdBatch(const FlagParser& flags) {
     }
     journal_file.emplace(*std::move(opened));
   }
-  std::atomic<bool> journal_write_failed{false};
+  // Per-sink storage-fault state. The WAL is the durability backbone and
+  // follows --wal-policy; the journal file degrades to stderr mirroring (the
+  // operator keeps every line, just not on the dead disk); the health
+  // monitor turns each fault into gputc_storage_errors_total{sink,errno}.
+  StorageHealthMonitor storage_health;
+  std::atomic<bool> journal_degraded{false};
+  std::atomic<bool> wal_degraded{false};
+  std::atomic<bool> storage_stopped{false};
   const auto emit_line = [&](const std::string& line) {
     if (!journal_file.has_value()) {
       std::cout << line << "\n";
       std::cout.flush();
       return;
     }
-    const Status written = journal_file->WriteLine(line);
-    if (!written.ok()) {
-      journal_write_failed.store(true, std::memory_order_relaxed);
-      std::cerr << "error: journal write failed: " << written.ToString()
-                << "\n";
+    if (!journal_degraded.load(std::memory_order_relaxed)) {
+      const Status written = journal_file->WriteLine(line);
+      if (written.ok()) return;
+      // Warn once, then mirror this and every later line to stderr. Sticky:
+      // a failed fsync poisons the fd (fsyncgate), so retrying the file
+      // could silently drop the very line it claims to have written.
+      journal_degraded.store(true, std::memory_order_relaxed);
+      storage_health.RecordError("journal", written);
+      storage_health.NoteDegraded("journal", written.ToString());
+      std::cerr << "warning: journal degraded to stderr mirroring: "
+                << written.ToString() << "\n";
     }
+    std::cerr << line << "\n";
   };
 
   // Replayed terminal outcomes are final (including rejections): emit their
@@ -1093,16 +1171,40 @@ int CmdBatch(const FlagParser& flags) {
   std::mutex journal_stream_mu;
   service.set_on_report([&](const RequestReport& report) {
     std::lock_guard<std::mutex> lock(journal_stream_mu);
-    const std::string line = report.ToJson();
+    // After a strict fail-stop nothing more is emitted: the journal must
+    // hold exactly the WAL-durable prefix, so that --resume re-runs every
+    // request past it instead of trusting lines with no WAL cover.
+    if (storage_stopped.load(std::memory_order_relaxed)) return;
+    RequestReport stamped = report;
     if (wal.has_value()) {
-      // The terminal outcome becomes durable BEFORE the journal line is
-      // emitted: a crash in between replays this exact line on --resume
-      // instead of re-running (and re-counting) the request.
-      const Status logged =
-          wal->LogDone(report.id, RequestOutcomeName(report.outcome), line);
-      if (!logged.ok()) {
-        journal_write_failed.store(true, std::memory_order_relaxed);
-        std::cerr << "error: " << logged.ToString() << "\n";
+      if (wal_degraded.load(std::memory_order_relaxed)) {
+        stamped.durable = false;
+      } else {
+        // The terminal outcome becomes durable BEFORE the journal line is
+        // emitted: a crash in between replays this exact line on --resume
+        // instead of re-running (and re-counting) the request.
+        const std::string line = report.ToJson();
+        const Status logged =
+            wal->LogDone(report.id, RequestOutcomeName(report.outcome), line);
+        if (!logged.ok()) {
+          storage_health.RecordError("wal", logged);
+          std::cerr << "error: " << logged.ToString() << "\n";
+          if (wal_policy == StoragePolicy::kStrict) {
+            // Fail-stop: this outcome never became durable, so it is not
+            // journaled either. Stop admitting, let in-flight work drain.
+            storage_stopped.store(true, std::memory_order_relaxed);
+            storage_health.RecordStrictStop(logged.ToString());
+            service.RequestDrain("storage: WAL done append failed");
+            return;
+          }
+          // Degrade: keep serving; this line and every later one carries
+          // "durable":false — a crash from here may re-run those requests.
+          wal_degraded.store(true, std::memory_order_relaxed);
+          storage_health.NoteDegraded("wal", logged.ToString());
+          std::cerr << "warning: WAL degraded (--wal-policy degrade): "
+                       "journal lines now carry \"durable\":false\n";
+          stamped.durable = false;
+        }
       }
     }
     {
@@ -1112,7 +1214,7 @@ int CmdBatch(const FlagParser& flags) {
       FailPointScope scope;
       (void)CheckFailPoint("service.journal");
     }
-    emit_line(line);
+    emit_line(stamped.ToJson());
   });
 
   // SIGINT/SIGTERM/SIGHUP request a graceful drain (HUP because a batch
@@ -1139,18 +1241,31 @@ int CmdBatch(const FlagParser& flags) {
   });
 
   service.Start();
-  bool wal_append_failed = false;
   for (BatchRequest& request : *manifest) {
     if (replayed_ids.count(request.id) > 0) continue;  // Already journaled.
-    if (wal.has_value()) {
+    // A strict fail-stop (from this loop or a worker's done-append) closes
+    // admission: everything not yet submitted waits for --resume.
+    if (storage_stopped.load(std::memory_order_relaxed)) break;
+    if (wal.has_value() && !wal_degraded.load(std::memory_order_relaxed)) {
       // Intent is durable before the request enters the queue, so a crash
       // mid-execution re-admits it on --resume instead of losing it.
       const Status intent = wal->LogIntent(request.id);
       if (!intent.ok()) {
         std::cerr << "error: " << intent.ToString() << "\n";
-        wal_append_failed = true;
-        service.RequestDrain("WAL intent append failed");
-        break;
+        storage_health.RecordError("wal", intent);
+        if (wal_policy == StoragePolicy::kStrict) {
+          storage_stopped.store(true, std::memory_order_relaxed);
+          storage_health.RecordStrictStop(intent.ToString());
+          service.RequestDrain("storage: WAL intent append failed");
+          break;
+        }
+        // Degrade: admit without the durable intent — a crash loses the
+        // request from the log, which is exactly the cover this policy
+        // trades away. Journal lines say so via "durable":false.
+        wal_degraded.store(true, std::memory_order_relaxed);
+        storage_health.NoteDegraded("wal", intent.ToString());
+        std::cerr << "warning: WAL degraded (--wal-policy degrade): "
+                     "admitting without durable intents\n";
       }
     }
     service.Submit(std::move(request));
@@ -1163,9 +1278,10 @@ int CmdBatch(const FlagParser& flags) {
   std::signal(SIGTERM, prev_term);
   std::signal(SIGHUP, prev_hup);
 
-  if (!ExportTrace(tracer, trace_out) || !ExportMetrics(metrics_out)) {
-    return kExitRuntime;
-  }
+  // Best-effort exports: a disk too sick to take the trace file must not
+  // turn a batch whose journal is complete into a failure.
+  (void)ExportTrace(tracer, trace_out);
+  (void)ExportMetrics(metrics_out);
 
   // Human-readable recap on stderr so a journal piped from stdout stays pure.
   std::cerr << "batch: " << summary.reports.size() << " requests — "
@@ -1190,9 +1306,16 @@ int CmdBatch(const FlagParser& flags) {
     }
   }
 
-  if (journal_write_failed.load(std::memory_order_relaxed) ||
-      wal_append_failed) {
-    return kExitRuntime;
+  if (storage_stopped.load(std::memory_order_relaxed)) {
+    // Strict fail-stop: un-journaled requests are exactly the ones with no
+    // durable outcome, so the accounting check below would (correctly)
+    // refuse — report the dedicated code and the recovery path instead.
+    std::cerr << "batch: storage fail-stop ("
+              << storage_health.strict_stop_reason()
+              << "); the journal holds exactly the durable prefix — free "
+                 "space, then re-run with --wal " << wal_dir
+              << " --resume to finish the manifest\n";
+    return kExitStorage;
   }
   if (replayed_ids.size() + summary.reports.size() != manifest->size()) {
     // Accounting invariant: every manifest request journals exactly once —
@@ -1331,6 +1454,21 @@ int CmdServe(const FlagParser& flags) {
     std::cerr << "--resume needs --wal DIR (the log to replay)\n";
     return kExitUsage;
   }
+  StoragePolicy wal_policy = StoragePolicy::kStrict;
+  if (flags.Has("wal-policy")) {
+    if (wal_dir.empty()) {
+      std::cerr << "--wal-policy needs --wal DIR (it governs the WAL's "
+                   "storage-fault response)\n";
+      return kExitUsage;
+    }
+    const StatusOr<StoragePolicy> parsed =
+        ParseStoragePolicy(flags.GetString("wal-policy", "strict"));
+    if (!parsed.ok()) {
+      std::cerr << parsed.status().message() << "\n";
+      return kExitUsage;
+    }
+    wal_policy = *parsed;
+  }
   std::optional<WriteAheadLog> wal;
   WalReplay replay;
   if (!wal_dir.empty()) {
@@ -1374,19 +1512,43 @@ int CmdServe(const FlagParser& flags) {
     }
     journal_file.emplace(*std::move(opened));
   }
-  std::atomic<bool> journal_write_failed{false};
+  // Disk-health view for the daemon: the poll loop probes the WAL directory
+  // (or the journal's directory when there is no WAL) every tick — statvfs
+  // watermarks plus a small probe write — and every sink reports its faults
+  // here. /readyz flips to 503 "storage-degraded" on a strict-WAL stop and
+  // carries an "X-Gputc-Storage: degraded" header while any sink is benched.
+  StorageHealthMonitor::Options health_options;
+  if (!wal_dir.empty()) {
+    health_options.probe_dir = wal_dir;
+  } else if (journal_path != "-") {
+    const size_t slash = journal_path.find_last_of('/');
+    health_options.probe_dir =
+        slash == std::string::npos ? "." : journal_path.substr(0, slash);
+  }
+  StorageHealthMonitor storage_health(health_options);
+  options.storage = &storage_health;
+  std::atomic<bool> journal_degraded{false};
+  std::atomic<bool> wal_degraded{false};
+  std::atomic<bool> storage_stopped{false};
   const auto emit_line = [&](const std::string& line) {
     if (!journal_file.has_value()) {
       std::cout << line << "\n";
       std::cout.flush();
       return;
     }
-    const Status written = journal_file->WriteLine(line);
-    if (!written.ok()) {
-      journal_write_failed.store(true, std::memory_order_relaxed);
-      std::cerr << "error: journal write failed: " << written.ToString()
-                << "\n";
+    if (!journal_degraded.load(std::memory_order_relaxed)) {
+      const Status written = journal_file->WriteLine(line);
+      if (written.ok()) return;
+      // Warn once, then mirror to stderr — the journal is the operator's
+      // record, not the durability backbone, so its disk dying must not
+      // take the daemon down. Sticky: a failed fsync poisons the fd.
+      journal_degraded.store(true, std::memory_order_relaxed);
+      storage_health.RecordError("journal", written);
+      storage_health.NoteDegraded("journal", written.ToString());
+      std::cerr << "warning: journal degraded to stderr mirroring: "
+                << written.ToString() << "\n";
     }
+    std::cerr << line << "\n";
   };
   // The serve journal is a new surface, so it self-identifies: its first
   // line names the build (batch journals stay line-per-request for the
@@ -1398,21 +1560,63 @@ int CmdServe(const FlagParser& flags) {
     emit_line(record.line);
   }
 
-  std::atomic<bool> wal_append_failed{false};
+  // The hooks below outlive options (the server copies them); server_ptr is
+  // bound right after construction, before any request can reach a hook.
+  Server* server_ptr = nullptr;
   if (wal.has_value()) {
-    options.on_intent = [&wal](const std::string& id,
-                               const std::string& line) -> Status {
-      return wal->LogIntent(id, line);
+    options.on_intent = [&](const std::string& id,
+                            const std::string& line) -> Status {
+      if (wal_degraded.load(std::memory_order_relaxed)) {
+        return OkStatus();  // Degraded WAL: admit without the intent.
+      }
+      const Status logged = wal->LogIntent(id, line);
+      if (logged.ok()) return OkStatus();
+      storage_health.RecordError("wal", logged);
+      if (wal_policy == StoragePolicy::kStrict) {
+        // Returning the error fails this request, and the server starts
+        // its drain ladder — a daemon that cannot log intents must stop
+        // taking work. The exit code becomes 6 below.
+        storage_stopped.store(true, std::memory_order_relaxed);
+        storage_health.RecordStrictStop(logged.ToString());
+        return logged;
+      }
+      wal_degraded.store(true, std::memory_order_relaxed);
+      storage_health.NoteDegraded("wal", logged.ToString());
+      std::cerr << "warning: WAL degraded (--wal-policy degrade): admitting "
+                   "without durable intents; journal lines now carry "
+                   "\"durable\":false\n";
+      return OkStatus();
     };
   }
   options.on_report = [&](const RequestReport& report) {
-    const std::string line = report.ToJson();
+    // Strict fail-stop already fired: suppress emission so the journal
+    // stays exactly the durable prefix (the WAL re-runs these on --resume).
+    if (storage_stopped.load(std::memory_order_relaxed)) return;
+    RequestReport stamped = report;
     if (wal.has_value()) {
-      const Status logged =
-          wal->LogDone(report.id, RequestOutcomeName(report.outcome), line);
-      if (!logged.ok()) {
-        wal_append_failed.store(true, std::memory_order_relaxed);
-        std::cerr << "error: " << logged.ToString() << "\n";
+      if (wal_degraded.load(std::memory_order_relaxed)) {
+        stamped.durable = false;
+      } else {
+        const std::string line = report.ToJson();
+        const Status logged =
+            wal->LogDone(report.id, RequestOutcomeName(report.outcome), line);
+        if (!logged.ok()) {
+          storage_health.RecordError("wal", logged);
+          std::cerr << "error: " << logged.ToString() << "\n";
+          if (wal_policy == StoragePolicy::kStrict) {
+            storage_stopped.store(true, std::memory_order_relaxed);
+            storage_health.RecordStrictStop(logged.ToString());
+            if (server_ptr != nullptr) {
+              server_ptr->RequestShutdown("storage: WAL done append failed");
+            }
+            return;
+          }
+          wal_degraded.store(true, std::memory_order_relaxed);
+          storage_health.NoteDegraded("wal", logged.ToString());
+          std::cerr << "warning: WAL degraded (--wal-policy degrade): "
+                       "journal lines now carry \"durable\":false\n";
+          stamped.durable = false;
+        }
       }
     }
     {
@@ -1420,10 +1624,11 @@ int CmdServe(const FlagParser& flags) {
       FailPointScope scope;
       (void)CheckFailPoint("service.journal");
     }
-    emit_line(line);
+    emit_line(stamped.ToJson());
   };
 
   Server server(std::move(options));
+  server_ptr = &server;
   const Status started = server.Start();
   if (!started.ok()) {
     std::cerr << "error: " << started.ToString() << "\n";
@@ -1457,18 +1662,33 @@ int CmdServe(const FlagParser& flags) {
     report.outcome = RequestOutcome::kRejected;
     report.status = std::move(admissible);
     report.trace_id = GenerateTraceId();
-    const std::string line = report.ToJson();
-    if (wal.has_value()) {
-      const Status logged =
-          wal->LogDone(id, RequestOutcomeName(report.outcome), line);
+    if (wal.has_value() && !wal_degraded.load(std::memory_order_relaxed)) {
+      const Status logged = wal->LogDone(
+          id, RequestOutcomeName(report.outcome), report.ToJson());
       if (!logged.ok()) {
-        wal_append_failed.store(true, std::memory_order_relaxed);
+        storage_health.RecordError("wal", logged);
         std::cerr << "error: " << logged.ToString() << "\n";
+        if (wal_policy == StoragePolicy::kStrict) {
+          // The disk died before the daemon took its first request: start
+          // the drain ladder now, Run() below exits straight into code 6.
+          storage_stopped.store(true, std::memory_order_relaxed);
+          storage_health.RecordStrictStop(logged.ToString());
+          server.RequestShutdown("storage: WAL done append failed");
+          break;
+        }
+        wal_degraded.store(true, std::memory_order_relaxed);
+        storage_health.NoteDegraded("wal", logged.ToString());
+        std::cerr << "warning: WAL degraded (--wal-policy degrade): "
+                     "journal lines now carry \"durable\":false\n";
       }
     }
-    emit_line(line);
+    if (wal.has_value() && wal_degraded.load(std::memory_order_relaxed)) {
+      report.durable = false;
+    }
+    emit_line(report.ToJson());
   }
   for (const auto& [id, line] : readmittable) {
+    if (storage_stopped.load(std::memory_order_relaxed)) break;
     const Status admitted = server.SubmitRecovered(id, line);
     if (admitted.ok()) {
       ++recovered;
@@ -1537,9 +1757,13 @@ int CmdServe(const FlagParser& flags) {
             << summary.protocol_errors << " protocol error(s); journal has "
             << summary.batch.reports.size() << " service outcome(s)\n";
 
-  if (journal_write_failed.load(std::memory_order_relaxed) ||
-      wal_append_failed.load(std::memory_order_relaxed)) {
-    return kExitRuntime;
+  if (storage_stopped.load(std::memory_order_relaxed)) {
+    std::cerr << "serve: storage fail-stop ("
+              << storage_health.strict_stop_reason()
+              << "); the journal holds exactly the durable prefix — free "
+                 "space, then restart with --wal " << wal_dir
+              << " --resume\n";
+    return kExitStorage;
   }
   // A daemon's request outcomes are the journal's business; a clean drain
   // is a successful run.
